@@ -1,0 +1,54 @@
+//! Baseline codecs for the paper's evaluation (Sec. 5.3).
+//!
+//! The perceptual encoder is compared against four baselines in Fig. 10:
+//!
+//! * **NoCom** — uncompressed 24-bit frames ([`nocom_stats`]),
+//! * **BD** — the real-time Base+Delta codec (provided by `pvc-bdc`),
+//! * **PNG** — offline lossless image compression; re-implemented here as a
+//!   PNG-style pipeline of per-scanline prediction filters followed by
+//!   LZ77 + canonical Huffman entropy coding ([`png`]),
+//! * **SCC** — the Set-Cover Coding alternative: a lookup table mapping each
+//!   sRGB color to the nearest member of a small perceptually-sufficient
+//!   codebook obtained with a greedy set-cover heuristic ([`scc`]).
+//!
+//! All baselines report sizes through the same [`CompressionStats`] type as
+//! the main encoder so the figure harness can compare them directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod huffman;
+pub mod lz77;
+pub mod png;
+pub mod scc;
+
+use pvc_bdc::{CompressionStats, SizeBreakdown};
+use pvc_frame::Dimensions;
+
+pub use huffman::{HuffmanCode, HuffmanError};
+pub use lz77::{Lz77Token, Lz77Tokenizer};
+pub use png::{PngLikeCodec, PngLikeEncoded};
+pub use scc::{SccCodec, SccConfig};
+
+/// Statistics of storing a frame uncompressed (the NoCom baseline): 24 bits
+/// per pixel, all of it payload.
+pub fn nocom_stats(dimensions: Dimensions) -> CompressionStats {
+    let bits = dimensions.pixel_count() as u64 * 24;
+    CompressionStats::from_breakdown(
+        dimensions.pixel_count(),
+        SizeBreakdown { base_bits: 0, metadata_bits: 0, delta_bits: bits },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nocom_is_exactly_24_bits_per_pixel() {
+        let stats = nocom_stats(Dimensions::new(100, 50));
+        assert_eq!(stats.compressed_bits, 100 * 50 * 24);
+        assert_eq!(stats.bandwidth_reduction_percent(), 0.0);
+        assert!((stats.bits_per_pixel() - 24.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benchmarks that regenerate each figure of the paper at reduced
+//! scale, so `cargo bench` exercises every experiment end to end.
+//!
+//! The printed series (CSV files and tables) come from the corresponding
+//! `src/bin/` binaries; these benches measure how long each experiment takes
+//! and keep the regeneration code exercised under `cargo bench --workspace`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pvc_bench::{
+    fig10_bandwidth, fig11_bits_per_pixel, fig12_case_distribution, fig13_power_saving,
+    fig14_user_study, fig15_tile_size, fig2_ellipsoids, measure_all_scenes, tab_area_power,
+    tab_psnr, tab_scc, ExperimentConfig,
+};
+use pvc_study::StudyConfig;
+
+fn bench_scene_measurement(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("measure_all_scenes_quick", |b| {
+        b.iter(|| measure_all_scenes(&config))
+    });
+    let measurements = measure_all_scenes(&config);
+    group.bench_function("fig10_bandwidth", |b| b.iter(|| fig10_bandwidth(&measurements)));
+    group.bench_function("fig11_bits_per_pixel", |b| {
+        b.iter(|| fig11_bits_per_pixel(&measurements))
+    });
+    group.bench_function("fig12_case_distribution", |b| {
+        b.iter(|| fig12_case_distribution(&measurements))
+    });
+    group.bench_function("fig13_power_saving", |b| b.iter(|| fig13_power_saving(&measurements)));
+    group.bench_function("fig14_user_study", |b| {
+        b.iter(|| fig14_user_study(&config, StudyConfig::default()))
+    });
+    group.bench_function("fig15_tile_size_quick", |b| {
+        b.iter(|| fig15_tile_size(&config, &[4, 8]))
+    });
+    group.bench_function("fig2_ellipsoids", |b| b.iter(fig2_ellipsoids));
+    group.bench_function("tab_area_power", |b| b.iter(tab_area_power));
+    group.bench_function("tab_psnr", |b| b.iter(|| tab_psnr(&measurements)));
+    group.bench_function("tab_scc_codebook_4bit", |b| b.iter(|| tab_scc(4)));
+    group.finish();
+}
+
+criterion_group!(paper_figures, bench_scene_measurement);
+criterion_main!(paper_figures);

@@ -1,0 +1,29 @@
+//! Regenerates every table and figure in one run (used to fill
+//! EXPERIMENTS.md). Pass `--quick` for a fast, reduced-scale run.
+
+use pvc_bench::cli as common;
+
+use pvc_bench::{
+    fig10_bandwidth, fig11_bits_per_pixel, fig12_case_distribution, fig13_power_saving,
+    fig14_user_study, fig15_tile_size, fig2_ellipsoids, measure_all_scenes, tab_area_power,
+    tab_ablation, tab_psnr, tab_scc,
+};
+use pvc_study::StudyConfig;
+
+fn main() {
+    let config = common::experiment_config_from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let measurements = measure_all_scenes(&config);
+    common::emit(&fig2_ellipsoids());
+    common::emit(&fig10_bandwidth(&measurements));
+    common::emit(&fig11_bits_per_pixel(&measurements));
+    common::emit(&fig12_case_distribution(&measurements));
+    common::emit(&fig13_power_saving(&measurements));
+    common::emit(&fig14_user_study(&config, StudyConfig::default()));
+    let tile_sizes: &[u32] = if quick { &[4, 8, 16] } else { &[4, 6, 8, 10, 12, 16] };
+    common::emit(&fig15_tile_size(&config, tile_sizes));
+    common::emit(&tab_area_power());
+    common::emit(&tab_psnr(&measurements));
+    common::emit(&tab_ablation(&config));
+    common::emit(&tab_scc(if quick { 4 } else { 6 }));
+}

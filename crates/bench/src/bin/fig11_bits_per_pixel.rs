@@ -1,0 +1,11 @@
+//! Regenerates fig11_bits_per_pixel from the paper's evaluation.
+
+use pvc_bench::cli as common;
+
+use pvc_bench::{measure_all_scenes, fig11_bits_per_pixel};
+
+fn main() {
+    let config = common::experiment_config_from_args();
+    let measurements = measure_all_scenes(&config);
+    common::emit(&fig11_bits_per_pixel(&measurements));
+}

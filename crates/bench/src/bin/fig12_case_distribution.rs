@@ -1,0 +1,11 @@
+//! Regenerates fig12_case_distribution from the paper's evaluation.
+
+use pvc_bench::cli as common;
+
+use pvc_bench::{measure_all_scenes, fig12_case_distribution};
+
+fn main() {
+    let config = common::experiment_config_from_args();
+    let measurements = measure_all_scenes(&config);
+    common::emit(&fig12_case_distribution(&measurements));
+}

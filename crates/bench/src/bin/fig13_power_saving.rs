@@ -1,0 +1,11 @@
+//! Regenerates fig13_power_saving from the paper's evaluation.
+
+use pvc_bench::cli as common;
+
+use pvc_bench::{measure_all_scenes, fig13_power_saving};
+
+fn main() {
+    let config = common::experiment_config_from_args();
+    let measurements = measure_all_scenes(&config);
+    common::emit(&fig13_power_saving(&measurements));
+}

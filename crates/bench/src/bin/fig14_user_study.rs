@@ -1,0 +1,11 @@
+//! Regenerates Fig. 14: the simulated psychophysical user study.
+
+use pvc_bench::cli as common;
+
+use pvc_bench::fig14_user_study;
+use pvc_study::StudyConfig;
+
+fn main() {
+    let config = common::experiment_config_from_args();
+    common::emit(&fig14_user_study(&config, StudyConfig::default()));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 15: the tile-size sensitivity study.
+
+use pvc_bench::cli as common;
+
+use pvc_bench::fig15_tile_size;
+
+fn main() {
+    let config = common::experiment_config_from_args();
+    common::emit(&fig15_tile_size(&config, &[4, 6, 8, 10, 12, 16]));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the data behind Fig. 2: ellipsoid growth with eccentricity.
+
+use pvc_bench::cli as common;
+
+use pvc_bench::fig2_ellipsoids;
+
+fn main() {
+    common::emit(&fig2_ellipsoids());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the ablation table over the encoder's design choices.
+
+use pvc_bench::cli as common;
+use pvc_bench::tab_ablation;
+
+fn main() {
+    let config = common::experiment_config_from_args();
+    common::emit(&tab_ablation(&config));
+}

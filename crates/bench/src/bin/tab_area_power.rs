@@ -1,0 +1,9 @@
+//! Regenerates the Sec. 6.1 hardware numbers (latency, area, power).
+
+use pvc_bench::cli as common;
+
+use pvc_bench::tab_area_power;
+
+fn main() {
+    common::emit(&tab_area_power());
+}

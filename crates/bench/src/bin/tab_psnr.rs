@@ -1,0 +1,11 @@
+//! Regenerates tab_psnr from the paper's evaluation.
+
+use pvc_bench::cli as common;
+
+use pvc_bench::{measure_all_scenes, tab_psnr};
+
+fn main() {
+    let config = common::experiment_config_from_args();
+    let measurements = measure_all_scenes(&config);
+    common::emit(&tab_psnr(&measurements));
+}

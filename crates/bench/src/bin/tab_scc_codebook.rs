@@ -1,0 +1,10 @@
+//! Regenerates the Sec. 6.2 SCC codebook statistics.
+
+use pvc_bench::cli as common;
+
+use pvc_bench::tab_scc;
+
+fn main() {
+    let bits = if std::env::args().any(|a| a == "--quick") { 4 } else { 6 };
+    common::emit(&tab_scc(bits));
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the figure binaries.
+//!
+//! Each binary accepts an optional `--quick` flag that switches to the
+//! reduced experiment configuration (smaller frames, no offline baselines).
+
+use crate::figures::Figure;
+use crate::harness::ExperimentConfig;
+
+/// Parses the command line shared by all figure binaries: `--quick` selects
+/// [`ExperimentConfig::quick`], anything else keeps the default.
+pub fn experiment_config_from_args() -> ExperimentConfig {
+    if std::env::args().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    }
+}
+
+/// Prints a figure and stores its CSV under `target/figures/`.
+pub fn emit(figure: &Figure) {
+    println!("{}", figure.to_table());
+    match figure.write_csv() {
+        Ok(path) => println!("(csv written to {})\n", path.display()),
+        Err(err) => eprintln!("warning: could not write csv: {err}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_returned_without_flags() {
+        // The test binary's argv has no --quick flag.
+        let config = experiment_config_from_args();
+        assert_eq!(config, ExperimentConfig::default());
+    }
+}

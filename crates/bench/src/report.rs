@@ -1,0 +1,98 @@
+//! Plain-text tables and CSV output for the figure binaries.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Formats a table with a header row and aligned columns.
+///
+/// # Panics
+///
+/// Panics if any row has a different number of columns than the header.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match header width");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV file under `target/figures/<name>.csv` (creating the
+/// directory if needed) and returns the path written.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_csv(
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let dir = Path::new("target").join("figures");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(file, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(file, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let table = format_table(
+            &["scene", "value"],
+            &[
+                vec!["office".to_string(), "1.0".to_string()],
+                vec!["fortnite".to_string(), "2.5".to_string()],
+            ],
+        );
+        assert!(table.contains("office"));
+        assert!(table.contains("fortnite"));
+        assert_eq!(table.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        let _ = format_table(&["a", "b"], &[vec!["only one".to_string()]]);
+    }
+
+    #[test]
+    fn csv_files_are_written() {
+        let path = write_csv(
+            "unit_test_output",
+            &["a", "b"],
+            &[vec!["1".to_string(), "2".to_string()]],
+        )
+        .expect("csv written");
+        let contents = std::fs::read_to_string(path).expect("read back");
+        assert_eq!(contents, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,421 @@
+//! The per-tile perceptual color adjustment algorithm (Sec. 3.3–3.4).
+//!
+//! For every pixel of a tile the algorithm knows the discrimination
+//! ellipsoid the adjusted color must stay inside. Along the chosen RGB axis
+//! each ellipsoid has a highest point `H` and a lowest point `L` (its
+//! *extrema*); across the tile the algorithm computes
+//!
+//! * `HL` — the **H**ighest of all the **L**owest points, and
+//! * `LH` — the **L**owest of all the **H**ighest points.
+//!
+//! If `LH ≥ HL` (case 2, Fig. 6b) a plane exists that crosses every
+//! ellipsoid; all colors are moved onto the average of the two planes and
+//! the Δ along the axis collapses to zero. Otherwise (case 1, Fig. 6a)
+//! colors above `HL` are pulled down to it and colors below `LH` are pulled
+//! up to it, leaving a residual range of `HL − LH`, which is the smallest
+//! range achievable without leaving the ellipsoids. Movement is always along
+//! each pixel's own extrema vector, so the adjusted color stays inside its
+//! ellipsoid by construction; an additional gamut clamp shortens the move if
+//! it would leave `[0, 1]`.
+
+use pvc_color::{AxisExtrema, DiscriminationEllipsoid, LinearRgb, RgbAxis, Vec3};
+use pvc_bdc::tile_codec::bits_for_range;
+use serde::{Deserialize, Serialize};
+
+/// Which of the two geometric cases of Fig. 6 a tile fell into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdjustmentCase {
+    /// Case 1 (`HL > LH`): no plane crosses every ellipsoid; a residual Δ of
+    /// `HL − LH` remains along the optimized axis.
+    NoCommonPlane,
+    /// Case 2 (`HL ≤ LH`): a common plane exists and the Δ along the
+    /// optimized axis collapses to zero.
+    CommonPlane,
+}
+
+impl AdjustmentCase {
+    /// Short label used in reports ("c1" / "c2" as in Fig. 12).
+    pub fn label(self) -> &'static str {
+        match self {
+            AdjustmentCase::NoCommonPlane => "c1",
+            AdjustmentCase::CommonPlane => "c2",
+        }
+    }
+}
+
+/// The result of adjusting one tile along one axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisAdjustment {
+    /// The axis the adjustment optimized.
+    pub axis: RgbAxis,
+    /// Which geometric case the tile fell into.
+    pub case: AdjustmentCase,
+    /// The adjusted pixel colors (same order as the input).
+    pub adjusted: Vec<LinearRgb>,
+    /// The HL plane value (highest of the lowest extrema) along the axis.
+    pub hl: f64,
+    /// The LH plane value (lowest of the highest extrema) along the axis.
+    pub lh: f64,
+}
+
+impl AxisAdjustment {
+    /// Total Δ bit cost of the adjusted tile after sRGB quantization,
+    /// summed over all three channels (the quantity Eq. 7a minimizes, minus
+    /// the constant base cost).
+    pub fn delta_bit_cost(&self) -> u64 {
+        delta_bit_cost(&self.adjusted)
+    }
+}
+
+/// The final result of adjusting a tile: the best of the per-axis attempts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileAdjustment {
+    /// The winning per-axis adjustment.
+    pub chosen: AxisAdjustment,
+    /// Δ bit cost of the original (unadjusted) tile, for reporting.
+    pub original_cost: u64,
+}
+
+impl TileAdjustment {
+    /// The adjusted pixels of the winning attempt.
+    pub fn adjusted_pixels(&self) -> &[LinearRgb] {
+        &self.chosen.adjusted
+    }
+
+    /// Δ bits saved relative to the unadjusted tile (zero if the adjustment
+    /// could not help).
+    pub fn delta_bits_saved(&self) -> u64 {
+        self.original_cost.saturating_sub(self.chosen.delta_bit_cost())
+    }
+}
+
+/// Σ over channels of the per-Δ bit length × pixel count for a tile of
+/// linear-RGB pixels, measured after sRGB quantization.
+fn delta_bit_cost(pixels: &[LinearRgb]) -> u64 {
+    let mut total = 0u64;
+    for channel in 0..3 {
+        let mut min = u8::MAX;
+        let mut max = u8::MIN;
+        for p in pixels {
+            let v = p.to_srgb8().channel(channel);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        total += u64::from(bits_for_range(max - min)) * pixels.len() as u64;
+    }
+    total
+}
+
+/// Moves `color` along its extrema vector until its `axis` channel reaches
+/// `target`, shortening the move if it would leave the `[0, 1]` gamut.
+///
+/// `color` must be the center of the ellipsoid that produced `extrema`; the
+/// extrema vector passes through the center, so any point reached this way
+/// stays inside the ellipsoid.
+fn move_along_extrema(
+    color: LinearRgb,
+    extrema: &AxisExtrema,
+    axis: RgbAxis,
+    target: f64,
+) -> LinearRgb {
+    let direction = extrema.extrema_vector();
+    let axis_span = direction.component(axis.index());
+    if axis_span.abs() <= f64::EPSILON {
+        return color;
+    }
+    let current = color.channel(axis.index());
+    // Fraction of the full extrema vector needed to reach the target.
+    let mut t = (target - current) / axis_span;
+    // The chord through the center spans t ∈ [-0.5, 0.5]; numerical safety.
+    t = t.clamp(-0.5, 0.5);
+    // Shorten the move so every channel stays inside [0, 1].
+    t = clamp_step_to_gamut(color.to_vec3(), direction, t);
+    LinearRgb::from_vec3(color.to_vec3() + direction * t)
+}
+
+/// Largest-magnitude step `t'` with `|t'| ≤ |t|` and the same sign such that
+/// `origin + direction · t'` stays inside the unit cube.
+fn clamp_step_to_gamut(origin: Vec3, direction: Vec3, t: f64) -> f64 {
+    if t == 0.0 {
+        return 0.0;
+    }
+    let mut limit = t.abs();
+    let sign = t.signum();
+    for i in 0..3 {
+        let d = direction.component(i) * sign;
+        if d.abs() <= f64::EPSILON {
+            continue;
+        }
+        let o = origin.component(i);
+        // Allowed movement along +d before hitting 0 or 1.
+        let room = if d > 0.0 { (1.0 - o) / d } else { (0.0 - o) / d };
+        if room < limit {
+            limit = room.max(0.0);
+        }
+    }
+    limit * sign
+}
+
+/// Adjusts one tile along a single axis.
+///
+/// # Panics
+///
+/// Panics if `pixels` and `ellipsoids` have different lengths or are empty.
+pub fn adjust_tile_along_axis(
+    pixels: &[LinearRgb],
+    ellipsoids: &[DiscriminationEllipsoid],
+    axis: RgbAxis,
+) -> AxisAdjustment {
+    assert_eq!(pixels.len(), ellipsoids.len(), "one ellipsoid per pixel is required");
+    assert!(!pixels.is_empty(), "cannot adjust an empty tile");
+
+    // Phase 1: per-pixel extrema (the Compute Extrema blocks of the CAU).
+    let extrema: Vec<AxisExtrema> =
+        ellipsoids.iter().map(|e| e.extrema_along_axis(axis)).collect();
+
+    // Phase 2: HL / LH reduction (the Compute Planes blocks).
+    let hl = extrema
+        .iter()
+        .map(AxisExtrema::low_value)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let lh = extrema
+        .iter()
+        .map(AxisExtrema::high_value)
+        .fold(f64::INFINITY, f64::min);
+
+    // Phase 3: color shifts (the Color Shift blocks).
+    let (case, adjusted) = if hl <= lh {
+        // Case 2: collapse every color onto the average plane.
+        let plane = 0.5 * (hl + lh);
+        let adjusted = pixels
+            .iter()
+            .zip(&extrema)
+            .map(|(&p, ext)| move_along_extrema(p, ext, axis, plane))
+            .collect();
+        (AdjustmentCase::CommonPlane, adjusted)
+    } else {
+        // Case 1: clamp the axis values into [LH, HL].
+        let adjusted = pixels
+            .iter()
+            .zip(&extrema)
+            .map(|(&p, ext)| {
+                let value = p.channel(axis.index());
+                if value > hl {
+                    move_along_extrema(p, ext, axis, hl)
+                } else if value < lh {
+                    move_along_extrema(p, ext, axis, lh)
+                } else {
+                    p
+                }
+            })
+            .collect();
+        (AdjustmentCase::NoCommonPlane, adjusted)
+    };
+
+    AxisAdjustment { axis, case, adjusted, hl, lh }
+}
+
+/// Adjusts one tile by trying every candidate axis and keeping the attempt
+/// with the smallest Δ bit cost (Fig. 7: "pick the one with smaller Δ").
+///
+/// # Panics
+///
+/// Panics if `axes` is empty, or if `pixels` and `ellipsoids` have different
+/// lengths or are empty.
+pub fn adjust_tile(
+    pixels: &[LinearRgb],
+    ellipsoids: &[DiscriminationEllipsoid],
+    axes: &[RgbAxis],
+) -> TileAdjustment {
+    assert!(!axes.is_empty(), "at least one optimization axis is required");
+    let original_cost = delta_bit_cost(pixels);
+    let chosen = axes
+        .iter()
+        .map(|&axis| adjust_tile_along_axis(pixels, ellipsoids, axis))
+        .min_by_key(AxisAdjustment::delta_bit_cost)
+        .expect("axes is non-empty");
+    // Never regress: if the adjustment does not help (e.g. everything was
+    // clamped by the gamut), keep the original pixels.
+    if chosen.delta_bit_cost() >= original_cost {
+        TileAdjustment {
+            chosen: AxisAdjustment {
+                axis: chosen.axis,
+                case: chosen.case,
+                adjusted: pixels.to_vec(),
+                hl: chosen.hl,
+                lh: chosen.lh,
+            },
+            original_cost,
+        }
+    } else {
+        TileAdjustment { chosen, original_cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_color::{DiscriminationModel, SyntheticDiscriminationModel};
+
+    fn ellipsoids_for(
+        pixels: &[LinearRgb],
+        eccentricity: f64,
+    ) -> Vec<DiscriminationEllipsoid> {
+        let model = SyntheticDiscriminationModel::default();
+        pixels.iter().map(|&p| model.ellipsoid(p, eccentricity)).collect()
+    }
+
+    fn similar_tile() -> Vec<LinearRgb> {
+        // A smooth tile: nearby colors, typical of rendered content.
+        (0..16)
+            .map(|i| {
+                let t = f64::from(i) / 15.0;
+                LinearRgb::new(0.42 + 0.01 * t, 0.5 + 0.008 * t, 0.35 + 0.012 * t)
+            })
+            .collect()
+    }
+
+    fn diverse_tile() -> Vec<LinearRgb> {
+        (0..16)
+            .map(|i| {
+                let t = f64::from(i) / 15.0;
+                LinearRgb::new(0.2 + 0.6 * t, 0.7 - 0.5 * t, 0.1 + 0.8 * t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adjusted_colors_stay_inside_ellipsoids() {
+        for (pixels, ecc) in [(similar_tile(), 25.0), (diverse_tile(), 10.0)] {
+            let ellipsoids = ellipsoids_for(&pixels, ecc);
+            for axis in [RgbAxis::Blue, RgbAxis::Red] {
+                let result = adjust_tile_along_axis(&pixels, &ellipsoids, axis);
+                for (adjusted, ellipsoid) in result.adjusted.iter().zip(&ellipsoids) {
+                    assert!(
+                        ellipsoid.contains_rgb(*adjusted, 1e-6),
+                        "adjusted color left its ellipsoid (axis {axis})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjusted_colors_stay_in_gamut() {
+        // Colors near the gamut boundary must not be pushed outside [0, 1].
+        let pixels: Vec<LinearRgb> = (0..16)
+            .map(|i| {
+                let t = f64::from(i) / 15.0;
+                LinearRgb::new(0.002 * t, 0.998 + 0.002 * t, 0.001)
+            })
+            .collect();
+        let ellipsoids = ellipsoids_for(&pixels, 30.0);
+        let result = adjust_tile(&pixels, &ellipsoids, &[RgbAxis::Blue, RgbAxis::Red]);
+        for p in result.adjusted_pixels() {
+            assert!(p.in_gamut(1e-9), "adjusted color {p:?} out of gamut");
+        }
+    }
+
+    #[test]
+    fn axis_range_never_grows() {
+        for (pixels, ecc) in [(similar_tile(), 25.0), (diverse_tile(), 25.0)] {
+            let ellipsoids = ellipsoids_for(&pixels, ecc);
+            for axis in [RgbAxis::Blue, RgbAxis::Red] {
+                let result = adjust_tile_along_axis(&pixels, &ellipsoids, axis);
+                let range = |colors: &[LinearRgb]| {
+                    let vals: Vec<f64> = colors.iter().map(|c| c.channel(axis.index())).collect();
+                    vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                        - vals.iter().cloned().fold(f64::INFINITY, f64::min)
+                };
+                assert!(
+                    range(&result.adjusted) <= range(&pixels) + 1e-9,
+                    "axis range grew on {axis}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn similar_colors_collapse_to_common_plane() {
+        // A smooth peripheral tile should land in case 2 and the Δ along the
+        // optimized axis should vanish.
+        let pixels = similar_tile();
+        let ellipsoids = ellipsoids_for(&pixels, 25.0);
+        let result = adjust_tile_along_axis(&pixels, &ellipsoids, RgbAxis::Blue);
+        assert_eq!(result.case, AdjustmentCase::CommonPlane);
+        let values: Vec<f64> = result.adjusted.iter().map(|c| c.b).collect();
+        let range = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(range < 1e-6, "blue range after collapse: {range}");
+    }
+
+    #[test]
+    fn diverse_colors_fall_into_case_one_with_residual_range() {
+        let pixels = diverse_tile();
+        let ellipsoids = ellipsoids_for(&pixels, 10.0);
+        let result = adjust_tile_along_axis(&pixels, &ellipsoids, RgbAxis::Blue);
+        assert_eq!(result.case, AdjustmentCase::NoCommonPlane);
+        assert!(result.hl > result.lh);
+        // The residual range equals HL − LH (up to gamut clamping).
+        let values: Vec<f64> = result.adjusted.iter().map(|c| c.b).collect();
+        let range = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(range <= result.hl - result.lh + 1e-9);
+    }
+
+    #[test]
+    fn foveal_ellipsoids_allow_less_adjustment_than_peripheral() {
+        let pixels = similar_tile();
+        let foveal = adjust_tile(&pixels, &ellipsoids_for(&pixels, 2.0), &RgbAxis::OPTIMIZED);
+        let peripheral = adjust_tile(&pixels, &ellipsoids_for(&pixels, 30.0), &RgbAxis::OPTIMIZED);
+        assert!(peripheral.chosen.delta_bit_cost() <= foveal.chosen.delta_bit_cost());
+    }
+
+    #[test]
+    fn adjustment_reduces_delta_bits_on_smooth_peripheral_tiles() {
+        let pixels = similar_tile();
+        let ellipsoids = ellipsoids_for(&pixels, 25.0);
+        let result = adjust_tile(&pixels, &ellipsoids, &RgbAxis::OPTIMIZED);
+        assert!(result.delta_bits_saved() > 0, "expected savings on a smooth peripheral tile");
+        assert!(result.chosen.delta_bit_cost() < result.original_cost);
+    }
+
+    #[test]
+    fn adjustment_never_increases_total_delta_bits() {
+        for (pixels, ecc) in [(similar_tile(), 5.0), (diverse_tile(), 30.0)] {
+            let ellipsoids = ellipsoids_for(&pixels, ecc);
+            let result = adjust_tile(&pixels, &ellipsoids, &RgbAxis::OPTIMIZED);
+            assert!(result.chosen.delta_bit_cost() <= result.original_cost);
+        }
+    }
+
+    #[test]
+    fn case_labels_match_figure_12() {
+        assert_eq!(AdjustmentCase::NoCommonPlane.label(), "c1");
+        assert_eq!(AdjustmentCase::CommonPlane.label(), "c2");
+    }
+
+    #[test]
+    fn single_pixel_tile_is_trivially_common_plane() {
+        let pixels = vec![LinearRgb::new(0.3, 0.4, 0.5)];
+        let ellipsoids = ellipsoids_for(&pixels, 15.0);
+        let result = adjust_tile_along_axis(&pixels, &ellipsoids, RgbAxis::Blue);
+        assert_eq!(result.case, AdjustmentCase::CommonPlane);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let pixels = similar_tile();
+        let ellipsoids = ellipsoids_for(&pixels[..4], 10.0);
+        let _ = adjust_tile_along_axis(&pixels, &ellipsoids, RgbAxis::Blue);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_axes_panic() {
+        let pixels = similar_tile();
+        let ellipsoids = ellipsoids_for(&pixels, 10.0);
+        let _ = adjust_tile(&pixels, &ellipsoids, &[]);
+    }
+}

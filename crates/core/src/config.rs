@@ -1,0 +1,112 @@
+//! Encoder configuration.
+
+use pvc_color::RgbAxis;
+use pvc_fovea::FoveaConfig;
+use pvc_frame::DEFAULT_TILE_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the perceptual encoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Side length of the square pixel tiles (4 in the paper's main
+    /// configuration).
+    pub tile_size: u32,
+    /// Foveal bypass region: tiles overlapping it are not adjusted.
+    pub fovea: FoveaConfig,
+    /// The axes the adjustment is attempted along; the result with the
+    /// smaller Δ cost wins. The paper uses Blue and Red.
+    pub axes: Vec<RgbAxis>,
+    /// Number of worker threads for frame encoding (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        EncoderConfig {
+            tile_size: DEFAULT_TILE_SIZE,
+            fovea: FoveaConfig::default(),
+            axes: RgbAxis::OPTIMIZED.to_vec(),
+            threads: 1,
+        }
+    }
+}
+
+impl EncoderConfig {
+    /// Returns a copy with a different tile size (Fig. 15 sweeps 4–16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_size` is zero.
+    pub fn with_tile_size(mut self, tile_size: u32) -> Self {
+        assert!(tile_size > 0, "tile size must be non-zero");
+        self.tile_size = tile_size;
+        self
+    }
+
+    /// Returns a copy with a different foveal bypass configuration.
+    pub fn with_fovea(mut self, fovea: FoveaConfig) -> Self {
+        self.fovea = fovea;
+        self
+    }
+
+    /// Returns a copy that only optimizes along the given axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axes` is empty.
+    pub fn with_axes(mut self, axes: Vec<RgbAxis>) -> Self {
+        assert!(!axes.is_empty(), "at least one optimization axis is required");
+        self.axes = axes;
+        self
+    }
+
+    /// Returns a copy that encodes tiles on `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be non-zero");
+        self.threads = threads;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_configuration() {
+        let c = EncoderConfig::default();
+        assert_eq!(c.tile_size, 4);
+        assert_eq!(c.axes, vec![RgbAxis::Blue, RgbAxis::Red]);
+        assert_eq!(c.threads, 1);
+        assert!((c.fovea.bypass_radius_deg - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let c = EncoderConfig::default()
+            .with_tile_size(8)
+            .with_axes(vec![RgbAxis::Blue])
+            .with_threads(4)
+            .with_fovea(FoveaConfig::disabled());
+        assert_eq!(c.tile_size, 8);
+        assert_eq!(c.axes, vec![RgbAxis::Blue]);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.fovea.bypass_radius_deg, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_axes_panics() {
+        let _ = EncoderConfig::default().with_axes(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tile_size_panics() {
+        let _ = EncoderConfig::default().with_tile_size(0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The full-frame perceptual encoder.
+
+use crate::adjust::adjust_tile;
+use crate::config::EncoderConfig;
+use crate::stats::AdjustmentStats;
+use pvc_bdc::{BdConfig, BdEncodedFrame, BdEncoder, CompressionStats};
+use pvc_color::{DiscriminationModel, LinearRgb};
+use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
+use pvc_frame::{LinearFrame, SrgbFrame, TileGrid, TileRect};
+use serde::{Deserialize, Serialize};
+
+/// The color perception-aware frame encoder (Fig. 7 of the paper).
+///
+/// The encoder sits between the rendering pipeline (which produces linear
+/// RGB pixels and, per prior work, per-pixel discrimination ellipsoids) and
+/// the existing BD framebuffer compressor. It adjusts pixel colors inside
+/// their discrimination ellipsoids so that the BD Δs become cheaper, then
+/// hands the adjusted frame to an unmodified BD encoder. Decoding is
+/// untouched.
+#[derive(Debug, Clone)]
+pub struct PerceptualEncoder<M> {
+    model: M,
+    config: EncoderConfig,
+}
+
+impl<M: DiscriminationModel> PerceptualEncoder<M> {
+    /// Creates an encoder from a discrimination model and a configuration.
+    pub fn new(model: M, config: EncoderConfig) -> Self {
+        PerceptualEncoder { model, config }
+    }
+
+    /// The encoder configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// The discrimination model used to build per-pixel ellipsoids.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Adjusts the colors of a linear-RGB frame for a given display and gaze
+    /// position, returning the adjusted frame and the per-tile statistics.
+    ///
+    /// Tiles overlapping the foveal bypass region are copied through
+    /// unchanged; every other tile is adjusted along the configured axes and
+    /// the cheaper result is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame and display dimensions differ.
+    pub fn adjust_frame(
+        &self,
+        frame: &LinearFrame,
+        display: &DisplayGeometry,
+        gaze: GazePoint,
+    ) -> (LinearFrame, AdjustmentStats) {
+        assert_eq!(
+            frame.dimensions(),
+            display.dimensions(),
+            "frame and display dimensions must match"
+        );
+        let grid = TileGrid::new(frame.dimensions(), self.config.tile_size);
+        let eccentricity =
+            EccentricityMap::per_tile(display, &grid, gaze, self.config.fovea);
+
+        let tiles: Vec<TileRect> = grid.tiles().collect();
+        let mut adjusted = frame.clone();
+        let mut stats = AdjustmentStats { total_tiles: tiles.len(), ..Default::default() };
+
+        let worker = |tile_batch: &[TileRect]| {
+            let mut local_stats = AdjustmentStats::default();
+            let mut outputs: Vec<(TileRect, Vec<LinearRgb>)> = Vec::new();
+            for &tile in tile_batch {
+                if eccentricity.is_foveal_tile(tile) {
+                    local_stats.foveal_tiles += 1;
+                    continue;
+                }
+                let pixels = frame.tile_pixels(tile);
+                let ecc = eccentricity.tile_eccentricity(tile);
+                let ellipsoids: Vec<_> =
+                    pixels.iter().map(|&p| self.model.ellipsoid(p, ecc)).collect();
+                let adjustment = adjust_tile(&pixels, &ellipsoids, &self.config.axes);
+                local_stats.record_case(adjustment.chosen.case);
+                outputs.push((tile, adjustment.chosen.adjusted));
+            }
+            (outputs, local_stats)
+        };
+
+        if self.config.threads <= 1 || tiles.len() < 2 * self.config.threads {
+            let (outputs, local) = worker(&tiles);
+            stats.foveal_tiles = local.foveal_tiles;
+            stats.case1_tiles = local.case1_tiles;
+            stats.case2_tiles = local.case2_tiles;
+            for (tile, pixels) in outputs {
+                adjusted.write_tile(tile, &pixels);
+            }
+        } else {
+            let chunk = tiles.len().div_ceil(self.config.threads);
+            let results = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = tiles
+                    .chunks(chunk)
+                    .map(|batch| scope.spawn(move |_| worker(batch)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("tile adjustment worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("crossbeam scope failed");
+            for (outputs, local) in results {
+                stats.foveal_tiles += local.foveal_tiles;
+                stats.case1_tiles += local.case1_tiles;
+                stats.case2_tiles += local.case2_tiles;
+                for (tile, pixels) in outputs {
+                    adjusted.write_tile(tile, &pixels);
+                }
+            }
+        }
+
+        (adjusted, stats)
+    }
+
+    /// Runs the complete pipeline of Fig. 7: adjust colors, gamma-encode to
+    /// sRGB and compress with the existing BD encoder. The result also
+    /// carries the BD encoding of the *unadjusted* frame so callers can
+    /// compare against the state-of-the-art baseline directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame and display dimensions differ.
+    pub fn encode_frame(
+        &self,
+        frame: &LinearFrame,
+        display: &DisplayGeometry,
+        gaze: GazePoint,
+    ) -> PerceptualEncodeResult {
+        let (adjusted_linear, stats) = self.adjust_frame(frame, display, gaze);
+        let bd = BdEncoder::new(BdConfig::with_tile_size(self.config.tile_size));
+        let original = frame.to_srgb();
+        let adjusted = adjusted_linear.to_srgb();
+        let encoded = bd.encode_frame(&adjusted);
+        let baseline = bd.encode_frame(&original);
+        PerceptualEncodeResult { original, adjusted, encoded, baseline, stats }
+    }
+}
+
+/// Everything produced by one invocation of the perceptual encoder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerceptualEncodeResult {
+    /// The unadjusted frame, gamma-encoded (what BD alone would compress).
+    pub original: SrgbFrame,
+    /// The perceptually adjusted frame, gamma-encoded.
+    pub adjusted: SrgbFrame,
+    /// BD encoding of the adjusted frame — "ours" in the paper's figures.
+    pub encoded: BdEncodedFrame,
+    /// BD encoding of the original frame — the "BD" baseline.
+    pub baseline: BdEncodedFrame,
+    /// Per-tile adjustment statistics.
+    pub stats: AdjustmentStats,
+}
+
+impl PerceptualEncodeResult {
+    /// Compression statistics of the perceptual encoding.
+    pub fn our_stats(&self) -> CompressionStats {
+        self.encoded.stats()
+    }
+
+    /// Compression statistics of the plain BD baseline.
+    pub fn bd_stats(&self) -> CompressionStats {
+        self.baseline.stats()
+    }
+
+    /// Traffic reduction of the perceptual encoding over plain BD, percent.
+    pub fn reduction_over_bd_percent(&self) -> f64 {
+        self.our_stats().reduction_over(&self.bd_stats())
+    }
+
+    /// Traffic reduction of the perceptual encoding over uncompressed
+    /// frames, percent (the main number of Fig. 10).
+    pub fn reduction_over_uncompressed_percent(&self) -> f64 {
+        self.our_stats().bandwidth_reduction_percent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_color::{DiscriminationModel, SyntheticDiscriminationModel};
+    use pvc_fovea::FoveaConfig;
+    use pvc_frame::Dimensions;
+    use pvc_scenes::{SceneConfig, SceneId, SceneRenderer};
+
+    fn test_frame(scene: SceneId) -> LinearFrame {
+        SceneRenderer::new(scene, SceneConfig::new(Dimensions::new(128, 96))).render_linear(0)
+    }
+
+    fn encoder() -> PerceptualEncoder<SyntheticDiscriminationModel> {
+        PerceptualEncoder::new(SyntheticDiscriminationModel::default(), EncoderConfig::default())
+    }
+
+    #[test]
+    fn adjusted_frame_beats_bd_on_every_scene() {
+        for scene in SceneId::ALL {
+            let frame = test_frame(scene);
+            let display = DisplayGeometry::quest2_like(frame.dimensions());
+            let gaze = GazePoint::center_of(frame.dimensions());
+            let result = encoder().encode_frame(&frame, &display, gaze);
+            assert!(
+                result.reduction_over_bd_percent() > 0.0,
+                "{scene}: ours must not be larger than BD"
+            );
+            assert!(
+                result.reduction_over_uncompressed_percent()
+                    > result.bd_stats().bandwidth_reduction_percent(),
+                "{scene}: ours must beat BD vs uncompressed too"
+            );
+        }
+    }
+
+    #[test]
+    fn adjustment_respects_perceptual_constraints() {
+        // Every adjusted pixel must stay within the discrimination ellipsoid
+        // of its original color at that tile's eccentricity.
+        let frame = test_frame(SceneId::Office);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let gaze = GazePoint::center_of(frame.dimensions());
+        let enc = encoder();
+        let (adjusted, _) = enc.adjust_frame(&frame, &display, gaze);
+        let grid = TileGrid::new(frame.dimensions(), enc.config().tile_size);
+        let map = EccentricityMap::per_tile(&display, &grid, gaze, enc.config().fovea);
+        let model = SyntheticDiscriminationModel::default();
+        for tile in grid.tiles() {
+            let ecc = map.tile_eccentricity(tile);
+            for (orig, adj) in frame.tile_pixels(tile).iter().zip(adjusted.tile_pixels(tile)) {
+                let ellipsoid = model.ellipsoid(*orig, ecc);
+                assert!(
+                    ellipsoid.contains_rgb(adj, 1e-6),
+                    "adjusted pixel escaped its ellipsoid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foveal_tiles_are_bit_exact() {
+        let frame = test_frame(SceneId::Thai);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let gaze = GazePoint::center_of(frame.dimensions());
+        let enc = encoder();
+        let (adjusted, stats) = enc.adjust_frame(&frame, &display, gaze);
+        assert!(stats.foveal_tiles > 0, "a centrally-fixated frame must have foveal tiles");
+        let grid = TileGrid::new(frame.dimensions(), enc.config().tile_size);
+        let map = EccentricityMap::per_tile(&display, &grid, gaze, enc.config().fovea);
+        for tile in grid.tiles() {
+            if map.is_foveal_tile(tile) {
+                assert_eq!(frame.tile_pixels(tile), adjusted.tile_pixels(tile));
+            }
+        }
+    }
+
+    #[test]
+    fn decoding_reconstructs_the_adjusted_frame_exactly() {
+        // Our scheme is numerically lossy w.r.t. the original frame but the
+        // BD stage stays lossless: decode(encode(adjusted)) == adjusted.
+        let frame = test_frame(SceneId::Skyline);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let gaze = GazePoint::center_of(frame.dimensions());
+        let result = encoder().encode_frame(&frame, &display, gaze);
+        assert_eq!(result.encoded.decode(), result.adjusted);
+        assert_eq!(result.baseline.decode(), result.original);
+        assert_ne!(result.adjusted, result.original, "adjustment must change peripheral pixels");
+    }
+
+    #[test]
+    fn statistics_account_for_every_tile() {
+        let frame = test_frame(SceneId::Fortnite);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let gaze = GazePoint::center_of(frame.dimensions());
+        let result = encoder().encode_frame(&frame, &display, gaze);
+        let s = result.stats;
+        assert_eq!(s.total_tiles, s.foveal_tiles + s.adjusted_tiles());
+        assert!(s.case2_tiles > 0, "smooth scenes should exercise case 2");
+    }
+
+    #[test]
+    fn multithreaded_encoding_matches_sequential() {
+        let frame = test_frame(SceneId::Monkey);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let gaze = GazePoint::center_of(frame.dimensions());
+        let sequential = PerceptualEncoder::new(
+            SyntheticDiscriminationModel::default(),
+            EncoderConfig::default().with_threads(1),
+        )
+        .encode_frame(&frame, &display, gaze);
+        let parallel = PerceptualEncoder::new(
+            SyntheticDiscriminationModel::default(),
+            EncoderConfig::default().with_threads(4),
+        )
+        .encode_frame(&frame, &display, gaze);
+        assert_eq!(sequential.adjusted, parallel.adjusted);
+        assert_eq!(sequential.stats, parallel.stats);
+    }
+
+    #[test]
+    fn disabling_the_fovea_adjusts_every_tile() {
+        let frame = test_frame(SceneId::Office);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let gaze = GazePoint::center_of(frame.dimensions());
+        let enc = PerceptualEncoder::new(
+            SyntheticDiscriminationModel::default(),
+            EncoderConfig::default().with_fovea(FoveaConfig::disabled()),
+        );
+        let (_, stats) = enc.adjust_frame(&frame, &display, gaze);
+        assert_eq!(stats.foveal_tiles, 0);
+        assert_eq!(stats.adjusted_tiles(), stats.total_tiles);
+    }
+
+    #[test]
+    fn off_center_gaze_shifts_the_protected_region() {
+        let frame = test_frame(SceneId::Office);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let corner_gaze = GazePoint::new(8.0, 8.0);
+        let enc = encoder();
+        let (adjusted, _) = enc.adjust_frame(&frame, &display, corner_gaze);
+        // The corner tile is now foveal and must be untouched...
+        let grid = TileGrid::new(frame.dimensions(), enc.config().tile_size);
+        let corner = grid.tile(0, 0);
+        assert_eq!(frame.tile_pixels(corner), adjusted.tile_pixels(corner));
+        // ... while the frame as a whole still changed.
+        assert_ne!(frame.to_srgb(), adjusted.to_srgb());
+    }
+
+    #[test]
+    fn peripheral_gain_exceeds_foveal_gain() {
+        // A model with larger thresholds in the periphery should let tiles
+        // far from the gaze compress better than the same content near the
+        // gaze. Use a uniform-gradient frame so content is comparable.
+        let dims = Dimensions::new(160, 96);
+        let mut frame = LinearFrame::filled(dims, LinearRgb::BLACK);
+        for y in 0..dims.height {
+            for x in 0..dims.width {
+                let t = f64::from(x) / f64::from(dims.width);
+                let s = f64::from(y) / f64::from(dims.height);
+                frame.set_pixel(x, y, LinearRgb::new(0.3 + 0.05 * t, 0.4 + 0.04 * s, 0.35 + 0.06 * t));
+            }
+        }
+        let display = DisplayGeometry::quest2_like(dims);
+        let enc = encoder();
+        let center = enc.encode_frame(&frame, &display, GazePoint::center_of(dims));
+        let off_screen_gaze = GazePoint::new(-2000.0, -2000.0);
+        let all_peripheral = enc.encode_frame(&frame, &display, off_screen_gaze);
+        assert!(
+            all_peripheral.our_stats().compressed_bits <= center.our_stats().compressed_bits,
+            "fully peripheral frame should compress at least as well"
+        );
+    }
+}

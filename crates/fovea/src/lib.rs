@@ -1,0 +1,38 @@
+//! Display geometry and retinal eccentricity for wide-FoV VR headsets.
+//!
+//! The discrimination thresholds the encoder exploits depend on *retinal
+//! eccentricity*: the angle between a pixel's viewing direction and the
+//! user's current gaze direction. This crate models the headset display as a
+//! flat image plane seen through a pinhole with a given field of view,
+//! computes per-pixel (or per-tile) eccentricities for a gaze position, and
+//! provides the stereo (two sub-frames, one per eye) layout used by the
+//! paper's scenes.
+//!
+//! Following the paper's methodology (Sec. 5.1), pixels within a small
+//! central region around fixation are left untouched by the encoder; the
+//! [`FoveaConfig`] captures that radius.
+//!
+//! # Examples
+//!
+//! ```
+//! use pvc_fovea::{DisplayGeometry, GazePoint};
+//! use pvc_frame::Dimensions;
+//!
+//! let display = DisplayGeometry::quest2_like(Dimensions::new(1832, 1920));
+//! let gaze = GazePoint::center_of(display.dimensions());
+//! let ecc_center = display.eccentricity_deg(916.0, 960.0, gaze);
+//! let ecc_corner = display.eccentricity_deg(0.0, 0.0, gaze);
+//! assert!(ecc_center < 1.0);
+//! assert!(ecc_corner > 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eccentricity;
+pub mod geometry;
+pub mod stereo;
+
+pub use eccentricity::{EccentricityMap, FoveaConfig};
+pub use geometry::{DisplayGeometry, GazePoint};
+pub use stereo::{Eye, StereoGeometry};

@@ -1,0 +1,350 @@
+//! Owned frame buffers in sRGB and linear RGB.
+
+use crate::tile::TileRect;
+use pvc_color::{LinearRgb, Srgb8};
+use serde::{Deserialize, Serialize};
+
+/// Width and height of a frame in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dimensions {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl Dimensions {
+    /// The lowest rendering resolution of the Oculus Quest 2 referenced in
+    /// the paper's power evaluation (Fig. 13).
+    pub const QUEST2_LOW: Dimensions = Dimensions { width: 4128, height: 2096 };
+    /// The highest rendering resolution of the Oculus Quest 2 (Fig. 13 and
+    /// the CAU latency estimate of Sec. 6.1).
+    pub const QUEST2_HIGH: Dimensions = Dimensions { width: 5408, height: 2736 };
+
+    /// Creates a dimensions value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be non-zero");
+        Dimensions { width, height }
+    }
+
+    /// Total number of pixels.
+    #[inline]
+    pub fn pixel_count(self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Number of bytes of an uncompressed 24-bit frame of this size.
+    #[inline]
+    pub fn uncompressed_bytes(self) -> usize {
+        self.pixel_count() * 3
+    }
+
+    /// True if the pixel coordinate lies inside the frame.
+    #[inline]
+    pub fn contains(self, x: u32, y: u32) -> bool {
+        x < self.width && y < self.height
+    }
+}
+
+impl std::fmt::Display for Dimensions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// Errors produced by frame operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The supplied pixel buffer does not match the stated dimensions.
+    SizeMismatch {
+        /// Number of pixels implied by the dimensions.
+        expected: usize,
+        /// Number of pixels actually supplied.
+        actual: usize,
+    },
+    /// Two frames that must have identical dimensions do not.
+    DimensionMismatch {
+        /// Dimensions of the first frame.
+        left: Dimensions,
+        /// Dimensions of the second frame.
+        right: Dimensions,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::SizeMismatch { expected, actual } => {
+                write!(f, "pixel buffer holds {actual} pixels but dimensions require {expected}")
+            }
+            FrameError::DimensionMismatch { left, right } => {
+                write!(f, "frame dimensions differ: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+macro_rules! impl_frame_common {
+    ($name:ident, $pixel:ty, $doc_pixel:literal) => {
+        impl $name {
+            /// Creates a frame filled with a single pixel value.
+            pub fn filled(dimensions: Dimensions, pixel: $pixel) -> Self {
+                $name { dimensions, pixels: vec![pixel; dimensions.pixel_count()] }
+            }
+
+            /// Creates a frame from an existing pixel buffer in row-major order.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`FrameError::SizeMismatch`] when the buffer length does
+            /// not equal `width * height`.
+            pub fn from_pixels(
+                dimensions: Dimensions,
+                pixels: Vec<$pixel>,
+            ) -> Result<Self, FrameError> {
+                if pixels.len() != dimensions.pixel_count() {
+                    return Err(FrameError::SizeMismatch {
+                        expected: dimensions.pixel_count(),
+                        actual: pixels.len(),
+                    });
+                }
+                Ok($name { dimensions, pixels })
+            }
+
+            /// Frame dimensions.
+            #[inline]
+            pub fn dimensions(&self) -> Dimensions {
+                self.dimensions
+            }
+
+            /// Frame width in pixels.
+            #[inline]
+            pub fn width(&self) -> u32 {
+                self.dimensions.width
+            }
+
+            /// Frame height in pixels.
+            #[inline]
+            pub fn height(&self) -> u32 {
+                self.dimensions.height
+            }
+
+            /// The row-major pixel buffer.
+            #[inline]
+            pub fn pixels(&self) -> &[$pixel] {
+                &self.pixels
+            }
+
+            /// Mutable access to the row-major pixel buffer.
+            #[inline]
+            pub fn pixels_mut(&mut self) -> &mut [$pixel] {
+                &mut self.pixels
+            }
+
+            #[doc = concat!("Returns the ", $doc_pixel, " at `(x, y)`.")]
+            ///
+            /// # Panics
+            ///
+            /// Panics if the coordinate is outside the frame.
+            #[inline]
+            pub fn pixel(&self, x: u32, y: u32) -> $pixel {
+                assert!(self.dimensions.contains(x, y), "pixel ({x}, {y}) out of bounds");
+                self.pixels[y as usize * self.dimensions.width as usize + x as usize]
+            }
+
+            #[doc = concat!("Sets the ", $doc_pixel, " at `(x, y)`.")]
+            ///
+            /// # Panics
+            ///
+            /// Panics if the coordinate is outside the frame.
+            #[inline]
+            pub fn set_pixel(&mut self, x: u32, y: u32, value: $pixel) {
+                assert!(self.dimensions.contains(x, y), "pixel ({x}, {y}) out of bounds");
+                self.pixels[y as usize * self.dimensions.width as usize + x as usize] = value;
+            }
+
+            /// Extracts the pixels of a tile in row-major order.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the tile extends outside the frame.
+            pub fn tile_pixels(&self, tile: TileRect) -> Vec<$pixel> {
+                let mut out = Vec::with_capacity((tile.width * tile.height) as usize);
+                for dy in 0..tile.height {
+                    for dx in 0..tile.width {
+                        out.push(self.pixel(tile.x + dx, tile.y + dy));
+                    }
+                }
+                out
+            }
+
+            /// Writes a tile's pixels (row-major, as produced by
+            /// [`Self::tile_pixels`]) back into the frame.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the tile extends outside the frame or the pixel count
+            /// does not match the tile area.
+            pub fn write_tile(&mut self, tile: TileRect, pixels: &[$pixel]) {
+                assert_eq!(
+                    pixels.len(),
+                    (tile.width * tile.height) as usize,
+                    "tile pixel count mismatch"
+                );
+                let mut it = pixels.iter();
+                for dy in 0..tile.height {
+                    for dx in 0..tile.width {
+                        self.set_pixel(tile.x + dx, tile.y + dy, *it.next().expect("sized above"));
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// A frame stored in the 8-bit sRGB encoding (what the framebuffer holds).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SrgbFrame {
+    dimensions: Dimensions,
+    pixels: Vec<Srgb8>,
+}
+
+impl_frame_common!(SrgbFrame, Srgb8, "sRGB pixel");
+
+impl SrgbFrame {
+    /// Expands the frame into the linear RGB working space (what the GPU
+    /// produced before gamma encoding).
+    pub fn to_linear(&self) -> LinearFrame {
+        LinearFrame {
+            dimensions: self.dimensions,
+            pixels: self.pixels.iter().map(|p| p.to_linear()).collect(),
+        }
+    }
+
+    /// Number of bytes of the frame when stored uncompressed (24 bpp).
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.dimensions.uncompressed_bytes()
+    }
+}
+
+/// A frame stored in linear RGB (the space where color adjustment happens).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearFrame {
+    dimensions: Dimensions,
+    pixels: Vec<LinearRgb>,
+}
+
+impl_frame_common!(LinearFrame, LinearRgb, "linear RGB pixel");
+
+impl LinearFrame {
+    /// Gamma-encodes and quantizes the frame into 8-bit sRGB.
+    pub fn to_srgb(&self) -> SrgbFrame {
+        SrgbFrame {
+            dimensions: self.dimensions,
+            pixels: self.pixels.iter().map(|p| p.to_srgb8()).collect(),
+        }
+    }
+
+    /// Clamps every pixel into the `[0, 1]` gamut.
+    pub fn clamp_in_place(&mut self) {
+        for p in &mut self.pixels {
+            *p = p.clamped();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::TileGrid;
+
+    #[test]
+    fn dimensions_pixel_count_and_bytes() {
+        let d = Dimensions::new(4, 3);
+        assert_eq!(d.pixel_count(), 12);
+        assert_eq!(d.uncompressed_bytes(), 36);
+        assert_eq!(d.to_string(), "4x3");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimensions_panic() {
+        let _ = Dimensions::new(0, 7);
+    }
+
+    #[test]
+    fn quest2_resolutions_match_paper() {
+        assert_eq!(Dimensions::QUEST2_LOW.to_string(), "4128x2096");
+        assert_eq!(Dimensions::QUEST2_HIGH.to_string(), "5408x2736");
+    }
+
+    #[test]
+    fn from_pixels_validates_length() {
+        let d = Dimensions::new(2, 2);
+        let err = SrgbFrame::from_pixels(d, vec![Srgb8::default(); 3]).unwrap_err();
+        assert_eq!(err, FrameError::SizeMismatch { expected: 4, actual: 3 });
+        assert!(err.to_string().contains("pixels"));
+        assert!(SrgbFrame::from_pixels(d, vec![Srgb8::default(); 4]).is_ok());
+    }
+
+    #[test]
+    fn pixel_get_set_roundtrip() {
+        let mut f = SrgbFrame::filled(Dimensions::new(3, 2), Srgb8::new(0, 0, 0));
+        f.set_pixel(2, 1, Srgb8::new(9, 8, 7));
+        assert_eq!(f.pixel(2, 1), Srgb8::new(9, 8, 7));
+        assert_eq!(f.pixel(0, 0), Srgb8::new(0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_pixel_panics() {
+        let f = SrgbFrame::filled(Dimensions::new(3, 2), Srgb8::default());
+        let _ = f.pixel(3, 0);
+    }
+
+    #[test]
+    fn tile_extraction_and_write_back() {
+        let d = Dimensions::new(8, 8);
+        let mut f = SrgbFrame::filled(d, Srgb8::new(1, 1, 1));
+        let grid = TileGrid::new(d, 4);
+        let tile = grid.tiles().nth(3).unwrap();
+        let mut pixels = f.tile_pixels(tile);
+        assert_eq!(pixels.len(), 16);
+        for p in &mut pixels {
+            *p = Srgb8::new(200, 100, 50);
+        }
+        f.write_tile(tile, &pixels);
+        assert_eq!(f.pixel(tile.x, tile.y), Srgb8::new(200, 100, 50));
+        assert_eq!(f.pixel(0, 0), Srgb8::new(1, 1, 1));
+    }
+
+    #[test]
+    fn linear_srgb_frame_roundtrip_via_codes() {
+        let d = Dimensions::new(4, 4);
+        let mut f = SrgbFrame::filled(d, Srgb8::new(0, 0, 0));
+        for (i, p) in f.pixels_mut().iter_mut().enumerate() {
+            *p = Srgb8::new((i * 13 % 256) as u8, (i * 29 % 256) as u8, (i * 7 % 256) as u8);
+        }
+        let roundtrip = f.to_linear().to_srgb();
+        assert_eq!(roundtrip, f);
+    }
+
+    #[test]
+    fn clamp_in_place_restores_gamut() {
+        let d = Dimensions::new(2, 1);
+        let mut f = LinearFrame::from_pixels(
+            d,
+            vec![LinearRgb::new(-0.2, 0.5, 1.4), LinearRgb::new(0.1, 0.2, 0.3)],
+        )
+        .unwrap();
+        f.clamp_in_place();
+        assert!(f.pixel(0, 0).in_gamut(0.0));
+        assert_eq!(f.pixel(1, 0), LinearRgb::new(0.1, 0.2, 0.3));
+    }
+}

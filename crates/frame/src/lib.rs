@@ -1,0 +1,38 @@
+//! Frame and tile infrastructure for the perceptual VR encoder.
+//!
+//! A VR frame is a dense 2-D grid of pixels. The framebuffer compression
+//! pipeline operates on small square *tiles* (4×4 by default), so this crate
+//! provides:
+//!
+//! * [`SrgbFrame`] / [`LinearFrame`] — owned frame buffers in the 8-bit sRGB
+//!   encoding and in the linear working space, with conversions in the
+//!   direction the hardware performs them,
+//! * [`Dimensions`] — frame sizes, including the Quest 2 resolutions used in
+//!   the paper's power evaluation,
+//! * [`TileGrid`] / [`TileRect`] — tiling of a frame into fixed-size tiles
+//!   (edge tiles are clipped), plus extraction and write-back of tile pixel
+//!   blocks.
+//!
+//! # Examples
+//!
+//! ```
+//! use pvc_frame::{Dimensions, SrgbFrame, TileGrid};
+//! use pvc_color::Srgb8;
+//!
+//! let frame = SrgbFrame::filled(Dimensions::new(8, 8), Srgb8::new(10, 20, 30));
+//! let grid = TileGrid::new(frame.dimensions(), 4);
+//! assert_eq!(grid.tile_count(), 4);
+//! for tile in grid.tiles() {
+//!     let pixels = frame.tile_pixels(tile);
+//!     assert_eq!(pixels.len(), 16);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod tile;
+
+pub use frame::{Dimensions, FrameError, LinearFrame, SrgbFrame};
+pub use tile::{TileGrid, TileRect, Tiles, DEFAULT_TILE_SIZE};

@@ -1,0 +1,216 @@
+//! End-to-end power-saving model (Fig. 13).
+
+use crate::cau::CauModel;
+use crate::dram::DramConfig;
+use pvc_bdc::CompressionStats;
+use pvc_frame::Dimensions;
+use serde::{Deserialize, Serialize};
+
+/// The display refresh rates available on the Quest 2 (Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefreshRate {
+    /// 72 Hz (default).
+    Hz72,
+    /// 80 Hz.
+    Hz80,
+    /// 90 Hz.
+    Hz90,
+    /// 120 Hz (experimental mode).
+    Hz120,
+}
+
+impl RefreshRate {
+    /// All refresh rates in ascending order.
+    pub const ALL: [RefreshRate; 4] =
+        [RefreshRate::Hz72, RefreshRate::Hz80, RefreshRate::Hz90, RefreshRate::Hz120];
+
+    /// The refresh rate in frames per second.
+    pub fn fps(self) -> f64 {
+        match self {
+            RefreshRate::Hz72 => 72.0,
+            RefreshRate::Hz80 => 80.0,
+            RefreshRate::Hz90 => 90.0,
+            RefreshRate::Hz120 => 120.0,
+        }
+    }
+}
+
+impl std::fmt::Display for RefreshRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} FPS", self.fps())
+    }
+}
+
+/// Where the saved (and spent) power goes for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Resolution the frames are rendered at.
+    pub dimensions: Dimensions,
+    /// Refresh rate in frames per second.
+    pub fps: f64,
+    /// DRAM power of the baseline encoding, in milliwatts.
+    pub baseline_dram_mw: f64,
+    /// DRAM power of our encoding, in milliwatts.
+    pub ours_dram_mw: f64,
+    /// Power overhead of the CAU itself, in milliwatts.
+    pub cau_overhead_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Net power saving of our scheme over the baseline (DRAM savings minus
+    /// CAU overhead), in milliwatts.
+    pub fn net_saving_mw(&self) -> f64 {
+        self.baseline_dram_mw - self.ours_dram_mw - self.cau_overhead_mw
+    }
+
+    /// Net power saving expressed in watts, as plotted in Fig. 13.
+    pub fn net_saving_w(&self) -> f64 {
+        self.net_saving_mw() * 1e-3
+    }
+}
+
+/// Combines the DRAM energy model and the CAU model into the power-saving
+/// analysis of Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// DRAM energy parameters.
+    pub dram: DramConfig,
+    /// CAU hardware model.
+    pub cau: CauModel,
+}
+
+impl PowerModel {
+    /// Creates a power model.
+    pub fn new(dram: DramConfig, cau: CauModel) -> Self {
+        PowerModel { dram, cau }
+    }
+
+    /// Computes the power breakdown of our scheme against a baseline, given
+    /// the *per-frame* compression statistics measured at some (possibly
+    /// smaller) evaluation resolution. The bits-per-pixel of each encoding
+    /// are scaled up to the target resolution, mirroring how the paper
+    /// projects scene-level measurements onto device resolutions.
+    pub fn breakdown(
+        &self,
+        baseline: &CompressionStats,
+        ours: &CompressionStats,
+        dimensions: Dimensions,
+        rate: RefreshRate,
+    ) -> PowerBreakdown {
+        let pixels = dimensions.pixel_count() as f64;
+        let fps = rate.fps();
+        let to_mw = |bits_per_pixel: f64| {
+            bits_per_pixel * pixels / 8.0 * self.dram.energy_per_byte_pj * 1e-9 * fps
+        };
+        PowerBreakdown {
+            dimensions,
+            fps,
+            baseline_dram_mw: to_mw(baseline.bits_per_pixel()),
+            ours_dram_mw: to_mw(ours.bits_per_pixel()),
+            cau_overhead_mw: self.cau.total_power_mw(),
+        }
+    }
+
+    /// Sweeps the Quest 2 resolution / refresh-rate grid of Fig. 13.
+    pub fn quest2_sweep(
+        &self,
+        baseline: &CompressionStats,
+        ours: &CompressionStats,
+    ) -> Vec<PowerBreakdown> {
+        let mut out = Vec::new();
+        for dimensions in [Dimensions::QUEST2_LOW, Dimensions::QUEST2_HIGH] {
+            for rate in RefreshRate::ALL {
+                out.push(self.breakdown(baseline, ours, dimensions, rate));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_bdc::SizeBreakdown;
+
+    fn stats_of_bpp(bpp: f64) -> CompressionStats {
+        let pixels = 10_000usize;
+        CompressionStats::from_breakdown(
+            pixels,
+            SizeBreakdown {
+                base_bits: 0,
+                metadata_bits: 0,
+                delta_bits: (bpp * pixels as f64) as u64,
+            },
+        )
+    }
+
+    #[test]
+    fn refresh_rates_cover_the_quest2_modes() {
+        let fps: Vec<f64> = RefreshRate::ALL.iter().map(|r| r.fps()).collect();
+        assert_eq!(fps, vec![72.0, 80.0, 90.0, 120.0]);
+        assert_eq!(RefreshRate::Hz90.to_string(), "90 FPS");
+    }
+
+    #[test]
+    fn saving_grows_with_resolution_and_refresh_rate() {
+        let model = PowerModel::default();
+        let sweep = model.quest2_sweep(&stats_of_bpp(11.0), &stats_of_bpp(9.0));
+        assert_eq!(sweep.len(), 8);
+        let lowest = sweep.first().unwrap().net_saving_w();
+        let highest = sweep.last().unwrap().net_saving_w();
+        assert!(highest > lowest);
+        // Every configuration must save power when we genuinely reduce bits.
+        assert!(sweep.iter().all(|b| b.net_saving_w() > 0.0));
+    }
+
+    #[test]
+    fn paper_scale_savings_for_two_bpp_reduction() {
+        // The paper's Fig. 13 spans ~0.18 W (lowest) to ~0.51 W (highest)
+        // for its measured traffic reduction; a ~2 bpp reduction reproduces
+        // that range with the default DRAM model.
+        let model = PowerModel::default();
+        let low = model.breakdown(
+            &stats_of_bpp(11.0),
+            &stats_of_bpp(9.0),
+            Dimensions::QUEST2_LOW,
+            RefreshRate::Hz72,
+        );
+        let high = model.breakdown(
+            &stats_of_bpp(11.0),
+            &stats_of_bpp(9.0),
+            Dimensions::QUEST2_HIGH,
+            RefreshRate::Hz120,
+        );
+        assert!((low.net_saving_w() - 0.18).abs() < 0.05, "low {}", low.net_saving_w());
+        assert!((high.net_saving_w() - 0.51).abs() < 0.08, "high {}", high.net_saving_w());
+    }
+
+    #[test]
+    fn cau_overhead_is_charged() {
+        let model = PowerModel::default();
+        let b = model.breakdown(
+            &stats_of_bpp(10.0),
+            &stats_of_bpp(10.0),
+            Dimensions::QUEST2_LOW,
+            RefreshRate::Hz72,
+        );
+        // Identical traffic → the net saving is exactly the (negative) CAU
+        // overhead.
+        assert!((b.net_saving_mw() + model.cau.total_power_mw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_uses_bits_per_pixel_scaling() {
+        let model = PowerModel::default();
+        let b = model.breakdown(
+            &stats_of_bpp(24.0),
+            &stats_of_bpp(12.0),
+            Dimensions::QUEST2_HIGH,
+            RefreshRate::Hz72,
+        );
+        // Halving 24 bpp at this resolution and rate must save roughly half
+        // of the uncompressed DRAM streaming power.
+        let uncompressed_mw = b.baseline_dram_mw;
+        assert!((b.ours_dram_mw * 2.0 - uncompressed_mw).abs() < 1e-6);
+    }
+}

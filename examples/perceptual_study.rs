@@ -1,0 +1,61 @@
+//! Simulated psychophysical study: encode every scene, show the adjusted
+//! frames to a population of simulated observers and count who notices
+//! artifacts (the protocol behind Fig. 14).
+//!
+//! Run with: `cargo run --release --example perceptual_study`
+
+use perceptual_vr_encoding::prelude::*;
+
+fn main() {
+    let dims = Dimensions::new(256, 256);
+    let display = DisplayGeometry::quest2_like(dims);
+    let gaze = GazePoint::center_of(dims);
+    let model = SyntheticDiscriminationModel::default();
+    let encoder = PerceptualEncoder::new(model, EncoderConfig::default());
+    let grid_size = EncoderConfig::default().tile_size;
+    let map = EccentricityMap::per_tile(
+        &display,
+        &TileGrid::new(dims, grid_size),
+        gaze,
+        FoveaConfig::default(),
+    );
+
+    // Build one trial per scene from the original/adjusted frame pair.
+    let trials: Vec<SceneTrial> = SceneId::ALL
+        .iter()
+        .map(|&scene| {
+            let frame = SceneRenderer::new(scene, SceneConfig::new(dims)).render_linear(0);
+            let (adjusted, _) = encoder.adjust_frame(&frame, &display, gaze);
+            SceneTrial::from_frames(scene.name(), &frame, &adjusted, &map, &model)
+        })
+        .collect();
+
+    // 11 simulated participants, as in the paper's IRB study.
+    let study = UserStudy::new(StudyConfig::default());
+    println!("observer sensitivity scales:");
+    for o in study.population().observers() {
+        println!(
+            "  participant {:>2}: scale {:.2}{}",
+            o.id + 1,
+            o.sensitivity_scale,
+            if o.is_color_sensitive() { "  (color-sensitive)" } else { "" }
+        );
+    }
+
+    let outcome = study.run(&trials);
+    println!("\nscene      did-not-notice (of {})", outcome.observers);
+    for scene in &outcome.scenes {
+        println!(
+            "{:>9}  {:>2}   {}",
+            scene.scene_name,
+            scene.did_not_notice,
+            "#".repeat(scene.did_not_notice)
+        );
+    }
+    println!(
+        "\non average {:.1} of {} participants noticed artifacts (std dev {:.1})",
+        outcome.mean_noticed(),
+        outcome.observers,
+        outcome.std_dev_noticed()
+    );
+}

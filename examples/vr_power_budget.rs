@@ -1,0 +1,70 @@
+//! Power budgeting: measure the encoder's traffic on every scene and
+//! project the DRAM power savings across the Quest 2's resolution and
+//! refresh-rate options, including the CAU's own overhead and latency.
+//!
+//! Run with: `cargo run --release --example vr_power_budget`
+
+use perceptual_vr_encoding::prelude::*;
+
+fn main() {
+    let dims = Dimensions::new(256, 256);
+    let display = DisplayGeometry::quest2_like(dims);
+    let gaze = GazePoint::center_of(dims);
+    let encoder = PerceptualEncoder::new(
+        SyntheticDiscriminationModel::default(),
+        EncoderConfig::default(),
+    );
+
+    // Average bits/pixel of BD and of our encoding across the six scenes.
+    let mut bd_bpp = 0.0;
+    let mut ours_bpp = 0.0;
+    for scene in SceneId::ALL {
+        let frame = SceneRenderer::new(scene, SceneConfig::new(dims)).render_linear(0);
+        let result = encoder.encode_frame(&frame, &display, gaze);
+        bd_bpp += result.bd_stats().bits_per_pixel();
+        ours_bpp += result.our_stats().bits_per_pixel();
+        println!(
+            "{:>9}: BD {:>5.2} bpp → ours {:>5.2} bpp",
+            scene.name(),
+            result.bd_stats().bits_per_pixel(),
+            result.our_stats().bits_per_pixel()
+        );
+    }
+    bd_bpp /= SceneId::ALL.len() as f64;
+    ours_bpp /= SceneId::ALL.len() as f64;
+    println!("\naverage: BD {bd_bpp:.2} bpp, ours {ours_bpp:.2} bpp\n");
+
+    // Project onto device resolutions and refresh rates (Fig. 13).
+    let to_stats = |bpp: f64| {
+        CompressionStats::from_breakdown(
+            1_000_000,
+            pvc_bdc::SizeBreakdown {
+                base_bits: 0,
+                metadata_bits: 0,
+                delta_bits: (bpp * 1_000_000.0) as u64,
+            },
+        )
+    };
+    let power = PowerModel::default();
+    println!("{:>12} {:>8} {:>12} {:>12}", "resolution", "fps", "saving (W)", "CAU fits?");
+    for breakdown in power.quest2_sweep(&to_stats(bd_bpp), &to_stats(ours_bpp)) {
+        let fits = power.cau.meets_frame_budget(breakdown.dimensions, breakdown.fps);
+        println!(
+            "{:>12} {:>8} {:>12.3} {:>12}",
+            breakdown.dimensions.to_string(),
+            breakdown.fps,
+            breakdown.net_saving_w(),
+            if fits { "yes" } else { "NO" }
+        );
+    }
+
+    // The hardware summary of Sec. 6.1.
+    let cau = CauModel::default();
+    println!(
+        "\nCAU: {:.1} MHz, {:.2} mm^2, {:.1} µW, {:.1} µs per 5408x2736 frame",
+        cau.frequency_mhz(),
+        cau.total_area_mm2(),
+        cau.total_power_mw() * 1000.0,
+        cau.frame_latency_us(Dimensions::QUEST2_HIGH)
+    );
+}

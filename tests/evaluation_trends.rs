@@ -1,0 +1,118 @@
+//! Integration tests asserting the *shape* of the paper's evaluation
+//! results: baseline orderings (Fig. 10), the case distribution (Fig. 12),
+//! the tile-size trend (Fig. 15), the power model (Fig. 13) and the
+//! simulated study (Fig. 14).
+
+use perceptual_vr_encoding::prelude::*;
+use pvc_bench::{
+    fig12_case_distribution, fig13_power_saving, fig14_user_study, measure_all_scenes,
+    ExperimentConfig,
+};
+use pvc_study::StudyConfig;
+
+fn quick_measurements() -> Vec<pvc_bench::SceneMeasurement> {
+    measure_all_scenes(&ExperimentConfig::quick())
+}
+
+#[test]
+fn fig10_shape_ours_beats_nocom_and_bd_everywhere() {
+    for m in quick_measurements() {
+        assert!(
+            m.reduction_over_nocom() > 40.0,
+            "{}: reduction over NoCom only {:.1}%",
+            m.scene.name(),
+            m.reduction_over_nocom()
+        );
+        assert!(m.reduction_over_bd() > 0.0, "{}: must beat BD", m.scene.name());
+        assert!(
+            m.bd.bandwidth_reduction_percent() > 0.0,
+            "{}: BD must beat NoCom",
+            m.scene.name()
+        );
+    }
+}
+
+#[test]
+fn fig11_shape_savings_come_from_delta_bits() {
+    for m in quick_measurements() {
+        let bd = m.bd.breakdown;
+        let ours = m.ours.breakdown;
+        // Base and metadata costs are identical by construction; the entire
+        // difference is in the Δ payload, as Fig. 11 shows.
+        assert_eq!(bd.base_bits, ours.base_bits);
+        assert_eq!(bd.metadata_bits, ours.metadata_bits);
+        assert!(ours.delta_bits <= bd.delta_bits);
+    }
+}
+
+#[test]
+fn fig12_shape_case2_dominates() {
+    let fig = fig12_case_distribution(&quick_measurements());
+    let average = fig.rows.last().expect("average row");
+    let c2: f64 = average[2].parse().expect("number");
+    assert!(c2 > 50.0, "case 2 should dominate, got {c2}%");
+}
+
+#[test]
+fn fig13_shape_savings_grow_with_resolution_and_rate() {
+    let fig = fig13_power_saving(&quick_measurements());
+    let savings: Vec<f64> = fig.rows.iter().map(|r| r[5].parse().unwrap()).collect();
+    assert_eq!(savings.len(), 8);
+    assert!(savings.iter().all(|&s| s > 0.0), "every configuration saves power");
+    // Within each resolution the saving grows with the refresh rate.
+    assert!(savings[0] < savings[3]);
+    assert!(savings[4] < savings[7]);
+    // The higher resolution saves more at equal refresh rate.
+    assert!(savings[4] > savings[0]);
+}
+
+#[test]
+fn fig14_shape_most_participants_do_not_notice() {
+    let fig = fig14_user_study(&ExperimentConfig::quick(), StudyConfig::default());
+    // All scene rows except the trailing summary row.
+    let scene_rows = &fig.rows[..fig.rows.len() - 1];
+    assert_eq!(scene_rows.len(), 6);
+    let mut total_did_not_notice = 0usize;
+    for row in scene_rows {
+        let did_not: usize = row[1].parse().expect("count");
+        assert!(did_not <= 11);
+        total_did_not_notice += did_not;
+    }
+    // On average, a clear majority of the 11 participants notices nothing.
+    assert!(
+        total_did_not_notice as f64 / 6.0 > 6.0,
+        "average did-not-notice too low: {}",
+        total_did_not_notice as f64 / 6.0
+    );
+}
+
+#[test]
+fn fig15_shape_compression_degrades_for_large_tiles() {
+    // Reproduce the trend at reduced scale: the 4×4 configuration beats the
+    // 16×16 one, because large tiles must accommodate the worst-case Δ.
+    let config = ExperimentConfig::quick();
+    let small = measure_all_scenes(&config.clone().with_tile_size(4));
+    let large = measure_all_scenes(&config.with_tile_size(16));
+    let avg = |ms: &[pvc_bench::SceneMeasurement]| {
+        ms.iter().map(|m| m.reduction_over_nocom()).sum::<f64>() / ms.len() as f64
+    };
+    assert!(avg(&small) > avg(&large), "4x4 tiles should outperform 16x16 tiles");
+}
+
+#[test]
+fn hardware_numbers_match_the_paper() {
+    let cau = CauModel::default();
+    assert!((cau.frame_latency_us(Dimensions::QUEST2_HIGH) - 173.4).abs() < 1.0);
+    assert!((cau.total_power_mw() - 0.2016).abs() < 1e-3);
+    assert!((cau.total_area_mm2() - 2.14).abs() < 0.05);
+}
+
+#[test]
+fn objective_quality_is_numerically_lossy_as_in_sec_6_3() {
+    // The paper stresses that PSNR is mediocre even though subjective
+    // quality is high; check the PSNR lands in a "lossy but bounded" band.
+    for m in quick_measurements() {
+        assert!(m.quality.psnr_db > 25.0, "{}: too much numeric damage", m.scene.name());
+        assert!(m.quality.psnr_db < 70.0, "{}: suspiciously lossless", m.scene.name());
+    }
+}
