@@ -27,7 +27,9 @@ impl std::fmt::Display for HuffmanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HuffmanError::NoSymbols => write!(f, "cannot build a Huffman code over zero symbols"),
-            HuffmanError::UnknownSymbol { symbol } => write!(f, "symbol {symbol} has no Huffman code"),
+            HuffmanError::UnknownSymbol { symbol } => {
+                write!(f, "symbol {symbol} has no Huffman code")
+            }
             HuffmanError::InvalidCode => write!(f, "bit pattern matches no Huffman code"),
             HuffmanError::Bitstream(e) => write!(f, "bitstream error: {e}"),
         }
@@ -85,7 +87,9 @@ impl HuffmanCode {
     /// Reconstructs the canonical code from per-symbol code lengths.
     pub fn from_lengths(lengths: Vec<u8>) -> Self {
         // Canonical assignment: sort symbols by (length, symbol).
-        let mut symbols: Vec<u16> = (0..lengths.len() as u16).filter(|&s| lengths[s as usize] > 0).collect();
+        let mut symbols: Vec<u16> = (0..lengths.len() as u16)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
         symbols.sort_by_key(|&s| (lengths[s as usize], s));
         let mut codes = vec![0u32; lengths.len()];
         let mut code = 0u32;
@@ -160,7 +164,10 @@ impl HuffmanCode {
     /// # Errors
     ///
     /// Returns a bitstream error if the stream is too short.
-    pub fn read_table(reader: &mut BitReader<'_>, symbol_count: usize) -> Result<Self, HuffmanError> {
+    pub fn read_table(
+        reader: &mut BitReader<'_>,
+        symbol_count: usize,
+    ) -> Result<Self, HuffmanError> {
         let mut lengths = Vec::with_capacity(symbol_count);
         for _ in 0..symbol_count {
             lengths.push(reader.read_bits(4)? as u8);
@@ -189,8 +196,9 @@ fn tree_code_lengths(frequencies: &[u64]) -> Vec<u8> {
         }
     }
 
-    let active: Vec<usize> =
-        (0..frequencies.len()).filter(|&i| frequencies[i] > 0).collect();
+    let active: Vec<usize> = (0..frequencies.len())
+        .filter(|&i| frequencies[i] > 0)
+        .collect();
     let mut lengths = vec![0u8; frequencies.len()];
     match active.len() {
         0 => return lengths,
@@ -205,7 +213,10 @@ fn tree_code_lengths(frequencies: &[u64]) -> Vec<u8> {
     let mut parents: Vec<Option<usize>> = vec![None; frequencies.len()];
     let mut heap = BinaryHeap::new();
     for &i in &active {
-        heap.push(Node { weight: frequencies[i], id: i });
+        heap.push(Node {
+            weight: frequencies[i],
+            id: i,
+        });
     }
     let mut next_id = frequencies.len();
     while heap.len() > 1 {
@@ -220,7 +231,10 @@ fn tree_code_lengths(frequencies: &[u64]) -> Vec<u8> {
         if b.id < parents.len() {
             parents[b.id] = Some(merged);
         }
-        heap.push(Node { weight: a.weight + b.weight, id: merged });
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            id: merged,
+        });
     }
     for &i in &active {
         let mut depth = 0u8;
@@ -279,7 +293,10 @@ mod tests {
         let l3 = code.lengths()[3];
         for (s, &l) in code.lengths().iter().enumerate() {
             if s != 3 {
-                assert!(l >= l3, "symbol {s} has shorter code than the most frequent one");
+                assert!(
+                    l >= l3,
+                    "symbol {s} has shorter code than the most frequent one"
+                );
             }
         }
     }
@@ -328,7 +345,10 @@ mod tests {
 
     #[test]
     fn empty_frequencies_error() {
-        assert_eq!(HuffmanCode::from_frequencies(&[0, 0, 0]).unwrap_err(), HuffmanError::NoSymbols);
+        assert_eq!(
+            HuffmanCode::from_frequencies(&[0, 0, 0]).unwrap_err(),
+            HuffmanError::NoSymbols
+        );
     }
 
     #[test]

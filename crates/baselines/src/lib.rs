@@ -13,6 +13,20 @@
 //!
 //! All baselines report sizes through the same [`CompressionStats`] type as
 //! the main encoder so the figure harness can compare them directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use pvc_baselines::{nocom_stats, PngLikeCodec};
+//! use pvc_color::Srgb8;
+//! use pvc_frame::{Dimensions, SrgbFrame};
+//!
+//! let dims = Dimensions::new(16, 16);
+//! let frame = SrgbFrame::filled(dims, Srgb8::new(40, 50, 60));
+//! let png = PngLikeCodec::new().encode(&frame);
+//! // A flat frame compresses far below the uncompressed NoCom baseline.
+//! assert!(png.stats().compressed_bits < nocom_stats(dims).compressed_bits);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,7 +50,11 @@ pub fn nocom_stats(dimensions: Dimensions) -> CompressionStats {
     let bits = dimensions.pixel_count() as u64 * 24;
     CompressionStats::from_breakdown(
         dimensions.pixel_count(),
-        SizeBreakdown { base_bits: 0, metadata_bits: 0, delta_bits: bits },
+        SizeBreakdown {
+            base_bits: 0,
+            metadata_bits: 0,
+            delta_bits: bits,
+        },
     )
 }
 

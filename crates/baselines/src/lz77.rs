@@ -101,7 +101,10 @@ impl Lz77Tokenizer {
                 Lz77Token::Literal(b) => out.push(b),
                 Lz77Token::Match { length, distance } => {
                     let distance = distance as usize;
-                    assert!(distance >= 1 && distance <= out.len(), "invalid match distance");
+                    assert!(
+                        distance >= 1 && distance <= out.len(),
+                        "invalid match distance"
+                    );
                     let start = out.len() - distance;
                     for i in 0..length as usize {
                         let byte = out[start + i];
@@ -162,12 +165,17 @@ mod tests {
     fn roundtrip_long_zero_run() {
         let data = vec![0u8; 10_000];
         let tokens = roundtrip(&data);
-        assert!(tokens.len() < 100, "a zero run should collapse into few tokens");
+        assert!(
+            tokens.len() < 100,
+            "a zero run should collapse into few tokens"
+        );
     }
 
     #[test]
     fn roundtrip_pseudorandom_data() {
-        let data: Vec<u8> = (0..5000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..5000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         roundtrip(&data);
     }
 
@@ -177,7 +185,10 @@ mod tests {
         let tok = Lz77Tokenizer::new();
         let tokens = vec![
             Lz77Token::Literal(7),
-            Lz77Token::Match { length: 10, distance: 1 },
+            Lz77Token::Match {
+                length: 10,
+                distance: 1,
+            },
         ];
         assert_eq!(tok.expand(&tokens), vec![7u8; 11]);
     }

@@ -99,16 +99,21 @@ impl PngLikeCodec {
         for t in &tokens {
             match *t {
                 Lz77Token::Literal(b) => {
-                    code.encode(u16::from(b), &mut w).expect("literal has a code");
+                    code.encode(u16::from(b), &mut w)
+                        .expect("literal has a code");
                 }
                 Lz77Token::Match { length, distance } => {
-                    code.encode(MATCH_SYMBOL, &mut w).expect("match marker has a code");
+                    code.encode(MATCH_SYMBOL, &mut w)
+                        .expect("match marker has a code");
                     w.write_bits(u32::from(length) - MIN_MATCH as u32, 8);
                     w.write_bits(u32::from(distance), 16);
                 }
             }
         }
-        PngLikeEncoded { dimensions: frame.dimensions(), bytes: w.finish() }
+        PngLikeEncoded {
+            dimensions: frame.dimensions(),
+            bytes: w.finish(),
+        }
     }
 
     /// Decompresses a frame.
@@ -129,7 +134,10 @@ impl PngLikeCodec {
             if symbol == MATCH_SYMBOL {
                 let length = r.read_bits(8)? as usize + MIN_MATCH;
                 let distance = r.read_bits(16)? as u16;
-                tokens.push(Lz77Token::Match { length: length as u16, distance });
+                tokens.push(Lz77Token::Match {
+                    length: length as u16,
+                    distance,
+                });
                 produced += length;
             } else {
                 tokens.push(Lz77Token::Literal(symbol as u8));
@@ -152,7 +160,13 @@ enum Filter {
 }
 
 impl Filter {
-    const ALL: [Filter; 5] = [Filter::None, Filter::Sub, Filter::Up, Filter::Average, Filter::Paeth];
+    const ALL: [Filter; 5] = [
+        Filter::None,
+        Filter::Sub,
+        Filter::Up,
+        Filter::Average,
+        Filter::Paeth,
+    ];
 
     fn id(self) -> u8 {
         match self {
@@ -212,9 +226,17 @@ fn row_bytes(frame: &SrgbFrame, y: u32) -> Vec<u8> {
 fn filter_row(row: &[u8], prev: Option<&[u8]>, filter: Filter) -> Vec<u8> {
     let mut out = Vec::with_capacity(row.len());
     for (i, &value) in row.iter().enumerate() {
-        let left = if i >= BYTES_PER_PIXEL { row[i - BYTES_PER_PIXEL] } else { 0 };
+        let left = if i >= BYTES_PER_PIXEL {
+            row[i - BYTES_PER_PIXEL]
+        } else {
+            0
+        };
         let up = prev.map_or(0, |p| p[i]);
-        let up_left = if i >= BYTES_PER_PIXEL { prev.map_or(0, |p| p[i - BYTES_PER_PIXEL]) } else { 0 };
+        let up_left = if i >= BYTES_PER_PIXEL {
+            prev.map_or(0, |p| p[i - BYTES_PER_PIXEL])
+        } else {
+            0
+        };
         out.push(value.wrapping_sub(predict(filter, left, up, up_left)));
     }
     out
@@ -223,9 +245,17 @@ fn filter_row(row: &[u8], prev: Option<&[u8]>, filter: Filter) -> Vec<u8> {
 fn unfilter_row(filtered: &[u8], prev: Option<&[u8]>, filter: Filter) -> Vec<u8> {
     let mut out: Vec<u8> = Vec::with_capacity(filtered.len());
     for (i, &value) in filtered.iter().enumerate() {
-        let left = if i >= BYTES_PER_PIXEL { out[i - BYTES_PER_PIXEL] } else { 0 };
+        let left = if i >= BYTES_PER_PIXEL {
+            out[i - BYTES_PER_PIXEL]
+        } else {
+            0
+        };
         let up = prev.map_or(0, |p| p[i]);
-        let up_left = if i >= BYTES_PER_PIXEL { prev.map_or(0, |p| p[i - BYTES_PER_PIXEL]) } else { 0 };
+        let up_left = if i >= BYTES_PER_PIXEL {
+            prev.map_or(0, |p| p[i - BYTES_PER_PIXEL])
+        } else {
+            0
+        };
         out.push(value.wrapping_add(predict(filter, left, up, up_left)));
     }
     out
@@ -234,7 +264,10 @@ fn unfilter_row(filtered: &[u8], prev: Option<&[u8]>, filter: Filter) -> Vec<u8>
 /// Cost heuristic from the PNG specification: sum of the filtered bytes
 /// interpreted as signed magnitudes.
 fn filter_cost(filtered: &[u8]) -> u64 {
-    filtered.iter().map(|&b| u64::from((b as i8).unsigned_abs())).sum()
+    filtered
+        .iter()
+        .map(|&b| u64::from((b as i8).unsigned_abs()))
+        .sum()
 }
 
 fn filter_frame(frame: &SrgbFrame) -> Vec<u8> {
@@ -266,7 +299,11 @@ fn unfilter_frame(dimensions: Dimensions, data: &[u8]) -> SrgbFrame {
     for y in 0..dimensions.height {
         let offset = y as usize * (row_len + 1);
         let filter = Filter::from_id(data[offset]);
-        let row = unfilter_row(&data[offset + 1..offset + 1 + row_len], prev_row.as_deref(), filter);
+        let row = unfilter_row(
+            &data[offset + 1..offset + 1 + row_len],
+            prev_row.as_deref(),
+            filter,
+        );
         for x in 0..dimensions.width {
             let i = x as usize * BYTES_PER_PIXEL;
             frame.set_pixel(x, y, Srgb8::new(row[i], row[i + 1], row[i + 2]));
@@ -337,7 +374,11 @@ mod tests {
     fn random_data_does_not_explode_in_size() {
         let codec = PngLikeCodec::new();
         let stats = codec.encode(&random_frame(32, 32, 5)).stats();
-        assert!(stats.bits_per_pixel() < 27.0, "bpp {}", stats.bits_per_pixel());
+        assert!(
+            stats.bits_per_pixel() < 27.0,
+            "bpp {}",
+            stats.bits_per_pixel()
+        );
     }
 
     #[test]

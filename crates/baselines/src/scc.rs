@@ -33,7 +33,10 @@ pub struct SccConfig {
 
 impl Default for SccConfig {
     fn default() -> Self {
-        SccConfig { bits_per_channel: 6, eccentricity_deg: 30.0 }
+        SccConfig {
+            bits_per_channel: 6,
+            eccentricity_deg: 30.0,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ impl SccConfig {
             "bits per channel must be between 1 and 8"
         );
         assert!(eccentricity_deg >= 0.0, "eccentricity must be non-negative");
-        SccConfig { bits_per_channel, eccentricity_deg }
+        SccConfig {
+            bits_per_channel,
+            eccentricity_deg,
+        }
     }
 }
 
@@ -87,7 +93,8 @@ impl SccCodec {
             let ellipsoid = model.ellipsoid(center.to_linear(), config.eccentricity_deg);
             let step = 1.0 / f64::from(side as u32);
             // Conservative per-channel reach of the ellipsoid in lattice cells.
-            let reach = (ellipsoid.half_extent_along_axis(pvc_color::RgbAxis::Blue)
+            let reach = (ellipsoid
+                .half_extent_along_axis(pvc_color::RgbAxis::Blue)
                 .max(ellipsoid.half_extent_along_axis(pvc_color::RgbAxis::Red))
                 .max(ellipsoid.half_extent_along_axis(pvc_color::RgbAxis::Green))
                 / step)
@@ -97,12 +104,15 @@ impl SccCodec {
             for dr in -reach..=reach {
                 for dg in -reach..=reach {
                     for db in -reach..=reach {
-                        let (r, g, b) = (
-                            i64::from(cr) + dr,
-                            i64::from(cg) + dg,
-                            i64::from(cb) + db,
-                        );
-                        if r < 0 || g < 0 || b < 0 || r >= side as i64 || g >= side as i64 || b >= side as i64 {
+                        let (r, g, b) =
+                            (i64::from(cr) + dr, i64::from(cg) + dg, i64::from(cb) + db);
+                        if r < 0
+                            || g < 0
+                            || b < 0
+                            || r >= side as i64
+                            || g >= side as i64
+                            || b >= side as i64
+                        {
                             continue;
                         }
                         let neighbor =
@@ -121,7 +131,11 @@ impl SccCodec {
             cell_to_index[cell] = index;
         }
 
-        SccCodec { config, codebook, cell_to_index }
+        SccCodec {
+            config,
+            codebook,
+            cell_to_index,
+        }
     }
 
     fn cell_coords(cell: usize, bits: u32) -> (u32, u32, u32) {
@@ -211,7 +225,11 @@ impl SccCodec {
         let bits = u64::from(self.bits_per_color()) * frame.dimensions().pixel_count() as u64;
         CompressionStats::from_breakdown(
             frame.dimensions().pixel_count(),
-            SizeBreakdown { base_bits: 0, metadata_bits: 0, delta_bits: bits },
+            SizeBreakdown {
+                base_bits: 0,
+                metadata_bits: 0,
+                delta_bits: bits,
+            },
         )
     }
 
@@ -240,7 +258,11 @@ pub fn quantize_to_lattice(color: LinearRgb, bits_per_channel: u8) -> Srgb8 {
     let shrink = |v: u8| u32::from(v) >> (8 - bits);
     let bucket = 256u32 >> bits;
     let expand = |v: u32| (v * bucket + bucket / 2).min(255) as u8;
-    Srgb8::new(expand(shrink(srgb.r)), expand(shrink(srgb.g)), expand(shrink(srgb.b)))
+    Srgb8::new(
+        expand(shrink(srgb.r)),
+        expand(shrink(srgb.g)),
+        expand(shrink(srgb.b)),
+    )
 }
 
 #[cfg(test)]
@@ -250,7 +272,10 @@ mod tests {
     use pvc_frame::Dimensions;
 
     fn small_codec() -> SccCodec {
-        SccCodec::build(&SyntheticDiscriminationModel::default(), SccConfig::new(5, 30.0))
+        SccCodec::build(
+            &SyntheticDiscriminationModel::default(),
+            SccConfig::new(5, 30.0),
+        )
     }
 
     #[test]
@@ -267,7 +292,11 @@ mod tests {
         // compared with the paper's full 2²⁴-color run.
         let codec = small_codec();
         let lattice = 1usize << (3 * 5);
-        assert!(codec.codebook_size() < lattice, "codebook {} of {lattice}", codec.codebook_size());
+        assert!(
+            codec.codebook_size() < lattice,
+            "codebook {} of {lattice}",
+            codec.codebook_size()
+        );
         assert!(codec.codebook_size() > lattice / 64);
     }
 
@@ -300,7 +329,10 @@ mod tests {
         let codec = small_codec();
         let frame = SrgbFrame::filled(Dimensions::new(10, 10), Srgb8::new(128, 128, 128));
         let stats = codec.frame_stats(&frame);
-        assert_eq!(stats.compressed_bits, u64::from(codec.bits_per_color()) * 100);
+        assert_eq!(
+            stats.compressed_bits,
+            u64::from(codec.bits_per_color()) * 100
+        );
         assert!(stats.bandwidth_reduction_percent() > 0.0);
         assert!(stats.bandwidth_reduction_percent() < 100.0);
     }
@@ -319,7 +351,9 @@ mod tests {
             })
             .collect();
         let frame = SrgbFrame::from_pixels(dims, pixels).unwrap();
-        let bd = pvc_bdc::BdEncoder::new(pvc_bdc::BdConfig::default()).encode_frame(&frame).stats();
+        let bd = pvc_bdc::BdEncoder::new(pvc_bdc::BdConfig::default())
+            .encode_frame(&frame)
+            .stats();
         let scc = codec.frame_stats(&frame);
         assert!(scc.compressed_bits > bd.compressed_bits);
     }

@@ -26,10 +26,18 @@ pub enum BitstreamError {
 impl std::fmt::Display for BitstreamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BitstreamError::UnexpectedEnd { requested, remaining } => {
-                write!(f, "unexpected end of bitstream: requested {requested} bits, {remaining} remain")
+            BitstreamError::UnexpectedEnd {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "unexpected end of bitstream: requested {requested} bits, {remaining} remain"
+                )
             }
-            BitstreamError::InvalidHeader { field } => write!(f, "invalid bitstream header field: {field}"),
+            BitstreamError::InvalidHeader { field } => {
+                write!(f, "invalid bitstream header field: {field}")
+            }
         }
     }
 }
@@ -105,7 +113,10 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, bit_index: 0 }
+        BitReader {
+            bytes,
+            bit_index: 0,
+        }
     }
 
     /// Number of unread bits remaining (including any final padding bits).
@@ -148,8 +159,14 @@ mod tests {
 
     #[test]
     fn roundtrip_mixed_widths() {
-        let fields: Vec<(u32, u32)> =
-            vec![(0b1, 1), (0b10, 2), (0xABC, 12), (0, 5), (0xFFFF_FFFF, 32), (42, 7)];
+        let fields: Vec<(u32, u32)> = vec![
+            (0b1, 1),
+            (0b10, 2),
+            (0xABC, 12),
+            (0, 5),
+            (0xFFFF_FFFF, 32),
+            (42, 7),
+        ];
         let mut w = BitWriter::new();
         for &(v, c) in &fields {
             w.write_bits(v, c);
@@ -181,7 +198,10 @@ mod tests {
         assert_eq!(r.read_bits(3).unwrap(), 0b101);
         // 5 padding bits remain in the byte; asking for 8 must fail.
         let err = r.read_bits(8).unwrap_err();
-        assert!(matches!(err, BitstreamError::UnexpectedEnd { requested: 8, .. }));
+        assert!(matches!(
+            err,
+            BitstreamError::UnexpectedEnd { requested: 8, .. }
+        ));
         assert!(err.to_string().contains("unexpected end"));
     }
 

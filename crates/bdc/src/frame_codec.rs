@@ -17,7 +17,9 @@ pub struct BdConfig {
 
 impl Default for BdConfig {
     fn default() -> Self {
-        BdConfig { tile_size: DEFAULT_TILE_SIZE }
+        BdConfig {
+            tile_size: DEFAULT_TILE_SIZE,
+        }
     }
 }
 
@@ -46,15 +48,35 @@ impl BdConfig {
 /// let encoded = BdEncoder::new(BdConfig::default()).encode_frame(&frame);
 /// assert_eq!(encoded.decode(), frame);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BdEncoder {
     config: BdConfig,
+    threads: usize,
+}
+
+impl Default for BdEncoder {
+    fn default() -> Self {
+        BdEncoder::new(BdConfig::default())
+    }
 }
 
 impl BdEncoder {
-    /// Creates an encoder with the given configuration.
+    /// Creates a sequential encoder with the given configuration.
     pub fn new(config: BdConfig) -> Self {
-        BdEncoder { config }
+        BdEncoder { config, threads: 1 }
+    }
+
+    /// Returns a copy that encodes tiles on `threads` scoped worker threads
+    /// (1 = sequential). Tiles are independent and emitted in tile order,
+    /// so the encoded frame is bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be non-zero");
+        self.threads = threads;
+        self
     }
 
     /// The encoder configuration.
@@ -62,12 +84,24 @@ impl BdEncoder {
         self.config
     }
 
+    /// The number of worker threads used for per-tile encoding.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Encodes a frame tile by tile.
     pub fn encode_frame(&self, frame: &SrgbFrame) -> BdEncodedFrame {
         let grid = TileGrid::new(frame.dimensions(), self.config.tile_size);
+        let tile_rects: Vec<_> = grid.tiles().collect();
         let tiles: Vec<TileEncoding> =
-            grid.tiles().map(|tile| encode_tile(&frame.tile_pixels(tile))).collect();
-        BdEncodedFrame { dimensions: frame.dimensions(), tile_size: self.config.tile_size, tiles }
+            pvc_parallel::parallel_map(&tile_rects, self.threads, |&tile| {
+                encode_tile(&frame.tile_pixels(tile))
+            });
+        BdEncodedFrame {
+            dimensions: frame.dimensions(),
+            tile_size: self.config.tile_size,
+            tiles,
+        }
     }
 }
 
@@ -150,7 +184,9 @@ impl BdEncodedFrame {
         let height = r.read_bits(16)?;
         let tile_size = r.read_bits(16)?;
         if width == 0 || height == 0 {
-            return Err(BitstreamError::InvalidHeader { field: "dimensions" });
+            return Err(BitstreamError::InvalidHeader {
+                field: "dimensions",
+            });
         }
         if tile_size == 0 {
             return Err(BitstreamError::InvalidHeader { field: "tile size" });
@@ -167,20 +203,33 @@ impl BdEncodedFrame {
                 let base = base?;
                 let delta_bits = r.read_bits(4)? as u8;
                 if delta_bits > 8 {
-                    return Err(BitstreamError::InvalidHeader { field: "delta bit length" });
+                    return Err(BitstreamError::InvalidHeader {
+                        field: "delta bit length",
+                    });
                 }
                 let mut deltas = Vec::with_capacity(pixel_count);
                 for _ in 0..pixel_count {
                     deltas.push(r.read_bits(u32::from(delta_bits))? as u8);
                 }
-                decoded.push(crate::tile_codec::ChannelEncoding { base, delta_bits, deltas });
+                decoded.push(crate::tile_codec::ChannelEncoding {
+                    base,
+                    delta_bits,
+                    deltas,
+                });
             }
             let b = decoded.pop().expect("three channels");
             let g = decoded.pop().expect("three channels");
             let rr = decoded.pop().expect("three channels");
-            tiles.push(TileEncoding { channels: [rr, g, b], pixel_count });
+            tiles.push(TileEncoding {
+                channels: [rr, g, b],
+                pixel_count,
+            });
         }
-        Ok(BdEncodedFrame { dimensions, tile_size, tiles })
+        Ok(BdEncodedFrame {
+            dimensions,
+            tile_size,
+            tiles,
+        })
     }
 }
 
@@ -204,7 +253,11 @@ mod tests {
             .map(|i| {
                 let x = (i as u32 % width) as f64 / f64::from(width);
                 let y = (i as u32 / width) as f64 / f64::from(height);
-                Srgb8::new((x * 200.0) as u8, (y * 200.0) as u8, ((x + y) * 100.0) as u8)
+                Srgb8::new(
+                    (x * 200.0) as u8,
+                    (y * 200.0) as u8,
+                    ((x + y) * 100.0) as u8,
+                )
             })
             .collect();
         SrgbFrame::from_pixels(dims, pixels).expect("sized correctly")
@@ -240,7 +293,9 @@ mod tests {
         // Random data is incompressible; BD should cost at most slightly more
         // than 24 bpp (base + metadata overhead).
         let random = random_frame(32, 32, 11);
-        let stats = BdEncoder::new(BdConfig::default()).encode_frame(&random).stats();
+        let stats = BdEncoder::new(BdConfig::default())
+            .encode_frame(&random)
+            .stats();
         assert!(stats.bits_per_pixel() <= 27.0);
         assert!(stats.bits_per_pixel() >= 23.0);
     }
@@ -281,15 +336,45 @@ mod tests {
     #[test]
     fn larger_tiles_amortize_base_cost_on_flat_frames() {
         let frame = SrgbFrame::filled(Dimensions::new(64, 64), Srgb8::new(9, 9, 9));
-        let t4 = BdEncoder::new(BdConfig::with_tile_size(4)).encode_frame(&frame).stats();
-        let t16 = BdEncoder::new(BdConfig::with_tile_size(16)).encode_frame(&frame).stats();
+        let t4 = BdEncoder::new(BdConfig::with_tile_size(4))
+            .encode_frame(&frame)
+            .stats();
+        let t16 = BdEncoder::new(BdConfig::with_tile_size(16))
+            .encode_frame(&frame)
+            .stats();
         assert!(t16.compressed_bits < t4.compressed_bits);
+    }
+
+    #[test]
+    fn parallel_encoding_is_bit_identical_to_sequential() {
+        let frames = [
+            random_frame(64, 48, 17),
+            smooth_frame(61, 47),
+            random_frame(16, 16, 2),
+        ];
+        for frame in &frames {
+            let serial = BdEncoder::new(BdConfig::default()).encode_frame(frame);
+            for threads in [2, 4, 8] {
+                let parallel = BdEncoder::new(BdConfig::default())
+                    .with_threads(threads)
+                    .encode_frame(frame);
+                assert_eq!(parallel, serial);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_panics() {
+        let _ = BdEncoder::default().with_threads(0);
     }
 
     #[test]
     fn stats_pixel_count_matches_frame() {
         let frame = random_frame(10, 10, 1);
-        let stats = BdEncoder::new(BdConfig::default()).encode_frame(&frame).stats();
+        let stats = BdEncoder::new(BdConfig::default())
+            .encode_frame(&frame)
+            .stats();
         assert_eq!(stats.pixel_count, 100);
         assert_eq!(stats.uncompressed_bits, 2400);
     }

@@ -19,7 +19,11 @@ pub struct SizeBreakdown {
 
 impl SizeBreakdown {
     /// A breakdown with all counters at zero.
-    pub const ZERO: SizeBreakdown = SizeBreakdown { base_bits: 0, metadata_bits: 0, delta_bits: 0 };
+    pub const ZERO: SizeBreakdown = SizeBreakdown {
+        base_bits: 0,
+        metadata_bits: 0,
+        delta_bits: 0,
+    };
 
     /// Total number of bits.
     #[inline]
@@ -45,7 +49,11 @@ impl SizeBreakdown {
     pub fn bits_per_pixel_split(&self, pixel_count: usize) -> (f64, f64, f64) {
         assert!(pixel_count > 0, "pixel count must be non-zero");
         let n = pixel_count as f64;
-        (self.base_bits as f64 / n, self.metadata_bits as f64 / n, self.delta_bits as f64 / n)
+        (
+            self.base_bits as f64 / n,
+            self.metadata_bits as f64 / n,
+            self.delta_bits as f64 / n,
+        )
     }
 }
 
@@ -137,8 +145,16 @@ mod tests {
 
     #[test]
     fn breakdown_totals_and_sums() {
-        let a = SizeBreakdown { base_bits: 8, metadata_bits: 4, delta_bits: 20 };
-        let b = SizeBreakdown { base_bits: 2, metadata_bits: 1, delta_bits: 7 };
+        let a = SizeBreakdown {
+            base_bits: 8,
+            metadata_bits: 4,
+            delta_bits: 20,
+        };
+        let b = SizeBreakdown {
+            base_bits: 2,
+            metadata_bits: 1,
+            delta_bits: 7,
+        };
         assert_eq!(a.total_bits(), 32);
         assert_eq!((a + b).total_bits(), 42);
         let mut c = a;
@@ -150,7 +166,11 @@ mod tests {
 
     #[test]
     fn bits_per_pixel_split_adds_up() {
-        let a = SizeBreakdown { base_bits: 24, metadata_bits: 12, delta_bits: 60 };
+        let a = SizeBreakdown {
+            base_bits: 24,
+            metadata_bits: 12,
+            delta_bits: 60,
+        };
         let (base, meta, delta) = a.bits_per_pixel_split(16);
         assert!((base + meta + delta - a.bits_per_pixel(16)).abs() < 1e-12);
     }
@@ -163,7 +183,11 @@ mod tests {
 
     #[test]
     fn stats_reduction_percent() {
-        let breakdown = SizeBreakdown { base_bits: 0, metadata_bits: 0, delta_bits: 12 * 16 };
+        let breakdown = SizeBreakdown {
+            base_bits: 0,
+            metadata_bits: 0,
+            delta_bits: 12 * 16,
+        };
         let stats = CompressionStats::from_breakdown(16, breakdown);
         assert_eq!(stats.uncompressed_bits, 16 * 24);
         assert!((stats.bandwidth_reduction_percent() - 50.0).abs() < 1e-12);
@@ -175,11 +199,19 @@ mod tests {
     fn reduction_over_baseline() {
         let ours = CompressionStats::from_breakdown(
             16,
-            SizeBreakdown { base_bits: 0, metadata_bits: 0, delta_bits: 100 },
+            SizeBreakdown {
+                base_bits: 0,
+                metadata_bits: 0,
+                delta_bits: 100,
+            },
         );
         let baseline = CompressionStats::from_breakdown(
             16,
-            SizeBreakdown { base_bits: 0, metadata_bits: 0, delta_bits: 200 },
+            SizeBreakdown {
+                base_bits: 0,
+                metadata_bits: 0,
+                delta_bits: 200,
+            },
         );
         assert!((ours.reduction_over(&baseline) - 50.0).abs() < 1e-12);
         assert!((baseline.reduction_over(&ours) + 100.0).abs() < 1e-12);

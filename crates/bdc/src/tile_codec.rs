@@ -48,7 +48,10 @@ impl ChannelEncoding {
 
     /// Reconstructs the original code values.
     pub fn decode(&self) -> Vec<u8> {
-        self.deltas.iter().map(|&d| self.base.wrapping_add(d)).collect()
+        self.deltas
+            .iter()
+            .map(|&d| self.base.wrapping_add(d))
+            .collect()
     }
 }
 
@@ -70,7 +73,11 @@ impl TileEncoding {
     /// The largest per-channel delta bit length of the tile; a proxy for how
     /// compressible the tile is.
     pub fn max_delta_bits(&self) -> u8 {
-        self.channels.iter().map(|c| c.delta_bits).max().unwrap_or(0)
+        self.channels
+            .iter()
+            .map(|c| c.delta_bits)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -97,7 +104,10 @@ pub fn encode_tile(pixels: &[Srgb8]) -> TileEncoding {
             deltas: values.iter().map(|&v| v - min).collect(),
         }
     });
-    TileEncoding { channels, pixel_count: pixels.len() }
+    TileEncoding {
+        channels,
+        pixel_count: pixels.len(),
+    }
 }
 
 /// Decodes a tile back into sRGB pixels. BD is numerically lossless, so this
@@ -106,7 +116,9 @@ pub fn decode_tile(tile: &TileEncoding) -> Vec<Srgb8> {
     let r = tile.channels[0].decode();
     let g = tile.channels[1].decode();
     let b = tile.channels[2].decode();
-    (0..tile.pixel_count).map(|i| Srgb8::new(r[i], g[i], b[i])).collect()
+    (0..tile.pixel_count)
+        .map(|i| Srgb8::new(r[i], g[i], b[i]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -130,7 +142,10 @@ mod tests {
         for range in 0..=255u8 {
             let bits = bits_for_range(range);
             if bits < 8 {
-                assert!(u16::from(range) < (1u16 << bits).max(1), "range {range} bits {bits}");
+                assert!(
+                    u16::from(range) < (1u16 << bits).max(1),
+                    "range {range} bits {bits}"
+                );
             }
         }
     }
@@ -150,7 +165,9 @@ mod tests {
     fn figure_4_like_tile() {
         // Pixels clustered around 95 with small offsets: the deltas should
         // take only a few bits.
-        let codes = [95u8, 97, 96, 95, 98, 99, 95, 96, 97, 95, 98, 95, 96, 97, 95, 99];
+        let codes = [
+            95u8, 97, 96, 95, 98, 99, 95, 96, 97, 95, 98, 95, 96, 97, 95, 99,
+        ];
         let pixels: Vec<Srgb8> = codes.iter().map(|&v| Srgb8::new(v, v, v)).collect();
         let tile = encode_tile(&pixels);
         assert_eq!(tile.channels[0].base, 95);
@@ -163,8 +180,9 @@ mod tests {
     #[test]
     fn noisy_tile_costs_more_than_smooth_tile() {
         let smooth: Vec<Srgb8> = (0..16).map(|i| Srgb8::new(100 + i % 2, 50, 60)).collect();
-        let noisy: Vec<Srgb8> =
-            (0..16u8).map(|i| Srgb8::new(i.wrapping_mul(37), i.wrapping_mul(91), i)).collect();
+        let noisy: Vec<Srgb8> = (0..16u8)
+            .map(|i| Srgb8::new(i.wrapping_mul(37), i.wrapping_mul(91), i))
+            .collect();
         let s = encode_tile(&smooth).size().total_bits();
         let n = encode_tile(&noisy).size().total_bits();
         assert!(n > s);

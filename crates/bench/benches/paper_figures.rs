@@ -21,14 +21,18 @@ fn bench_scene_measurement(c: &mut Criterion) {
         b.iter(|| measure_all_scenes(&config))
     });
     let measurements = measure_all_scenes(&config);
-    group.bench_function("fig10_bandwidth", |b| b.iter(|| fig10_bandwidth(&measurements)));
+    group.bench_function("fig10_bandwidth", |b| {
+        b.iter(|| fig10_bandwidth(&measurements))
+    });
     group.bench_function("fig11_bits_per_pixel", |b| {
         b.iter(|| fig11_bits_per_pixel(&measurements))
     });
     group.bench_function("fig12_case_distribution", |b| {
         b.iter(|| fig12_case_distribution(&measurements))
     });
-    group.bench_function("fig13_power_saving", |b| b.iter(|| fig13_power_saving(&measurements)));
+    group.bench_function("fig13_power_saving", |b| {
+        b.iter(|| fig13_power_saving(&measurements))
+    });
     group.bench_function("fig14_user_study", |b| {
         b.iter(|| fig14_user_study(&config, StudyConfig::default()))
     });

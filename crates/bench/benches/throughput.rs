@@ -34,19 +34,24 @@ fn bench_discrimination_models(c: &mut Criterion) {
     let synthetic = SyntheticDiscriminationModel::default();
     let rbf = RbfDiscriminationModel::fit_to(&synthetic, RbfConfig::default()).expect("fit");
     let color = LinearRgb::new(0.4, 0.5, 0.3);
-    c.bench_function("phi_synthetic", |b| b.iter(|| synthetic.ellipsoid_axes(color, 22.0)));
-    c.bench_function("phi_rbf_network", |b| b.iter(|| rbf.ellipsoid_axes(color, 22.0)));
+    c.bench_function("phi_synthetic", |b| {
+        b.iter(|| synthetic.ellipsoid_axes(color, 22.0))
+    });
+    c.bench_function("phi_rbf_network", |b| {
+        b.iter(|| rbf.ellipsoid_axes(color, 22.0))
+    });
 }
 
 fn bench_frame_encoders(c: &mut Criterion) {
     let dims = Dimensions::new(192, 192);
-    let frame =
-        SceneRenderer::new(SceneId::Office, SceneConfig::new(dims)).render_linear(0);
+    let frame = SceneRenderer::new(SceneId::Office, SceneConfig::new(dims)).render_linear(0);
     let srgb = frame.to_srgb();
     let display = DisplayGeometry::quest2_like(dims);
     let gaze = GazePoint::center_of(dims);
-    let encoder =
-        PerceptualEncoder::new(SyntheticDiscriminationModel::default(), EncoderConfig::default());
+    let encoder = PerceptualEncoder::new(
+        SyntheticDiscriminationModel::default(),
+        EncoderConfig::default(),
+    );
     let parallel = PerceptualEncoder::new(
         SyntheticDiscriminationModel::default(),
         EncoderConfig::default().with_threads(4),
@@ -66,7 +71,11 @@ fn bench_frame_encoders(c: &mut Criterion) {
     });
     group.bench_function("bd_baseline", |b| b.iter(|| bd.encode_frame(&srgb)));
     group.bench_function("bd_decode", |b| {
-        b.iter_batched(|| bd.encode_frame(&srgb), |e| e.decode(), BatchSize::SmallInput)
+        b.iter_batched(
+            || bd.encode_frame(&srgb),
+            |e| e.decode(),
+            BatchSize::SmallInput,
+        )
     });
     group.finish();
 }

@@ -5,8 +5,8 @@ use pvc_bench::cli as common;
 
 use pvc_bench::{
     fig10_bandwidth, fig11_bits_per_pixel, fig12_case_distribution, fig13_power_saving,
-    fig14_user_study, fig15_tile_size, fig2_ellipsoids, measure_all_scenes, tab_area_power,
-    tab_ablation, tab_psnr, tab_scc,
+    fig14_user_study, fig15_tile_size, fig2_ellipsoids, measure_all_scenes, tab_ablation,
+    tab_area_power, tab_psnr, tab_scc,
 };
 use pvc_study::StudyConfig;
 
@@ -20,7 +20,11 @@ fn main() {
     common::emit(&fig12_case_distribution(&measurements));
     common::emit(&fig13_power_saving(&measurements));
     common::emit(&fig14_user_study(&config, StudyConfig::default()));
-    let tile_sizes: &[u32] = if quick { &[4, 8, 16] } else { &[4, 6, 8, 10, 12, 16] };
+    let tile_sizes: &[u32] = if quick {
+        &[4, 8, 16]
+    } else {
+        &[4, 6, 8, 10, 12, 16]
+    };
     common::emit(&fig15_tile_size(&config, tile_sizes));
     common::emit(&tab_area_power());
     common::emit(&tab_psnr(&measurements));

@@ -2,7 +2,7 @@
 
 use pvc_bench::cli as common;
 
-use pvc_bench::{measure_all_scenes, fig11_bits_per_pixel};
+use pvc_bench::{fig11_bits_per_pixel, measure_all_scenes};
 
 fn main() {
     let config = common::experiment_config_from_args();

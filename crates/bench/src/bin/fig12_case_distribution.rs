@@ -2,7 +2,7 @@
 
 use pvc_bench::cli as common;
 
-use pvc_bench::{measure_all_scenes, fig12_case_distribution};
+use pvc_bench::{fig12_case_distribution, measure_all_scenes};
 
 fn main() {
     let config = common::experiment_config_from_args();

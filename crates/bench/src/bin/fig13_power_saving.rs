@@ -2,7 +2,7 @@
 
 use pvc_bench::cli as common;
 
-use pvc_bench::{measure_all_scenes, fig13_power_saving};
+use pvc_bench::{fig13_power_saving, measure_all_scenes};
 
 fn main() {
     let config = common::experiment_config_from_args();

@@ -5,6 +5,10 @@ use pvc_bench::cli as common;
 use pvc_bench::tab_scc;
 
 fn main() {
-    let bits = if std::env::args().any(|a| a == "--quick") { 4 } else { 6 };
+    let bits = if std::env::args().any(|a| a == "--quick") {
+        4
+    } else {
+        6
+    };
     common::emit(&tab_scc(bits));
 }

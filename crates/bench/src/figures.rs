@@ -3,9 +3,7 @@
 use crate::harness::{measure_all_scenes, ExperimentConfig, SceneMeasurement};
 use crate::report::{format_table, write_csv};
 use pvc_baselines::{SccCodec, SccConfig};
-use pvc_color::{
-    DiscriminationModel, LinearRgb, RgbAxis, SyntheticDiscriminationModel,
-};
+use pvc_color::{DiscriminationModel, LinearRgb, RgbAxis, SyntheticDiscriminationModel};
 use pvc_core::PerceptualEncoder;
 use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
 use pvc_frame::TileGrid;
@@ -84,7 +82,8 @@ pub fn fig11_bits_per_pixel(measurements: &[SceneMeasurement]) -> Figure {
     let rows = measurements
         .iter()
         .map(|m| {
-            let (bd_base, bd_meta, bd_delta) = m.bd.breakdown.bits_per_pixel_split(m.bd.pixel_count);
+            let (bd_base, bd_meta, bd_delta) =
+                m.bd.breakdown.bits_per_pixel_split(m.bd.pixel_count);
             let (our_base, our_meta, our_delta) =
                 m.ours.breakdown.bits_per_pixel_split(m.ours.pixel_count);
             vec![
@@ -104,8 +103,15 @@ pub fn fig11_bits_per_pixel(measurements: &[SceneMeasurement]) -> Figure {
         name: "fig11_bits_per_pixel".to_string(),
         title: "Fig. 11 — bits per pixel split into base/metadata/delta (BD vs ours)".to_string(),
         header: vec![
-            "scene", "bd_base", "bd_meta", "bd_delta", "bd_total", "ours_base", "ours_meta",
-            "ours_delta", "ours_total",
+            "scene",
+            "bd_base",
+            "bd_meta",
+            "bd_delta",
+            "bd_total",
+            "ours_base",
+            "ours_meta",
+            "ours_delta",
+            "ours_total",
         ]
         .into_iter()
         .map(String::from)
@@ -137,7 +143,10 @@ pub fn fig12_case_distribution(measurements: &[SceneMeasurement]) -> Figure {
     Figure {
         name: "fig12_case_distribution".to_string(),
         title: "Fig. 12 — distribution of tiles across case c1 / c2 (%)".to_string(),
-        header: vec!["scene", "c1", "c2"].into_iter().map(String::from).collect(),
+        header: vec!["scene", "c1", "c2"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
         rows,
     }
 }
@@ -180,10 +189,17 @@ pub fn fig13_power_saving(measurements: &[SceneMeasurement]) -> Figure {
         title: format!(
             "Fig. 13 — power saving over BD (avg BD {bd_bpp:.2} bpp, ours {ours_bpp:.2} bpp)"
         ),
-        header: vec!["resolution", "fps", "bd_dram_mw", "ours_dram_mw", "cau_mw", "saving_w"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        header: vec![
+            "resolution",
+            "fps",
+            "bd_dram_mw",
+            "ours_dram_mw",
+            "cau_mw",
+            "saving_w",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
         rows,
     }
 }
@@ -200,8 +216,8 @@ pub fn fig14_user_study(config: &ExperimentConfig, study_config: StudyConfig) ->
     let trials: Vec<SceneTrial> = SceneId::ALL
         .iter()
         .map(|&scene| {
-            let frame = SceneRenderer::new(scene, SceneConfig::new(config.dimensions))
-                .render_linear(0);
+            let frame =
+                SceneRenderer::new(scene, SceneConfig::new(config.dimensions)).render_linear(0);
             let (adjusted, _) = encoder.adjust_frame(&frame, &display, gaze);
             SceneTrial::from_frames(scene.name(), &frame, &adjusted, &map, &model)
         })
@@ -247,7 +263,12 @@ pub fn fig15_tile_size(config: &ExperimentConfig, tile_sizes: &[u32]) -> Figure 
     let mut per_scene: Vec<Vec<String>> = SceneId::ALL
         .iter()
         .zip(&bd_reference)
-        .map(|(scene, m)| vec![scene.name().to_string(), fmt(m.bd.bandwidth_reduction_percent())])
+        .map(|(scene, m)| {
+            vec![
+                scene.name().to_string(),
+                fmt(m.bd.bandwidth_reduction_percent()),
+            ]
+        })
         .collect();
     for &tile in tile_sizes {
         let sweep_config = ExperimentConfig {
@@ -298,8 +319,9 @@ pub fn fig2_ellipsoids() -> Figure {
     }
     Figure {
         name: "fig2_ellipsoids".to_string(),
-        title: "Fig. 2 — discrimination ellipsoids at 5° and 25° (DKL semi-axes and RGB half-extents)"
-            .to_string(),
+        title:
+            "Fig. 2 — discrimination ellipsoids at 5° and 25° (DKL semi-axes and RGB half-extents)"
+                .to_string(),
         header: vec!["color", "ecc", "a", "b", "c", "ext_r", "ext_g", "ext_b"]
             .into_iter()
             .map(String::from)
@@ -314,7 +336,10 @@ pub fn tab_area_power() -> Figure {
     let gpu = GpuConfig::default();
     let rows = vec![
         vec!["CAU frequency (MHz)".to_string(), fmt(cau.frequency_mhz())],
-        vec!["PEs required to match GPU".to_string(), cau.required_pe_count(&gpu).to_string()],
+        vec![
+            "PEs required to match GPU".to_string(),
+            cau.required_pe_count(&gpu).to_string(),
+        ],
         vec![
             "Frame latency @5408x2736 (us)".to_string(),
             fmt(cau.frame_latency_us(pvc_frame::Dimensions::QUEST2_HIGH)),
@@ -323,14 +348,26 @@ pub fn tab_area_power() -> Figure {
             "Frame latency @4128x2096 (us)".to_string(),
             fmt(cau.frame_latency_us(pvc_frame::Dimensions::QUEST2_LOW)),
         ],
-        vec!["Total area (mm^2)".to_string(), format!("{:.3}", cau.total_area_mm2())],
-        vec!["Area fraction of Snapdragon 865".to_string(), format!("{:.4}", cau.area_fraction_of_soc(83.54))],
-        vec!["Total power (mW)".to_string(), format!("{:.4}", cau.total_power_mw())],
+        vec![
+            "Total area (mm^2)".to_string(),
+            format!("{:.3}", cau.total_area_mm2()),
+        ],
+        vec![
+            "Area fraction of Snapdragon 865".to_string(),
+            format!("{:.4}", cau.area_fraction_of_soc(83.54)),
+        ],
+        vec![
+            "Total power (mW)".to_string(),
+            format!("{:.4}", cau.total_power_mw()),
+        ],
     ];
     Figure {
         name: "tab_area_power".to_string(),
         title: "Sec. 6.1 — CAU performance, area and power".to_string(),
-        header: vec!["quantity", "value"].into_iter().map(String::from).collect(),
+        header: vec!["quantity", "value"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
         rows,
     }
 }
@@ -380,8 +417,7 @@ pub fn tab_ablation(config: &ExperimentConfig) -> Figure {
     let mut bd_red_sums = vec![0.0; variants.len()];
     let mut foveal_sums = vec![0.0; variants.len()];
     for scene in SceneId::ALL {
-        let frame =
-            SceneRenderer::new(scene, SceneConfig::new(config.dimensions)).render_linear(0);
+        let frame = SceneRenderer::new(scene, SceneConfig::new(config.dimensions)).render_linear(0);
         let results = run_ablation(&frame, &display, gaze, &config.encoder, &variants);
         for (i, r) in results.iter().enumerate() {
             bpp_sums[i] += r.bits_per_pixel;
@@ -405,10 +441,15 @@ pub fn tab_ablation(config: &ExperimentConfig) -> Figure {
     Figure {
         name: "tab_ablation".to_string(),
         title: "Ablation — encoder variants averaged over the six scenes".to_string(),
-        header: vec!["variant", "bits_per_pixel", "reduction_vs_bd_%", "foveal_tile_frac"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        header: vec![
+            "variant",
+            "bits_per_pixel",
+            "reduction_vs_bd_%",
+            "foveal_tile_frac",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
         rows,
     }
 }
@@ -418,12 +459,30 @@ pub fn tab_scc(bits_per_channel: u8) -> Figure {
     let model = SyntheticDiscriminationModel::default();
     let codec = SccCodec::build(&model, SccConfig::new(bits_per_channel, 30.0));
     let rows = vec![
-        vec!["lattice bits per channel".to_string(), bits_per_channel.to_string()],
-        vec!["lattice colors".to_string(), (1usize << (3 * bits_per_channel)).to_string()],
-        vec!["codebook colors".to_string(), codec.codebook_size().to_string()],
-        vec!["bits per color".to_string(), codec.bits_per_color().to_string()],
-        vec!["encode table (bytes)".to_string(), codec.encode_table_bytes().to_string()],
-        vec!["decode table (bytes)".to_string(), codec.decode_table_bytes().to_string()],
+        vec![
+            "lattice bits per channel".to_string(),
+            bits_per_channel.to_string(),
+        ],
+        vec![
+            "lattice colors".to_string(),
+            (1usize << (3 * bits_per_channel)).to_string(),
+        ],
+        vec![
+            "codebook colors".to_string(),
+            codec.codebook_size().to_string(),
+        ],
+        vec![
+            "bits per color".to_string(),
+            codec.bits_per_color().to_string(),
+        ],
+        vec![
+            "encode table (bytes)".to_string(),
+            codec.encode_table_bytes().to_string(),
+        ],
+        vec![
+            "decode table (bytes)".to_string(),
+            codec.decode_table_bytes().to_string(),
+        ],
         vec![
             "full-resolution encode table (bytes)".to_string(),
             codec.full_resolution_encode_table_bytes().to_string(),
@@ -432,7 +491,10 @@ pub fn tab_scc(bits_per_channel: u8) -> Figure {
     Figure {
         name: "tab_scc_codebook".to_string(),
         title: "Sec. 6.2 — SCC codebook and table sizes".to_string(),
-        header: vec!["quantity", "value"].into_iter().map(String::from).collect(),
+        header: vec!["quantity", "value"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
         rows,
     }
 }

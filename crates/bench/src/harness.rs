@@ -113,7 +113,10 @@ pub fn measure_scene(scene: SceneId, config: &ExperimentConfig) -> SceneMeasurem
     let model = SyntheticDiscriminationModel::default();
     let encoder = PerceptualEncoder::new(model, config.encoder.clone());
     let scc = if config.include_offline_baselines {
-        Some(SccCodec::build(&model, SccConfig::new(config.scc_bits_per_channel, 30.0)))
+        Some(SccCodec::build(
+            &model,
+            SccConfig::new(config.scc_bits_per_channel, 30.0),
+        ))
     } else {
         None
     };
@@ -170,7 +173,10 @@ pub fn measure_scene(scene: SceneId, config: &ExperimentConfig) -> SceneMeasurem
 
 /// Measures all six scenes.
 pub fn measure_all_scenes(config: &ExperimentConfig) -> Vec<SceneMeasurement> {
-    SceneId::ALL.iter().map(|&scene| measure_scene(scene, config)).collect()
+    SceneId::ALL
+        .iter()
+        .map(|&scene| measure_scene(scene, config))
+        .collect()
 }
 
 #[cfg(test)]
@@ -214,7 +220,10 @@ mod tests {
 
     #[test]
     fn multiple_frames_accumulate_pixels() {
-        let config = ExperimentConfig { frames: 2, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            frames: 2,
+            ..ExperimentConfig::quick()
+        };
         let m = measure_scene(SceneId::Dumbo, &config);
         assert_eq!(m.ours.pixel_count, config.dimensions.pixel_count() * 2);
     }

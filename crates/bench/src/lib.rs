@@ -9,6 +9,18 @@
 //! The harness renders the six synthetic scenes at a configurable (per-eye)
 //! resolution, runs the perceptual encoder and all baselines on the same
 //! frames, and aggregates the results into the quantities the paper plots.
+//!
+//! # Examples
+//!
+//! ```
+//! use pvc_bench::{measure_scene, ExperimentConfig};
+//! use pvc_scenes::SceneId;
+//!
+//! let config = ExperimentConfig::quick();
+//! let measurement = measure_scene(SceneId::Office, &config);
+//! // The perceptual encoder always beats the plain BD baseline.
+//! assert!(measurement.reduction_over_bd() > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -44,11 +44,7 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing the file.
-pub fn write_csv(
-    name: &str,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = Path::new("target").join("figures");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));

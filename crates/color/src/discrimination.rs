@@ -137,15 +137,9 @@ impl SyntheticModelParams {
 /// let peripheral = model.ellipsoid_axes(LinearRgb::gray(0.5), 25.0);
 /// assert!(peripheral.a > foveal.a);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct SyntheticDiscriminationModel {
     params: SyntheticModelParams,
-}
-
-impl Default for SyntheticDiscriminationModel {
-    fn default() -> Self {
-        SyntheticDiscriminationModel { params: SyntheticModelParams::default() }
-    }
 }
 
 impl SyntheticDiscriminationModel {
@@ -161,7 +155,9 @@ impl SyntheticDiscriminationModel {
     ///
     /// Panics if `factor` is not strictly positive.
     pub fn with_scale(factor: f64) -> Self {
-        SyntheticDiscriminationModel { params: SyntheticModelParams::default().scaled(factor) }
+        SyntheticDiscriminationModel {
+            params: SyntheticModelParams::default().scaled(factor),
+        }
     }
 
     /// The model parameters.
@@ -274,10 +270,16 @@ impl std::fmt::Display for RbfFitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RbfFitError::SingularSystem { output } => {
-                write!(f, "rbf fit failed: singular normal equations for output {output}")
+                write!(
+                    f,
+                    "rbf fit failed: singular normal equations for output {output}"
+                )
             }
             RbfFitError::EmptyConfiguration => {
-                write!(f, "rbf fit failed: configuration has no kernels or no training samples")
+                write!(
+                    f,
+                    "rbf fit failed: configuration has no kernels or no training samples"
+                )
             }
         }
     }
@@ -309,7 +311,11 @@ impl RbfDiscriminationModel {
 
         // Design matrix (row per sample).
         let mut design = vec![0.0; n_samples * n_features];
-        let mut targets = [vec![0.0; n_samples], vec![0.0; n_samples], vec![0.0; n_samples]];
+        let mut targets = [
+            vec![0.0; n_samples],
+            vec![0.0; n_samples],
+            vec![0.0; n_samples],
+        ];
         for (si, input) in samples.iter().enumerate() {
             for (ki, center) in centers.iter().enumerate() {
                 design[si * n_features + ki] = gaussian_kernel(input, center, config.kernel_width);
@@ -354,7 +360,11 @@ impl RbfDiscriminationModel {
             weights[out] = solved;
         }
 
-        Ok(RbfDiscriminationModel { centers, weights, kernel_width: config.kernel_width })
+        Ok(RbfDiscriminationModel {
+            centers,
+            weights,
+            kernel_width: config.kernel_width,
+        })
     }
 
     /// Number of kernels in the network (excluding the bias).
@@ -483,7 +493,8 @@ mod tests {
         let five = model.ellipsoid(color, 5.0);
         let twenty_five = model.ellipsoid(color, 25.0);
         for axis in RgbAxis::ALL {
-            let ratio = twenty_five.half_extent_along_axis(axis) / five.half_extent_along_axis(axis);
+            let ratio =
+                twenty_five.half_extent_along_axis(axis) / five.half_extent_along_axis(axis);
             assert!(ratio > 1.5, "extent along {axis} grew only {ratio}x");
         }
     }
@@ -503,13 +514,24 @@ mod tests {
         // sensitive to green". With the published DKL matrix and the default
         // calibration the Blue extent dominates and Green is the smallest.
         let model = SyntheticDiscriminationModel::default();
-        for &(r, g, b) in &[(0.5, 0.5, 0.5), (0.2, 0.7, 0.3), (0.8, 0.3, 0.6), (0.1, 0.1, 0.1)] {
+        for &(r, g, b) in &[
+            (0.5, 0.5, 0.5),
+            (0.2, 0.7, 0.3),
+            (0.8, 0.3, 0.6),
+            (0.1, 0.1, 0.1),
+        ] {
             let e = model.ellipsoid(LinearRgb::new(r, g, b), 20.0);
             let green = e.half_extent_along_axis(RgbAxis::Green);
             let red = e.half_extent_along_axis(RgbAxis::Red);
             let blue = e.half_extent_along_axis(RgbAxis::Blue);
-            assert!(blue > red && blue > green, "blue must dominate: r={red} g={green} b={blue}");
-            assert!(green <= red * 1.05, "green must be (about) the tightest: r={red} g={green}");
+            assert!(
+                blue > red && blue > green,
+                "blue must dominate: r={red} g={green} b={blue}"
+            );
+            assert!(
+                green <= red * 1.05,
+                "green must be (about) the tightest: r={red} g={green}"
+            );
         }
     }
 
@@ -520,10 +542,16 @@ mod tests {
         let e30 = model.ellipsoid(LinearRgb::gray(0.5), 30.0);
         // Roughly ±0.3–3 sRGB code values in the fovea...
         let foveal = e0.half_extent_along_axis(RgbAxis::Blue) * 255.0;
-        assert!(foveal > 0.3 && foveal < 5.0, "foveal extent {foveal} code values");
+        assert!(
+            foveal > 0.3 && foveal < 5.0,
+            "foveal extent {foveal} code values"
+        );
         // ... and clearly more (but bounded) in the periphery.
         let periph = e30.half_extent_along_axis(RgbAxis::Blue) * 255.0;
-        assert!(periph > 3.0 && periph < 40.0, "peripheral extent {periph} code values");
+        assert!(
+            periph > 3.0 && periph < 40.0,
+            "peripheral extent {periph} code values"
+        );
     }
 
     #[test]
@@ -561,7 +589,10 @@ mod tests {
     #[test]
     fn rbf_rejects_empty_configuration() {
         let reference = SyntheticDiscriminationModel::default();
-        let bad = RbfConfig { color_grid: 0, ..RbfConfig::default() };
+        let bad = RbfConfig {
+            color_grid: 0,
+            ..RbfConfig::default()
+        };
         let err = RbfDiscriminationModel::fit_to(&reference, bad).unwrap_err();
         assert_eq!(err, RbfFitError::EmptyConfiguration);
         assert!(err.to_string().contains("configuration"));

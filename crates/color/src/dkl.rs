@@ -90,7 +90,11 @@ impl DklColor {
     /// Converts from a [`Vec3`] interpreted as `(k1, k2, k3)`.
     #[inline]
     pub const fn from_vec3(v: Vec3) -> Self {
-        DklColor { k1: v.x, k2: v.y, k3: v.z }
+        DklColor {
+            k1: v.x,
+            k2: v.y,
+            k3: v.z,
+        }
     }
 
     /// Converts to a [`Vec3`] as `(k1, k2, k3)`.
@@ -162,7 +166,10 @@ mod tests {
         ] {
             let rgb = LinearRgb::new(r, g, b);
             let back = DklColor::from_linear_rgb(rgb).to_linear_rgb();
-            assert!(back.max_channel_distance(rgb) < 1e-8, "roundtrip failed for {rgb:?}");
+            assert!(
+                back.max_channel_distance(rgb) < 1e-8,
+                "roundtrip failed for {rgb:?}"
+            );
         }
     }
 

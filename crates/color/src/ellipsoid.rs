@@ -180,7 +180,10 @@ impl DiscriminationEllipsoid {
 
     /// Creates an ellipsoid centered at a linear RGB color.
     pub fn from_rgb_center(center: LinearRgb, axes: EllipsoidAxes) -> Self {
-        DiscriminationEllipsoid { center: DklColor::from_linear_rgb(center), axes }
+        DiscriminationEllipsoid {
+            center: DklColor::from_linear_rgb(center),
+            axes,
+        }
     }
 
     /// The ellipsoid center in DKL coordinates.
@@ -209,7 +212,10 @@ impl DiscriminationEllipsoid {
     ///
     /// Panics if `factor` is not strictly positive.
     pub fn scaled(&self, factor: f64) -> Self {
-        DiscriminationEllipsoid { center: self.center, axes: self.axes.scaled(factor) }
+        DiscriminationEllipsoid {
+            center: self.center,
+            axes: self.axes.scaled(factor),
+        }
     }
 
     /// Left-hand side of the normalized ellipsoid equation (Eq. 4) at a DKL
@@ -251,7 +257,11 @@ impl DiscriminationEllipsoid {
         // D⁻¹ w  (D is diagonal).
         let dinv_w = Vec3::new(w.x * s.x * s.x, w.y * s.y * s.y, w.z * s.z * s.z);
         let denom = w.dot(dinv_w).max(0.0).sqrt();
-        let offset = if denom <= f64::EPSILON { Vec3::ZERO } else { dinv_w * (1.0 / denom) };
+        let offset = if denom <= f64::EPSILON {
+            Vec3::ZERO
+        } else {
+            dinv_w * (1.0 / denom)
+        };
         let center = self.center.to_vec3();
         let high = DklColor::from_vec3(center + offset).to_linear_rgb();
         let low = DklColor::from_vec3(center - offset).to_linear_rgb();
@@ -259,7 +269,11 @@ impl DiscriminationEllipsoid {
         if high.channel(axis.index()) >= low.channel(axis.index()) {
             AxisExtrema { axis, high, low }
         } else {
-            AxisExtrema { axis, high: low, low: high }
+            AxisExtrema {
+                axis,
+                high: low,
+                low: high,
+            }
         }
     }
 
@@ -278,16 +292,27 @@ impl DiscriminationEllipsoid {
         // (Eq. 13a–13c): x = RGB→DKL · v, t = 1/√(Σ xᵢ²/sᵢ²).
         let x = rgb_to_dkl_matrix() * v;
         let s = self.axes.to_vec3();
-        let denom =
-            ((x.x / s.x).powi(2) + (x.y / s.y).powi(2) + (x.z / s.z).powi(2)).sqrt();
-        let t = if denom <= f64::EPSILON { 0.0 } else { 1.0 / denom };
+        let denom = ((x.x / s.x).powi(2) + (x.y / s.y).powi(2) + (x.z / s.z).powi(2)).sqrt();
+        let t = if denom <= f64::EPSILON {
+            0.0
+        } else {
+            1.0 / denom
+        };
         let center = self.center.to_vec3();
         let p1 = DklColor::from_vec3(center + x * t).to_linear_rgb();
         let p2 = DklColor::from_vec3(center - x * t).to_linear_rgb();
         if p1.channel(axis.index()) >= p2.channel(axis.index()) {
-            AxisExtrema { axis, high: p1, low: p2 }
+            AxisExtrema {
+                axis,
+                high: p1,
+                low: p2,
+            }
         } else {
-            AxisExtrema { axis, high: p2, low: p1 }
+            AxisExtrema {
+                axis,
+                high: p2,
+                low: p1,
+            }
         }
     }
 
@@ -333,7 +358,11 @@ impl RgbQuadric {
         let ntdn = n.transpose() * d * n;
         let ntdk = n.transpose() * (d * kappa);
         let constant = kappa.dot(d * kappa) - 1.0;
-        RgbQuadric { quadratic: ntdn, linear: ntdk * -2.0, constant }
+        RgbQuadric {
+            quadratic: ntdn,
+            linear: ntdk * -2.0,
+            constant,
+        }
     }
 
     /// Evaluates the quadric at an RGB point (zero on the surface, negative
@@ -428,8 +457,14 @@ mod tests {
         let e = sample_ellipsoid();
         for axis in RgbAxis::ALL {
             let ext = e.extrema_along_axis(axis);
-            assert!((e.normalized_distance_rgb(ext.high) - 1.0).abs() < 1e-6, "high not on surface");
-            assert!((e.normalized_distance_rgb(ext.low) - 1.0).abs() < 1e-6, "low not on surface");
+            assert!(
+                (e.normalized_distance_rgb(ext.high) - 1.0).abs() < 1e-6,
+                "high not on surface"
+            );
+            assert!(
+                (e.normalized_distance_rgb(ext.low) - 1.0).abs() < 1e-6,
+                "low not on surface"
+            );
         }
     }
 
@@ -451,11 +486,13 @@ mod tests {
                 let v = ((u * 37.0).fract() * 2.0) - 1.0;
                 let s = (1.0 - v * v).max(0.0).sqrt();
                 let dir = Vec3::new(s * theta.cos(), s * theta.sin(), v);
-                let p = center
-                    + Vec3::new(dir.x * axes.a, dir.y * axes.b, dir.z * axes.c);
+                let p = center + Vec3::new(dir.x * axes.a, dir.y * axes.b, dir.z * axes.c);
                 let rgb = DklColor::from_vec3(p).to_linear_rgb();
                 let val = rgb.channel(axis.index());
-                assert!(val <= hi && val >= lo, "sampled point escapes extrema on {axis}");
+                assert!(
+                    val <= hi && val >= lo,
+                    "sampled point escapes extrema on {axis}"
+                );
             }
         }
     }
@@ -466,8 +503,14 @@ mod tests {
         for axis in RgbAxis::ALL {
             let a = e.extrema_along_axis(axis);
             let b = e.extrema_along_axis_via_quadric(axis);
-            assert!(a.high.max_channel_distance(b.high) < 1e-7, "high mismatch on {axis}");
-            assert!(a.low.max_channel_distance(b.low) < 1e-7, "low mismatch on {axis}");
+            assert!(
+                a.high.max_channel_distance(b.high) < 1e-7,
+                "high mismatch on {axis}"
+            );
+            assert!(
+                a.low.max_channel_distance(b.low) < 1e-7,
+                "low mismatch on {axis}"
+            );
         }
     }
 

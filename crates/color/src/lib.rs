@@ -41,9 +41,7 @@ pub use discrimination::{
     SyntheticDiscriminationModel, SyntheticModelParams, MAX_ECCENTRICITY_DEG,
 };
 pub use dkl::{dkl_axis_rgb_gain, dkl_to_rgb_matrix, rgb_to_dkl_matrix, DklColor, RGB_TO_DKL};
-pub use ellipsoid::{
-    AxisExtrema, DiscriminationEllipsoid, EllipsoidAxes, RgbAxis, RgbQuadric,
-};
+pub use ellipsoid::{AxisExtrema, DiscriminationEllipsoid, EllipsoidAxes, RgbAxis, RgbQuadric};
 pub use math::{Mat3, Vec3};
 pub use srgb::{
     linear_to_srgb, linear_to_srgb8, srgb8_to_linear, srgb_to_linear, LinearRgb, Srgb8,

@@ -29,7 +29,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from its three components.
     #[inline]
@@ -52,7 +56,11 @@ impl Vec3 {
     /// Creates a vector from an array `[x, y, z]`.
     #[inline]
     pub const fn from_array(a: [f64; 3]) -> Self {
-        Vec3 { x: a[0], y: a[1], z: a[2] }
+        Vec3 {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+        }
     }
 
     /// Dot product with `other`.
@@ -103,25 +111,41 @@ impl Vec3 {
     /// Component-wise product.
     #[inline]
     pub fn component_mul(self, other: Vec3) -> Vec3 {
-        Vec3 { x: self.x * other.x, y: self.y * other.y, z: self.z * other.z }
+        Vec3 {
+            x: self.x * other.x,
+            y: self.y * other.y,
+            z: self.z * other.z,
+        }
     }
 
     /// Component-wise minimum.
     #[inline]
     pub fn component_min(self, other: Vec3) -> Vec3 {
-        Vec3 { x: self.x.min(other.x), y: self.y.min(other.y), z: self.z.min(other.z) }
+        Vec3 {
+            x: self.x.min(other.x),
+            y: self.y.min(other.y),
+            z: self.z.min(other.z),
+        }
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn component_max(self, other: Vec3) -> Vec3 {
-        Vec3 { x: self.x.max(other.x), y: self.y.max(other.y), z: self.z.max(other.z) }
+        Vec3 {
+            x: self.x.max(other.x),
+            y: self.y.max(other.y),
+            z: self.z.max(other.z),
+        }
     }
 
     /// Clamps every component to the inclusive range `[lo, hi]`.
     #[inline]
     pub fn clamp_components(self, lo: f64, hi: f64) -> Vec3 {
-        Vec3 { x: self.x.clamp(lo, hi), y: self.y.clamp(lo, hi), z: self.z.clamp(lo, hi) }
+        Vec3 {
+            x: self.x.clamp(lo, hi),
+            y: self.y.clamp(lo, hi),
+            z: self.z.clamp(lo, hi),
+        }
     }
 
     /// Returns the component selected by `index` (0 → x, 1 → y, 2 → z).
@@ -166,7 +190,11 @@ impl std::ops::Add for Vec3 {
     type Output = Vec3;
     #[inline]
     fn add(self, rhs: Vec3) -> Vec3 {
-        Vec3 { x: self.x + rhs.x, y: self.y + rhs.y, z: self.z + rhs.z }
+        Vec3 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+            z: self.z + rhs.z,
+        }
     }
 }
 
@@ -174,7 +202,11 @@ impl std::ops::Sub for Vec3 {
     type Output = Vec3;
     #[inline]
     fn sub(self, rhs: Vec3) -> Vec3 {
-        Vec3 { x: self.x - rhs.x, y: self.y - rhs.y, z: self.z - rhs.z }
+        Vec3 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+            z: self.z - rhs.z,
+        }
     }
 }
 
@@ -182,7 +214,11 @@ impl std::ops::Mul<f64> for Vec3 {
     type Output = Vec3;
     #[inline]
     fn mul(self, rhs: f64) -> Vec3 {
-        Vec3 { x: self.x * rhs, y: self.y * rhs, z: self.z * rhs }
+        Vec3 {
+            x: self.x * rhs,
+            y: self.y * rhs,
+            z: self.z * rhs,
+        }
     }
 }
 
@@ -190,7 +226,11 @@ impl std::ops::Neg for Vec3 {
     type Output = Vec3;
     #[inline]
     fn neg(self) -> Vec3 {
-        Vec3 { x: -self.x, y: -self.y, z: -self.z }
+        Vec3 {
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 }
 
@@ -237,13 +277,17 @@ impl Mat3 {
     /// The identity matrix.
     #[inline]
     pub const fn identity() -> Self {
-        Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+        Mat3 {
+            rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        }
     }
 
     /// A diagonal matrix with diagonal `d`.
     #[inline]
     pub const fn from_diagonal(d: Vec3) -> Self {
-        Mat3 { rows: [[d.x, 0.0, 0.0], [0.0, d.y, 0.0], [0.0, 0.0, d.z]] }
+        Mat3 {
+            rows: [[d.x, 0.0, 0.0], [0.0, d.y, 0.0], [0.0, 0.0, d.z]],
+        }
     }
 
     /// Element access: row `r`, column `c`.
@@ -460,7 +504,11 @@ pub struct SingularMatrix {
 
 impl std::fmt::Display for SingularMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "singular matrix: no usable pivot in column {}", self.column)
+        write!(
+            f,
+            "singular matrix: no usable pivot in column {}",
+            self.column
+        )
     }
 }
 

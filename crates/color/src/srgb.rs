@@ -90,9 +90,17 @@ pub struct LinearRgb {
 
 impl LinearRgb {
     /// Black (all channels zero).
-    pub const BLACK: LinearRgb = LinearRgb { r: 0.0, g: 0.0, b: 0.0 };
+    pub const BLACK: LinearRgb = LinearRgb {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+    };
     /// White (all channels one).
-    pub const WHITE: LinearRgb = LinearRgb { r: 1.0, g: 1.0, b: 1.0 };
+    pub const WHITE: LinearRgb = LinearRgb {
+        r: 1.0,
+        g: 1.0,
+        b: 1.0,
+    };
 
     /// Creates a linear RGB color. Channels are *not* clamped; use
     /// [`LinearRgb::clamped`] to force the color into gamut.
@@ -110,7 +118,11 @@ impl LinearRgb {
     /// Converts from a [`Vec3`] interpreted as `(r, g, b)`.
     #[inline]
     pub const fn from_vec3(v: Vec3) -> Self {
-        LinearRgb { r: v.x, g: v.y, b: v.z }
+        LinearRgb {
+            r: v.x,
+            g: v.y,
+            b: v.z,
+        }
     }
 
     /// Converts to a [`Vec3`] as `(r, g, b)`.
@@ -142,7 +154,11 @@ impl LinearRgb {
     /// Returns a copy with every channel clamped to `[0, 1]`.
     #[inline]
     pub fn clamped(self) -> LinearRgb {
-        LinearRgb { r: self.r.clamp(0.0, 1.0), g: self.g.clamp(0.0, 1.0), b: self.b.clamp(0.0, 1.0) }
+        LinearRgb {
+            r: self.r.clamp(0.0, 1.0),
+            g: self.g.clamp(0.0, 1.0),
+            b: self.b.clamp(0.0, 1.0),
+        }
     }
 
     /// True when every channel already lies in `[0, 1]` (within `tol`).
@@ -216,7 +232,9 @@ impl From<LinearRgb> for Vec3 {
 /// let c = Srgb8::new(0xF0, 0x60, 0x77);
 /// assert_eq!(c.to_array(), [0xF0, 0x60, 0x77]);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct Srgb8 {
     /// Red code value.
     pub r: u8,
@@ -242,7 +260,11 @@ impl Srgb8 {
     /// Creates an sRGB color from `[r, g, b]`.
     #[inline]
     pub const fn from_array(a: [u8; 3]) -> Self {
-        Srgb8 { r: a[0], g: a[1], b: a[2] }
+        Srgb8 {
+            r: a[0],
+            g: a[1],
+            b: a[2],
+        }
     }
 
     /// Returns the code value of channel `index` (0 → r, 1 → g, 2 → b).
@@ -269,7 +291,11 @@ impl Srgb8 {
     /// Unpacks a color from the low 24 bits of a `u32` (`0x00RRGGBB`).
     #[inline]
     pub const fn from_packed(v: u32) -> Self {
-        Srgb8 { r: ((v >> 16) & 0xFF) as u8, g: ((v >> 8) & 0xFF) as u8, b: (v & 0xFF) as u8 }
+        Srgb8 {
+            r: ((v >> 16) & 0xFF) as u8,
+            g: ((v >> 8) & 0xFF) as u8,
+            b: (v & 0xFF) as u8,
+        }
     }
 
     /// Expands into the linear RGB working space.
@@ -363,7 +389,10 @@ mod tests {
     fn linear_rgb_gamut() {
         assert!(LinearRgb::new(0.0, 0.5, 1.0).in_gamut(0.0));
         assert!(!LinearRgb::new(-0.1, 0.5, 1.0).in_gamut(1e-6));
-        assert_eq!(LinearRgb::new(-0.1, 0.5, 1.2).clamped(), LinearRgb::new(0.0, 0.5, 1.0));
+        assert_eq!(
+            LinearRgb::new(-0.1, 0.5, 1.2).clamped(),
+            LinearRgb::new(0.0, 0.5, 1.0)
+        );
     }
 
     #[test]

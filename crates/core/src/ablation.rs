@@ -135,11 +135,19 @@ mod tests {
     fn setup() -> (LinearFrame, DisplayGeometry, GazePoint) {
         let dims = Dimensions::new(128, 96);
         let frame = SceneRenderer::new(SceneId::Office, SceneConfig::new(dims)).render_linear(0);
-        (frame, DisplayGeometry::quest2_like(dims), GazePoint::center_of(dims))
+        (
+            frame,
+            DisplayGeometry::quest2_like(dims),
+            GazePoint::center_of(dims),
+        )
     }
 
     fn result_of(results: &[AblationResult], variant: &AblationVariant) -> AblationResult {
-        results.iter().find(|r| &r.variant == variant).expect("variant measured").clone()
+        results
+            .iter()
+            .find(|r| &r.variant == variant)
+            .expect("variant measured")
+            .clone()
     }
 
     #[test]
@@ -223,7 +231,10 @@ mod tests {
             &display,
             gaze,
             &EncoderConfig::default(),
-            &[AblationVariant::ModelScale(0.5), AblationVariant::ModelScale(2.0)],
+            &[
+                AblationVariant::ModelScale(0.5),
+                AblationVariant::ModelScale(2.0),
+            ],
         );
         assert!(results[1].bits_per_pixel <= results[0].bits_per_pixel + 1e-9);
     }

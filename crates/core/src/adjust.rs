@@ -18,8 +18,8 @@
 //! ellipsoid by construction; an additional gamut clamp shortens the move if
 //! it would leave `[0, 1]`.
 
-use pvc_color::{AxisExtrema, DiscriminationEllipsoid, LinearRgb, RgbAxis, Vec3};
 use pvc_bdc::tile_codec::bits_for_range;
+use pvc_color::{AxisExtrema, DiscriminationEllipsoid, LinearRgb, RgbAxis, Vec3};
 use serde::{Deserialize, Serialize};
 
 /// Which of the two geometric cases of Fig. 6 a tile fell into.
@@ -85,7 +85,8 @@ impl TileAdjustment {
     /// Δ bits saved relative to the unadjusted tile (zero if the adjustment
     /// could not help).
     pub fn delta_bits_saved(&self) -> u64 {
-        self.original_cost.saturating_sub(self.chosen.delta_bit_cost())
+        self.original_cost
+            .saturating_sub(self.chosen.delta_bit_cost())
     }
 }
 
@@ -148,7 +149,11 @@ fn clamp_step_to_gamut(origin: Vec3, direction: Vec3, t: f64) -> f64 {
         }
         let o = origin.component(i);
         // Allowed movement along +d before hitting 0 or 1.
-        let room = if d > 0.0 { (1.0 - o) / d } else { (0.0 - o) / d };
+        let room = if d > 0.0 {
+            (1.0 - o) / d
+        } else {
+            (0.0 - o) / d
+        };
         if room < limit {
             limit = room.max(0.0);
         }
@@ -166,12 +171,18 @@ pub fn adjust_tile_along_axis(
     ellipsoids: &[DiscriminationEllipsoid],
     axis: RgbAxis,
 ) -> AxisAdjustment {
-    assert_eq!(pixels.len(), ellipsoids.len(), "one ellipsoid per pixel is required");
+    assert_eq!(
+        pixels.len(),
+        ellipsoids.len(),
+        "one ellipsoid per pixel is required"
+    );
     assert!(!pixels.is_empty(), "cannot adjust an empty tile");
 
     // Phase 1: per-pixel extrema (the Compute Extrema blocks of the CAU).
-    let extrema: Vec<AxisExtrema> =
-        ellipsoids.iter().map(|e| e.extrema_along_axis(axis)).collect();
+    let extrema: Vec<AxisExtrema> = ellipsoids
+        .iter()
+        .map(|e| e.extrema_along_axis(axis))
+        .collect();
 
     // Phase 2: HL / LH reduction (the Compute Planes blocks).
     let hl = extrema
@@ -212,7 +223,13 @@ pub fn adjust_tile_along_axis(
         (AdjustmentCase::NoCommonPlane, adjusted)
     };
 
-    AxisAdjustment { axis, case, adjusted, hl, lh }
+    AxisAdjustment {
+        axis,
+        case,
+        adjusted,
+        hl,
+        lh,
+    }
 }
 
 /// Adjusts one tile by trying every candidate axis and keeping the attempt
@@ -227,7 +244,10 @@ pub fn adjust_tile(
     ellipsoids: &[DiscriminationEllipsoid],
     axes: &[RgbAxis],
 ) -> TileAdjustment {
-    assert!(!axes.is_empty(), "at least one optimization axis is required");
+    assert!(
+        !axes.is_empty(),
+        "at least one optimization axis is required"
+    );
     let original_cost = delta_bit_cost(pixels);
     let chosen = axes
         .iter()
@@ -248,7 +268,10 @@ pub fn adjust_tile(
             original_cost,
         }
     } else {
-        TileAdjustment { chosen, original_cost }
+        TileAdjustment {
+            chosen,
+            original_cost,
+        }
     }
 }
 
@@ -257,12 +280,12 @@ mod tests {
     use super::*;
     use pvc_color::{DiscriminationModel, SyntheticDiscriminationModel};
 
-    fn ellipsoids_for(
-        pixels: &[LinearRgb],
-        eccentricity: f64,
-    ) -> Vec<DiscriminationEllipsoid> {
+    fn ellipsoids_for(pixels: &[LinearRgb], eccentricity: f64) -> Vec<DiscriminationEllipsoid> {
         let model = SyntheticDiscriminationModel::default();
-        pixels.iter().map(|&p| model.ellipsoid(p, eccentricity)).collect()
+        pixels
+            .iter()
+            .map(|&p| model.ellipsoid(p, eccentricity))
+            .collect()
     }
 
     fn similar_tile() -> Vec<LinearRgb> {
@@ -376,7 +399,10 @@ mod tests {
         let pixels = similar_tile();
         let ellipsoids = ellipsoids_for(&pixels, 25.0);
         let result = adjust_tile(&pixels, &ellipsoids, &RgbAxis::OPTIMIZED);
-        assert!(result.delta_bits_saved() > 0, "expected savings on a smooth peripheral tile");
+        assert!(
+            result.delta_bits_saved() > 0,
+            "expected savings on a smooth peripheral tile"
+        );
         assert!(result.chosen.delta_bit_cost() < result.original_cost);
     }
 

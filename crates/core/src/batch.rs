@@ -1,0 +1,316 @@
+//! A session API for encoding gaze-streams of frames.
+//!
+//! A VR runtime does not encode one frame in isolation: it serves a stream
+//! of frames for one headset (fixed display geometry) whose gaze moves in
+//! fixations — long runs of frames share the same (or a re-sent) gaze
+//! sample. Everything the perceptual encoder derives from the gaze alone is
+//! therefore reusable across the stream: the per-tile [`EccentricityMap`]
+//! walks every tile of the grid and evaluates five eccentricities per tile,
+//! which for a Quest-2-sized frame is millions of trigonometric evaluations
+//! that [`PerceptualEncoder::encode_frame`] would redo per frame.
+//!
+//! [`BatchEncoder`] owns the display geometry and a small most-recently-used
+//! cache of eccentricity maps keyed by the exact gaze sample, and feeds the
+//! cached map into [`PerceptualEncoder::encode_frame_with_map`]. Cache hits
+//! change *where the map comes from*, never its contents, so the encoded
+//! stream is bit-identical to calling the one-shot encoder per frame.
+
+use crate::config::EncoderConfig;
+use crate::encoder::{PerceptualEncodeResult, PerceptualEncoder};
+use pvc_color::DiscriminationModel;
+use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
+use pvc_frame::{LinearFrame, TileGrid};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Default number of distinct gazes the session keeps maps for.
+pub const DEFAULT_GAZE_CACHE_CAPACITY: usize = 8;
+
+/// Hit/miss counters of a session's eccentricity-map cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BatchCacheStats {
+    /// Frames that reused a cached eccentricity map.
+    pub hits: u64,
+    /// Frames that had to build a fresh eccentricity map.
+    pub misses: u64,
+    /// Number of maps currently cached.
+    pub entries: usize,
+}
+
+impl BatchCacheStats {
+    /// Fraction of frames served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// A per-stream encoding session that amortises gaze-dependent setup
+/// across frames.
+///
+/// # Examples
+///
+/// ```
+/// use pvc_color::SyntheticDiscriminationModel;
+/// use pvc_core::{BatchEncoder, EncoderConfig};
+/// use pvc_fovea::{DisplayGeometry, GazePoint};
+/// use pvc_frame::{Dimensions, LinearFrame};
+/// use pvc_color::LinearRgb;
+///
+/// let dims = Dimensions::new(64, 64);
+/// let display = DisplayGeometry::quest2_like(dims);
+/// let mut session = BatchEncoder::new(
+///     SyntheticDiscriminationModel::default(),
+///     EncoderConfig::default(),
+///     display,
+/// );
+///
+/// // Three frames of a fixation: one map build, two cache hits.
+/// let gaze = GazePoint::center_of(dims);
+/// for shade in [0.3, 0.4, 0.5] {
+///     let frame = LinearFrame::filled(dims, LinearRgb::new(shade, 0.5, 0.4));
+///     let result = session.encode(&frame, gaze);
+///     assert!(result.our_stats().compressed_bits <= result.bd_stats().compressed_bits);
+/// }
+/// assert_eq!(session.cache_stats().hits, 2);
+/// assert_eq!(session.cache_stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchEncoder<M> {
+    encoder: PerceptualEncoder<M>,
+    display: DisplayGeometry,
+    /// Most-recently-used first; keys are the exact gaze bit patterns so a
+    /// hit can never change the encoded output.
+    cache: Vec<((u64, u64), Arc<EccentricityMap>)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<M: DiscriminationModel + Sync> BatchEncoder<M> {
+    /// Creates a session for one display from a discrimination model and an
+    /// encoder configuration.
+    pub fn new(model: M, config: EncoderConfig, display: DisplayGeometry) -> Self {
+        BatchEncoder {
+            encoder: PerceptualEncoder::new(model, config),
+            display,
+            cache: Vec::new(),
+            capacity: DEFAULT_GAZE_CACHE_CAPACITY,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the session with a different gaze-cache capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        self.capacity = capacity;
+        self.cache.truncate(capacity);
+        self
+    }
+
+    /// The underlying one-shot encoder.
+    pub fn encoder(&self) -> &PerceptualEncoder<M> {
+        &self.encoder
+    }
+
+    /// The display geometry this session encodes for.
+    pub fn display(&self) -> &DisplayGeometry {
+        &self.display
+    }
+
+    /// Cache hit/miss counters for the frames encoded so far.
+    pub fn cache_stats(&self) -> BatchCacheStats {
+        BatchCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.cache.len(),
+        }
+    }
+
+    /// Encodes the next frame of the stream, viewed under `gaze`.
+    ///
+    /// Bit-identical to `PerceptualEncoder::encode_frame` on the same
+    /// inputs; the session only saves the eccentricity-map construction when
+    /// the gaze repeats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame and display dimensions differ.
+    pub fn encode(&mut self, frame: &LinearFrame, gaze: GazePoint) -> PerceptualEncodeResult {
+        assert_eq!(
+            frame.dimensions(),
+            self.display.dimensions(),
+            "frame and display dimensions must match"
+        );
+        let map = self.map_for(gaze);
+        self.encoder.encode_frame_with_map(frame, &map)
+    }
+
+    /// Encodes a whole gaze-stream, returning one result per frame.
+    pub fn encode_stream<'a, I>(&mut self, stream: I) -> Vec<PerceptualEncodeResult>
+    where
+        I: IntoIterator<Item = (&'a LinearFrame, GazePoint)>,
+    {
+        stream
+            .into_iter()
+            .map(|(frame, gaze)| self.encode(frame, gaze))
+            .collect()
+    }
+
+    /// Returns the eccentricity map for `gaze`, building and caching it on
+    /// a miss and refreshing its recency on a hit.
+    fn map_for(&mut self, gaze: GazePoint) -> Arc<EccentricityMap> {
+        let key = (gaze.x.to_bits(), gaze.y.to_bits());
+        if let Some(position) = self.cache.iter().position(|(k, _)| *k == key) {
+            self.hits += 1;
+            let entry = self.cache.remove(position);
+            self.cache.insert(0, entry);
+            return Arc::clone(&self.cache[0].1);
+        }
+        self.misses += 1;
+        let config = self.encoder.config();
+        let grid = TileGrid::new(self.display.dimensions(), config.tile_size);
+        let map = Arc::new(EccentricityMap::per_tile(
+            &self.display,
+            &grid,
+            gaze,
+            config.fovea,
+        ));
+        self.cache.insert(0, (key, Arc::clone(&map)));
+        self.cache.truncate(self.capacity);
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_color::SyntheticDiscriminationModel;
+    use pvc_frame::Dimensions;
+    use pvc_scenes::{SceneConfig, SceneId, SceneRenderer};
+
+    fn session(dims: Dimensions) -> BatchEncoder<SyntheticDiscriminationModel> {
+        BatchEncoder::new(
+            SyntheticDiscriminationModel::default(),
+            EncoderConfig::default(),
+            DisplayGeometry::quest2_like(dims),
+        )
+    }
+
+    fn frames(dims: Dimensions, count: u32) -> Vec<LinearFrame> {
+        let renderer = SceneRenderer::new(SceneId::Office, SceneConfig::new(dims));
+        (0..count).map(|t| renderer.render_linear(t)).collect()
+    }
+
+    #[test]
+    fn batch_output_matches_one_shot_encoder() {
+        let dims = Dimensions::new(96, 64);
+        let display = DisplayGeometry::quest2_like(dims);
+        let one_shot = PerceptualEncoder::new(
+            SyntheticDiscriminationModel::default(),
+            EncoderConfig::default(),
+        );
+        let mut batch = session(dims);
+        let gazes = [
+            GazePoint::center_of(dims),
+            GazePoint::new(10.0, 12.0),
+            GazePoint::center_of(dims),
+        ];
+        for (frame, gaze) in frames(dims, 3).iter().zip(gazes) {
+            let expected = one_shot.encode_frame(frame, &display, gaze);
+            let got = batch.encode(frame, gaze);
+            assert_eq!(got.encoded, expected.encoded);
+            assert_eq!(got.baseline, expected.baseline);
+            assert_eq!(got.adjusted, expected.adjusted);
+            assert_eq!(got.stats, expected.stats);
+        }
+    }
+
+    #[test]
+    fn repeated_gaze_hits_the_cache() {
+        let dims = Dimensions::new(64, 64);
+        let mut batch = session(dims);
+        let gaze = GazePoint::center_of(dims);
+        for frame in frames(dims, 4) {
+            let _ = batch.encode(&frame, gaze);
+        }
+        let stats = batch.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_gaze() {
+        let dims = Dimensions::new(64, 64);
+        let mut batch = session(dims).with_cache_capacity(2);
+        let frame = &frames(dims, 1)[0];
+        let g1 = GazePoint::new(1.0, 1.0);
+        let g2 = GazePoint::new(2.0, 2.0);
+        let g3 = GazePoint::new(3.0, 3.0);
+        let _ = batch.encode(frame, g1);
+        let _ = batch.encode(frame, g2);
+        let _ = batch.encode(frame, g3); // evicts g1
+        let _ = batch.encode(frame, g2); // hit
+        let _ = batch.encode(frame, g1); // rebuilt
+        let stats = batch.cache_stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn encode_stream_returns_one_result_per_frame() {
+        let dims = Dimensions::new(64, 64);
+        let mut batch = session(dims);
+        let rendered = frames(dims, 3);
+        let gaze = GazePoint::center_of(dims);
+        let stream: Vec<_> = rendered.iter().map(|f| (f, gaze)).collect();
+        let results = batch.encode_stream(stream);
+        assert_eq!(results.len(), 3);
+        for result in results {
+            assert!(result.our_stats().compressed_bits <= result.bd_stats().compressed_bits);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_frame_dimensions_panic() {
+        let dims = Dimensions::new(64, 64);
+        let mut batch = session(dims);
+        let wrong = LinearFrame::filled(Dimensions::new(32, 32), pvc_color::LinearRgb::BLACK);
+        let _ = batch.encode(&wrong, GazePoint::center_of(dims));
+    }
+
+    #[test]
+    fn empty_session_has_zero_hit_rate() {
+        let stats = BatchCacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sessions_can_move_to_worker_threads() {
+        // One session per stream on its own thread is the serving shape;
+        // pin the Send bound so the cache never regresses to !Send.
+        fn assert_send<T: Send>() {}
+        assert_send::<BatchEncoder<SyntheticDiscriminationModel>>();
+
+        let dims = Dimensions::new(32, 32);
+        let mut moved = session(dims);
+        let handle = std::thread::spawn(move || {
+            let frame = LinearFrame::filled(dims, pvc_color::LinearRgb::BLACK);
+            moved.encode(&frame, GazePoint::center_of(dims)).stats
+        });
+        let stats = handle.join().expect("worker thread");
+        assert_eq!(stats.total_tiles, 64);
+    }
+}

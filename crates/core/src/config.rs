@@ -55,7 +55,10 @@ impl EncoderConfig {
     ///
     /// Panics if `axes` is empty.
     pub fn with_axes(mut self, axes: Vec<RgbAxis>) -> Self {
-        assert!(!axes.is_empty(), "at least one optimization axis is required");
+        assert!(
+            !axes.is_empty(),
+            "at least one optimization axis is required"
+        );
         self.axes = axes;
         self
     }

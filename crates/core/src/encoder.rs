@@ -1,6 +1,6 @@
 //! The full-frame perceptual encoder.
 
-use crate::adjust::adjust_tile;
+use crate::adjust::{adjust_tile, AdjustmentCase};
 use crate::config::EncoderConfig;
 use crate::stats::AdjustmentStats;
 use pvc_bdc::{BdConfig, BdEncodedFrame, BdEncoder, CompressionStats};
@@ -8,6 +8,19 @@ use pvc_color::{DiscriminationModel, LinearRgb};
 use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
 use pvc_frame::{LinearFrame, SrgbFrame, TileGrid, TileRect};
 use serde::{Deserialize, Serialize};
+
+/// What one worker decided about one tile. Collected in tile order so the
+/// fold below is deterministic regardless of the thread count.
+enum TileOutcome {
+    /// The tile overlaps the foveal bypass region and is copied through.
+    Foveal,
+    /// The tile was adjusted; carries the replacement pixels.
+    Adjusted {
+        tile: TileRect,
+        pixels: Vec<LinearRgb>,
+        case: AdjustmentCase,
+    },
+}
 
 /// The color perception-aware frame encoder (Fig. 7 of the paper).
 ///
@@ -23,7 +36,7 @@ pub struct PerceptualEncoder<M> {
     config: EncoderConfig,
 }
 
-impl<M: DiscriminationModel> PerceptualEncoder<M> {
+impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
     /// Creates an encoder from a discrimination model and a configuration.
     pub fn new(model: M, config: EncoderConfig) -> Self {
         PerceptualEncoder { model, config }
@@ -61,63 +74,81 @@ impl<M: DiscriminationModel> PerceptualEncoder<M> {
             "frame and display dimensions must match"
         );
         let grid = TileGrid::new(frame.dimensions(), self.config.tile_size);
-        let eccentricity =
-            EccentricityMap::per_tile(display, &grid, gaze, self.config.fovea);
+        let eccentricity = EccentricityMap::per_tile(display, &grid, gaze, self.config.fovea);
+        self.adjust_frame_with_map(frame, &eccentricity)
+    }
 
+    /// Like [`Self::adjust_frame`], but reuses a prebuilt eccentricity map.
+    ///
+    /// The map only depends on the display geometry, tile grid, gaze and
+    /// fovea configuration — not on pixel data — so a session encoding many
+    /// frames at the same gaze (see [`crate::BatchEncoder`]) can build it
+    /// once and amortise its cost across the stream.
+    ///
+    /// The per-tile fan-out runs on `EncoderConfig::threads` scoped worker
+    /// threads; tile outcomes are folded in tile order, so the result is
+    /// bit-identical to the sequential path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's tile size or tile counts do not match this
+    /// encoder's configuration and the frame's dimensions.
+    pub fn adjust_frame_with_map(
+        &self,
+        frame: &LinearFrame,
+        eccentricity: &EccentricityMap,
+    ) -> (LinearFrame, AdjustmentStats) {
+        let grid = TileGrid::new(frame.dimensions(), self.config.tile_size);
+        assert_eq!(
+            eccentricity.tile_size(),
+            self.config.tile_size,
+            "eccentricity map tile size must match the encoder configuration"
+        );
+        assert_eq!(
+            (eccentricity.tiles_x(), eccentricity.tiles_y()),
+            (grid.tiles_x(), grid.tiles_y()),
+            "eccentricity map must cover the frame's tile grid"
+        );
         let tiles: Vec<TileRect> = grid.tiles().collect();
+
+        let outcomes =
+            pvc_parallel::parallel_chunk_map(&tiles, self.config.threads, |tile_batch| {
+                tile_batch
+                    .iter()
+                    .map(|&tile| {
+                        if eccentricity.is_foveal_tile(tile) {
+                            return TileOutcome::Foveal;
+                        }
+                        let pixels = frame.tile_pixels(tile);
+                        let ecc = eccentricity.tile_eccentricity(tile);
+                        let ellipsoids: Vec<_> = pixels
+                            .iter()
+                            .map(|&p| self.model.ellipsoid(p, ecc))
+                            .collect();
+                        let adjustment = adjust_tile(&pixels, &ellipsoids, &self.config.axes);
+                        TileOutcome::Adjusted {
+                            tile,
+                            case: adjustment.chosen.case,
+                            pixels: adjustment.chosen.adjusted,
+                        }
+                    })
+                    .collect()
+            });
+
         let mut adjusted = frame.clone();
-        let mut stats = AdjustmentStats { total_tiles: tiles.len(), ..Default::default() };
-
-        let worker = |tile_batch: &[TileRect]| {
-            let mut local_stats = AdjustmentStats::default();
-            let mut outputs: Vec<(TileRect, Vec<LinearRgb>)> = Vec::new();
-            for &tile in tile_batch {
-                if eccentricity.is_foveal_tile(tile) {
-                    local_stats.foveal_tiles += 1;
-                    continue;
-                }
-                let pixels = frame.tile_pixels(tile);
-                let ecc = eccentricity.tile_eccentricity(tile);
-                let ellipsoids: Vec<_> =
-                    pixels.iter().map(|&p| self.model.ellipsoid(p, ecc)).collect();
-                let adjustment = adjust_tile(&pixels, &ellipsoids, &self.config.axes);
-                local_stats.record_case(adjustment.chosen.case);
-                outputs.push((tile, adjustment.chosen.adjusted));
-            }
-            (outputs, local_stats)
+        let mut stats = AdjustmentStats {
+            total_tiles: tiles.len(),
+            ..Default::default()
         };
-
-        if self.config.threads <= 1 || tiles.len() < 2 * self.config.threads {
-            let (outputs, local) = worker(&tiles);
-            stats.foveal_tiles = local.foveal_tiles;
-            stats.case1_tiles = local.case1_tiles;
-            stats.case2_tiles = local.case2_tiles;
-            for (tile, pixels) in outputs {
-                adjusted.write_tile(tile, &pixels);
-            }
-        } else {
-            let chunk = tiles.len().div_ceil(self.config.threads);
-            let results = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = tiles
-                    .chunks(chunk)
-                    .map(|batch| scope.spawn(move |_| worker(batch)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("tile adjustment worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("crossbeam scope failed");
-            for (outputs, local) in results {
-                stats.foveal_tiles += local.foveal_tiles;
-                stats.case1_tiles += local.case1_tiles;
-                stats.case2_tiles += local.case2_tiles;
-                for (tile, pixels) in outputs {
+        for outcome in outcomes {
+            match outcome {
+                TileOutcome::Foveal => stats.foveal_tiles += 1,
+                TileOutcome::Adjusted { tile, pixels, case } => {
+                    stats.record_case(case);
                     adjusted.write_tile(tile, &pixels);
                 }
             }
         }
-
         (adjusted, stats)
     }
 
@@ -136,12 +167,45 @@ impl<M: DiscriminationModel> PerceptualEncoder<M> {
         gaze: GazePoint,
     ) -> PerceptualEncodeResult {
         let (adjusted_linear, stats) = self.adjust_frame(frame, display, gaze);
-        let bd = BdEncoder::new(BdConfig::with_tile_size(self.config.tile_size));
+        self.bd_encode(frame, adjusted_linear, stats)
+    }
+
+    /// Like [`Self::encode_frame`], but reuses a prebuilt eccentricity map
+    /// (see [`Self::adjust_frame_with_map`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map does not match the frame and encoder configuration.
+    pub fn encode_frame_with_map(
+        &self,
+        frame: &LinearFrame,
+        eccentricity: &EccentricityMap,
+    ) -> PerceptualEncodeResult {
+        let (adjusted_linear, stats) = self.adjust_frame_with_map(frame, eccentricity);
+        self.bd_encode(frame, adjusted_linear, stats)
+    }
+
+    fn bd_encode(
+        &self,
+        frame: &LinearFrame,
+        adjusted_linear: LinearFrame,
+        stats: AdjustmentStats,
+    ) -> PerceptualEncodeResult {
+        let bd = BdEncoder::new(BdConfig::with_tile_size(self.config.tile_size))
+            // The public `threads` field allows 0 (struct literal bypasses the
+            // with_threads assert); treat it as sequential like adjust_frame does.
+            .with_threads(self.config.threads.max(1));
         let original = frame.to_srgb();
         let adjusted = adjusted_linear.to_srgb();
         let encoded = bd.encode_frame(&adjusted);
         let baseline = bd.encode_frame(&original);
-        PerceptualEncodeResult { original, adjusted, encoded, baseline, stats }
+        PerceptualEncodeResult {
+            original,
+            adjusted,
+            encoded,
+            baseline,
+            stats,
+        }
     }
 }
 
@@ -196,7 +260,10 @@ mod tests {
     }
 
     fn encoder() -> PerceptualEncoder<SyntheticDiscriminationModel> {
-        PerceptualEncoder::new(SyntheticDiscriminationModel::default(), EncoderConfig::default())
+        PerceptualEncoder::new(
+            SyntheticDiscriminationModel::default(),
+            EncoderConfig::default(),
+        )
     }
 
     #[test]
@@ -232,7 +299,11 @@ mod tests {
         let model = SyntheticDiscriminationModel::default();
         for tile in grid.tiles() {
             let ecc = map.tile_eccentricity(tile);
-            for (orig, adj) in frame.tile_pixels(tile).iter().zip(adjusted.tile_pixels(tile)) {
+            for (orig, adj) in frame
+                .tile_pixels(tile)
+                .iter()
+                .zip(adjusted.tile_pixels(tile))
+            {
                 let ellipsoid = model.ellipsoid(*orig, ecc);
                 assert!(
                     ellipsoid.contains_rgb(adj, 1e-6),
@@ -249,7 +320,10 @@ mod tests {
         let gaze = GazePoint::center_of(frame.dimensions());
         let enc = encoder();
         let (adjusted, stats) = enc.adjust_frame(&frame, &display, gaze);
-        assert!(stats.foveal_tiles > 0, "a centrally-fixated frame must have foveal tiles");
+        assert!(
+            stats.foveal_tiles > 0,
+            "a centrally-fixated frame must have foveal tiles"
+        );
         let grid = TileGrid::new(frame.dimensions(), enc.config().tile_size);
         let map = EccentricityMap::per_tile(&display, &grid, gaze, enc.config().fovea);
         for tile in grid.tiles() {
@@ -269,7 +343,10 @@ mod tests {
         let result = encoder().encode_frame(&frame, &display, gaze);
         assert_eq!(result.encoded.decode(), result.adjusted);
         assert_eq!(result.baseline.decode(), result.original);
-        assert_ne!(result.adjusted, result.original, "adjustment must change peripheral pixels");
+        assert_ne!(
+            result.adjusted, result.original,
+            "adjustment must change peripheral pixels"
+        );
     }
 
     #[test]
@@ -281,6 +358,27 @@ mod tests {
         let s = result.stats;
         assert_eq!(s.total_tiles, s.foveal_tiles + s.adjusted_tiles());
         assert!(s.case2_tiles > 0, "smooth scenes should exercise case 2");
+    }
+
+    #[test]
+    fn zero_threads_field_encodes_sequentially_without_panicking() {
+        // The public field permits 0 via a struct literal, bypassing the
+        // with_threads assert; the encode path must treat it as sequential.
+        let frame = test_frame(SceneId::Office);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let gaze = GazePoint::center_of(frame.dimensions());
+        let zero = PerceptualEncoder::new(
+            SyntheticDiscriminationModel::default(),
+            EncoderConfig {
+                threads: 0,
+                ..EncoderConfig::default()
+            },
+        );
+        let result = zero.encode_frame(&frame, &display, gaze);
+        assert_eq!(
+            result.encoded,
+            encoder().encode_frame(&frame, &display, gaze).encoded
+        );
     }
 
     #[test]
@@ -342,7 +440,11 @@ mod tests {
             for x in 0..dims.width {
                 let t = f64::from(x) / f64::from(dims.width);
                 let s = f64::from(y) / f64::from(dims.height);
-                frame.set_pixel(x, y, LinearRgb::new(0.3 + 0.05 * t, 0.4 + 0.04 * s, 0.35 + 0.06 * t));
+                frame.set_pixel(
+                    x,
+                    y,
+                    LinearRgb::new(0.3 + 0.05 * t, 0.4 + 0.04 * s, 0.35 + 0.06 * t),
+                );
             }
         }
         let display = DisplayGeometry::quest2_like(dims);

@@ -14,7 +14,11 @@
 //!   planes, case-1/case-2 moves of Fig. 6),
 //! * [`encoder`] — the full-frame [`PerceptualEncoder`] that combines the
 //!   gaze-dependent eccentricity map, the foveal bypass, the per-tile
-//!   adjustment along both candidate axes, and the existing BD back-end,
+//!   adjustment along both candidate axes, and the existing BD back-end
+//!   (optionally fanned out over worker threads via
+//!   [`EncoderConfig::threads`]),
+//! * [`batch`] — the [`BatchEncoder`] session API that amortises
+//!   eccentricity-map construction across a gaze-stream of frames,
 //! * [`solver`] — an iterative reference solver for the relaxed optimization
 //!   problem, used to validate that the analytical solution is optimal,
 //! * [`stats`] — the per-frame statistics reported in the paper's
@@ -49,13 +53,17 @@
 
 pub mod ablation;
 pub mod adjust;
+pub mod batch;
 pub mod config;
 pub mod encoder;
 pub mod solver;
 pub mod stats;
 
 pub use ablation::{run_ablation, AblationResult, AblationVariant};
-pub use adjust::{adjust_tile, adjust_tile_along_axis, AdjustmentCase, AxisAdjustment, TileAdjustment};
+pub use adjust::{
+    adjust_tile, adjust_tile_along_axis, AdjustmentCase, AxisAdjustment, TileAdjustment,
+};
+pub use batch::{BatchCacheStats, BatchEncoder, DEFAULT_GAZE_CACHE_CAPACITY};
 pub use config::EncoderConfig;
 pub use encoder::{PerceptualEncodeResult, PerceptualEncoder};
 pub use solver::IterativeSolver;

@@ -25,7 +25,10 @@ pub struct IterativeSolver {
 
 impl Default for IterativeSolver {
     fn default() -> Self {
-        IterativeSolver { iterations: 400, step: 0.02 }
+        IterativeSolver {
+            iterations: 400,
+            step: 0.02,
+        }
     }
 }
 
@@ -54,7 +57,11 @@ impl IterativeSolver {
         ellipsoids: &[DiscriminationEllipsoid],
         axis: RgbAxis,
     ) -> Vec<LinearRgb> {
-        assert_eq!(pixels.len(), ellipsoids.len(), "one ellipsoid per pixel is required");
+        assert_eq!(
+            pixels.len(),
+            ellipsoids.len(),
+            "one ellipsoid per pixel is required"
+        );
         assert!(!pixels.is_empty(), "cannot optimize an empty tile");
         let mut colors = pixels.to_vec();
         let mut best = colors.clone();
@@ -67,17 +74,13 @@ impl IterativeSolver {
             }
             // Subgradient step: pull the extreme pixels toward each other.
             colors[max_idx] = project(
-                colors[max_idx].with_channel(
-                    axis.index(),
-                    colors[max_idx].channel(axis.index()) - step,
-                ),
+                colors[max_idx]
+                    .with_channel(axis.index(), colors[max_idx].channel(axis.index()) - step),
                 &ellipsoids[max_idx],
             );
             colors[min_idx] = project(
-                colors[min_idx].with_channel(
-                    axis.index(),
-                    colors[min_idx].channel(axis.index()) + step,
-                ),
+                colors[min_idx]
+                    .with_channel(axis.index(), colors[min_idx].channel(axis.index()) + step),
                 &ellipsoids[min_idx],
             );
             let range = axis_range(&colors, axis);
@@ -218,7 +221,10 @@ mod tests {
         let achieved = axis_range(&result.adjusted, RgbAxis::Blue);
         let lower_bound = result.hl - result.lh;
         assert!(achieved <= lower_bound + 1e-9);
-        assert!(achieved >= lower_bound - 1e-6, "achieved {achieved} vs bound {lower_bound}");
+        assert!(
+            achieved >= lower_bound - 1e-6,
+            "achieved {achieved} vs bound {lower_bound}"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ mod tests {
 
     #[test]
     fn percentages_sum_to_hundred() {
-        let mut s = AdjustmentStats { total_tiles: 10, foveal_tiles: 2, ..Default::default() };
+        let mut s = AdjustmentStats {
+            total_tiles: 10,
+            foveal_tiles: 2,
+            ..Default::default()
+        };
         for _ in 0..3 {
             s.record_case(AdjustmentCase::NoCommonPlane);
         }
@@ -89,8 +93,18 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = AdjustmentStats { total_tiles: 4, foveal_tiles: 1, case1_tiles: 1, case2_tiles: 2 };
-        let b = AdjustmentStats { total_tiles: 6, foveal_tiles: 0, case1_tiles: 2, case2_tiles: 4 };
+        let mut a = AdjustmentStats {
+            total_tiles: 4,
+            foveal_tiles: 1,
+            case1_tiles: 1,
+            case2_tiles: 2,
+        };
+        let b = AdjustmentStats {
+            total_tiles: 6,
+            foveal_tiles: 0,
+            case1_tiles: 2,
+            case2_tiles: 4,
+        };
         a.merge(&b);
         assert_eq!(a.total_tiles, 10);
         assert_eq!(a.foveal_tiles, 1);

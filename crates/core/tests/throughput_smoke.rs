@@ -1,0 +1,74 @@
+//! Ignored-by-default throughput smoke benchmark.
+//!
+//! Asserts that the parallel adjustment fan-out actually beats the serial
+//! path on a full 512×512 frame — and that it does so while producing
+//! bit-identical output. Wall-clock assertions are inherently machine
+//! dependent, so the test is `#[ignore]`d by default; run it explicitly on
+//! a multi-core machine with:
+//!
+//! ```text
+//! cargo test -p pvc_core --release --test throughput_smoke -- --ignored --nocapture
+//! ```
+
+use pvc_color::SyntheticDiscriminationModel;
+use pvc_core::{EncoderConfig, PerceptualEncoder};
+use pvc_fovea::{DisplayGeometry, GazePoint};
+use pvc_frame::Dimensions;
+use pvc_scenes::{SceneConfig, SceneId, SceneRenderer};
+use std::time::Instant;
+
+fn best_of<T>(repetitions: u32, mut routine: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+#[ignore = "wall-clock smoke benchmark; run with --ignored on a multi-core machine"]
+fn parallel_encoder_beats_serial_on_512x512() {
+    let threads = pvc_parallel::available_threads().min(8);
+    if threads < 2 {
+        // A speedup assertion is meaningless without a second core; skip
+        // rather than fail so the suite stays usable on constrained boxes.
+        eprintln!("skipping: single-core machine, no speedup to demonstrate");
+        return;
+    }
+
+    let dims = Dimensions::new(512, 512);
+    let frame = SceneRenderer::new(SceneId::Office, SceneConfig::new(dims)).render_linear(0);
+    let display = DisplayGeometry::quest2_like(dims);
+    let gaze = GazePoint::center_of(dims);
+
+    let serial = PerceptualEncoder::new(
+        SyntheticDiscriminationModel::default(),
+        EncoderConfig::default().with_threads(1),
+    );
+    let parallel = PerceptualEncoder::new(
+        SyntheticDiscriminationModel::default(),
+        EncoderConfig::default().with_threads(threads),
+    );
+
+    // Warm up both paths and pin down bit-identical output while at it.
+    let serial_result = serial.encode_frame(&frame, &display, gaze);
+    let parallel_result = parallel.encode_frame(&frame, &display, gaze);
+    assert_eq!(serial_result.encoded, parallel_result.encoded);
+    assert_eq!(serial_result.stats, parallel_result.stats);
+
+    let serial_secs = best_of(3, || serial.encode_frame(&frame, &display, gaze));
+    let parallel_secs = best_of(3, || parallel.encode_frame(&frame, &display, gaze));
+    let speedup = serial_secs / parallel_secs;
+    println!(
+        "512x512 encode: serial {:.1} ms, parallel({threads}) {:.1} ms, speedup {speedup:.2}x",
+        serial_secs * 1e3,
+        parallel_secs * 1e3,
+    );
+    assert!(
+        parallel_secs < serial_secs,
+        "parallel path ({parallel_secs:.4}s on {threads} threads) \
+         should beat serial ({serial_secs:.4}s)"
+    );
+}

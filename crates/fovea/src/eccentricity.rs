@@ -19,7 +19,9 @@ pub struct FoveaConfig {
 impl Default for FoveaConfig {
     fn default() -> Self {
         // Central 10° FoV → 5° radius around fixation.
-        FoveaConfig { bypass_radius_deg: 5.0 }
+        FoveaConfig {
+            bypass_radius_deg: 5.0,
+        }
     }
 }
 
@@ -30,14 +32,19 @@ impl FoveaConfig {
     ///
     /// Panics if the radius is negative.
     pub fn new(bypass_radius_deg: f64) -> Self {
-        assert!(bypass_radius_deg >= 0.0, "bypass radius must be non-negative");
+        assert!(
+            bypass_radius_deg >= 0.0,
+            "bypass radius must be non-negative"
+        );
         FoveaConfig { bypass_radius_deg }
     }
 
     /// A configuration that disables the bypass entirely (every pixel is
     /// eligible for adjustment). Useful for ablation studies.
     pub fn disabled() -> Self {
-        FoveaConfig { bypass_radius_deg: 0.0 }
+        FoveaConfig {
+            bypass_radius_deg: 0.0,
+        }
     }
 
     /// True if a pixel at the given eccentricity must be left untouched.
@@ -95,7 +102,10 @@ impl EccentricityMap {
                 (f64::from(tile.x), f64::from(tile.y)),
                 (f64::from(tile.x + tile.width), f64::from(tile.y)),
                 (f64::from(tile.x), f64::from(tile.y + tile.height)),
-                (f64::from(tile.x + tile.width), f64::from(tile.y + tile.height)),
+                (
+                    f64::from(tile.x + tile.width),
+                    f64::from(tile.y + tile.height),
+                ),
             ];
             let any_foveal = fovea.is_foveal(center_ecc)
                 || corners
@@ -159,11 +169,22 @@ impl EccentricityMap {
     }
 
     fn index_of(&self, tile: TileRect) -> usize {
-        assert_eq!(tile.x % self.tile_size, 0, "tile is not aligned to the map's grid");
-        assert_eq!(tile.y % self.tile_size, 0, "tile is not aligned to the map's grid");
+        assert_eq!(
+            tile.x % self.tile_size,
+            0,
+            "tile is not aligned to the map's grid"
+        );
+        assert_eq!(
+            tile.y % self.tile_size,
+            0,
+            "tile is not aligned to the map's grid"
+        );
         let tx = tile.x / self.tile_size;
         let ty = tile.y / self.tile_size;
-        assert!(tx < self.tiles_x && ty < self.tiles_y, "tile outside the map");
+        assert!(
+            tx < self.tiles_x && ty < self.tiles_y,
+            "tile outside the map"
+        );
         (ty * self.tiles_x + tx) as usize
     }
 }
@@ -237,7 +258,12 @@ mod tests {
         let (display, grid) = setup();
         let gaze = GazePoint::center_of(display.dimensions());
         let map = EccentricityMap::per_tile(&display, &grid, gaze, FoveaConfig::default());
-        let bogus = TileRect { x: 2, y: 0, width: 4, height: 4 };
+        let bogus = TileRect {
+            x: 2,
+            y: 0,
+            width: 4,
+            height: 4,
+        };
         let _ = map.tile_eccentricity(bogus);
     }
 }

@@ -20,7 +20,10 @@ impl GazePoint {
 
     /// The gaze point at the geometric center of a frame.
     pub fn center_of(dimensions: Dimensions) -> Self {
-        GazePoint { x: f64::from(dimensions.width) * 0.5, y: f64::from(dimensions.height) * 0.5 }
+        GazePoint {
+            x: f64::from(dimensions.width) * 0.5,
+            y: f64::from(dimensions.height) * 0.5,
+        }
     }
 }
 
@@ -51,7 +54,11 @@ impl DisplayGeometry {
             vertical_fov_deg > 0.0 && vertical_fov_deg < 180.0,
             "vertical FoV must be in (0, 180) degrees"
         );
-        DisplayGeometry { dimensions, horizontal_fov_deg, vertical_fov_deg }
+        DisplayGeometry {
+            dimensions,
+            horizontal_fov_deg,
+            vertical_fov_deg,
+        }
     }
 
     /// A geometry with the ~104°×98° per-eye field of view of an immersive
@@ -160,7 +167,10 @@ mod tests {
         let d = display();
         let gaze = GazePoint::center_of(d.dimensions());
         let e = d.eccentricity_deg(f64::from(d.dimensions().width), gaze.y, gaze);
-        assert!((e - d.horizontal_fov_deg() * 0.5).abs() < 1.0, "edge eccentricity {e}");
+        assert!(
+            (e - d.horizontal_fov_deg() * 0.5).abs() < 1.0,
+            "edge eccentricity {e}"
+        );
     }
 
     #[test]

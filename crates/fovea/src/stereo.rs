@@ -91,7 +91,13 @@ impl StereoGeometry {
 
     /// Eccentricity of a full-frame pixel given per-eye gaze positions
     /// (expressed in each eye's sub-frame coordinates).
-    pub fn eccentricity_deg(&self, x: f64, y: f64, gaze_left: GazePoint, gaze_right: GazePoint) -> f64 {
+    pub fn eccentricity_deg(
+        &self,
+        x: f64,
+        y: f64,
+        gaze_left: GazePoint,
+        gaze_right: GazePoint,
+    ) -> f64 {
         let (eye, ex, ey) = self.to_eye_coordinates(x, y);
         let gaze = match eye {
             Eye::Left => gaze_left,

@@ -16,10 +16,16 @@ pub struct Dimensions {
 impl Dimensions {
     /// The lowest rendering resolution of the Oculus Quest 2 referenced in
     /// the paper's power evaluation (Fig. 13).
-    pub const QUEST2_LOW: Dimensions = Dimensions { width: 4128, height: 2096 };
+    pub const QUEST2_LOW: Dimensions = Dimensions {
+        width: 4128,
+        height: 2096,
+    };
     /// The highest rendering resolution of the Oculus Quest 2 (Fig. 13 and
     /// the CAU latency estimate of Sec. 6.1).
-    pub const QUEST2_HIGH: Dimensions = Dimensions { width: 5408, height: 2736 };
+    pub const QUEST2_HIGH: Dimensions = Dimensions {
+        width: 5408,
+        height: 2736,
+    };
 
     /// Creates a dimensions value.
     ///
@@ -79,7 +85,10 @@ impl std::fmt::Display for FrameError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FrameError::SizeMismatch { expected, actual } => {
-                write!(f, "pixel buffer holds {actual} pixels but dimensions require {expected}")
+                write!(
+                    f,
+                    "pixel buffer holds {actual} pixels but dimensions require {expected}"
+                )
             }
             FrameError::DimensionMismatch { left, right } => {
                 write!(f, "frame dimensions differ: {left} vs {right}")
@@ -95,7 +104,10 @@ macro_rules! impl_frame_common {
         impl $name {
             /// Creates a frame filled with a single pixel value.
             pub fn filled(dimensions: Dimensions, pixel: $pixel) -> Self {
-                $name { dimensions, pixels: vec![pixel; dimensions.pixel_count()] }
+                $name {
+                    dimensions,
+                    pixels: vec![pixel; dimensions.pixel_count()],
+                }
             }
 
             /// Creates a frame from an existing pixel buffer in row-major order.
@@ -154,7 +166,10 @@ macro_rules! impl_frame_common {
             /// Panics if the coordinate is outside the frame.
             #[inline]
             pub fn pixel(&self, x: u32, y: u32) -> $pixel {
-                assert!(self.dimensions.contains(x, y), "pixel ({x}, {y}) out of bounds");
+                assert!(
+                    self.dimensions.contains(x, y),
+                    "pixel ({x}, {y}) out of bounds"
+                );
                 self.pixels[y as usize * self.dimensions.width as usize + x as usize]
             }
 
@@ -165,7 +180,10 @@ macro_rules! impl_frame_common {
             /// Panics if the coordinate is outside the frame.
             #[inline]
             pub fn set_pixel(&mut self, x: u32, y: u32, value: $pixel) {
-                assert!(self.dimensions.contains(x, y), "pixel ({x}, {y}) out of bounds");
+                assert!(
+                    self.dimensions.contains(x, y),
+                    "pixel ({x}, {y}) out of bounds"
+                );
                 self.pixels[y as usize * self.dimensions.width as usize + x as usize] = value;
             }
 
@@ -288,7 +306,13 @@ mod tests {
     fn from_pixels_validates_length() {
         let d = Dimensions::new(2, 2);
         let err = SrgbFrame::from_pixels(d, vec![Srgb8::default(); 3]).unwrap_err();
-        assert_eq!(err, FrameError::SizeMismatch { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            FrameError::SizeMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
         assert!(err.to_string().contains("pixels"));
         assert!(SrgbFrame::from_pixels(d, vec![Srgb8::default(); 4]).is_ok());
     }
@@ -329,7 +353,11 @@ mod tests {
         let d = Dimensions::new(4, 4);
         let mut f = SrgbFrame::filled(d, Srgb8::new(0, 0, 0));
         for (i, p) in f.pixels_mut().iter_mut().enumerate() {
-            *p = Srgb8::new((i * 13 % 256) as u8, (i * 29 % 256) as u8, (i * 7 % 256) as u8);
+            *p = Srgb8::new(
+                (i * 13 % 256) as u8,
+                (i * 29 % 256) as u8,
+                (i * 7 % 256) as u8,
+            );
         }
         let roundtrip = f.to_linear().to_srgb();
         assert_eq!(roundtrip, f);
@@ -340,7 +368,10 @@ mod tests {
         let d = Dimensions::new(2, 1);
         let mut f = LinearFrame::from_pixels(
             d,
-            vec![LinearRgb::new(-0.2, 0.5, 1.4), LinearRgb::new(0.1, 0.2, 0.3)],
+            vec![
+                LinearRgb::new(-0.2, 0.5, 1.4),
+                LinearRgb::new(0.1, 0.2, 0.3),
+            ],
         )
         .unwrap();
         f.clamp_in_place();

@@ -70,7 +70,10 @@ impl TileGrid {
     /// Panics if `tile_size` is zero.
     pub fn new(dimensions: Dimensions, tile_size: u32) -> Self {
         assert!(tile_size > 0, "tile size must be non-zero");
-        TileGrid { dimensions, tile_size }
+        TileGrid {
+            dimensions,
+            tile_size,
+        }
     }
 
     /// The frame dimensions the grid covers.
@@ -109,7 +112,10 @@ impl TileGrid {
     ///
     /// Panics if the grid position is out of range.
     pub fn tile(&self, tx: u32, ty: u32) -> TileRect {
-        assert!(tx < self.tiles_x() && ty < self.tiles_y(), "tile index out of range");
+        assert!(
+            tx < self.tiles_x() && ty < self.tiles_y(),
+            "tile index out of range"
+        );
         let x = tx * self.tile_size;
         let y = ty * self.tile_size;
         TileRect {
@@ -122,7 +128,10 @@ impl TileGrid {
 
     /// Iterates over all tiles in row-major order.
     pub fn tiles(&self) -> Tiles {
-        Tiles { grid: *self, next: 0 }
+        Tiles {
+            grid: *self,
+            next: 0,
+        }
     }
 }
 
@@ -171,7 +180,10 @@ mod tests {
                 }
             }
         }
-        assert!(covered.iter().all(|&c| c == 1), "every pixel must be covered exactly once");
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "every pixel must be covered exactly once"
+        );
     }
 
     #[test]

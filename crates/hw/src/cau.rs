@@ -16,7 +16,10 @@ pub struct GpuConfig {
 impl Default for GpuConfig {
     fn default() -> Self {
         // Adreno 650: 512 shader cores at a nominal 441 MHz (Sec. 6.1).
-        GpuConfig { shader_cores: 512, frequency_mhz: 441.0 }
+        GpuConfig {
+            shader_cores: 512,
+            frequency_mhz: 441.0,
+        }
     }
 }
 
@@ -81,7 +84,10 @@ impl CauModel {
         assert!(config.pe_count > 0, "PE count must be non-zero");
         assert!(config.phases_per_tile > 0, "phase count must be non-zero");
         assert!(config.pixels_per_tile > 0, "tile size must be non-zero");
-        assert!(config.pe_area_mm2 > 0.0 && config.pe_power_uw > 0.0, "PE cost must be positive");
+        assert!(
+            config.pe_area_mm2 > 0.0 && config.pe_power_uw > 0.0,
+            "PE cost must be positive"
+        );
         CauModel { config }
     }
 
@@ -183,7 +189,10 @@ mod tests {
     fn latency_fits_every_quest2_frame_budget() {
         let cau = CauModel::default();
         for fps in [72.0, 80.0, 90.0, 120.0] {
-            assert!(cau.meets_frame_budget(Dimensions::QUEST2_HIGH, fps), "misses budget at {fps}");
+            assert!(
+                cau.meets_frame_budget(Dimensions::QUEST2_HIGH, fps),
+                "misses budget at {fps}"
+            );
         }
     }
 
@@ -205,8 +214,14 @@ mod tests {
 
     #[test]
     fn more_pes_reduce_latency() {
-        let small = CauModel::new(CauConfig { pe_count: 32, ..CauConfig::default() });
-        let large = CauModel::new(CauConfig { pe_count: 192, ..CauConfig::default() });
+        let small = CauModel::new(CauConfig {
+            pe_count: 32,
+            ..CauConfig::default()
+        });
+        let large = CauModel::new(CauConfig {
+            pe_count: 192,
+            ..CauConfig::default()
+        });
         let d = Dimensions::QUEST2_LOW;
         assert!(large.frame_latency_us(d) < small.frame_latency_us(d));
         assert!(large.total_area_mm2() > small.total_area_mm2());
@@ -216,13 +231,17 @@ mod tests {
     fn larger_frames_take_longer() {
         let cau = CauModel::default();
         assert!(
-            cau.frame_latency_us(Dimensions::QUEST2_HIGH) > cau.frame_latency_us(Dimensions::QUEST2_LOW)
+            cau.frame_latency_us(Dimensions::QUEST2_HIGH)
+                > cau.frame_latency_us(Dimensions::QUEST2_LOW)
         );
     }
 
     #[test]
     #[should_panic]
     fn invalid_config_panics() {
-        let _ = CauModel::new(CauConfig { pe_count: 0, ..CauConfig::default() });
+        let _ = CauModel::new(CauConfig {
+            pe_count: 0,
+            ..CauConfig::default()
+        });
     }
 }

@@ -17,7 +17,9 @@ pub struct DramConfig {
 
 impl Default for DramConfig {
     fn default() -> Self {
-        DramConfig { energy_per_byte_pj: 1159.0 }
+        DramConfig {
+            energy_per_byte_pj: 1159.0,
+        }
     }
 }
 
@@ -64,7 +66,11 @@ mod tests {
     fn stats_of_bits(pixels: usize, bits: u64) -> CompressionStats {
         CompressionStats::from_breakdown(
             pixels,
-            SizeBreakdown { base_bits: 0, metadata_bits: 0, delta_bits: bits },
+            SizeBreakdown {
+                base_bits: 0,
+                metadata_bits: 0,
+                delta_bits: bits,
+            },
         )
     }
 

@@ -14,6 +14,20 @@
 //! * [`PowerModel`] — the end-to-end power saving of the compressed frame
 //!   traffic over the BD baseline across resolutions and refresh rates
 //!   (Fig. 13).
+//!
+//! # Examples
+//!
+//! ```
+//! use pvc_frame::Dimensions;
+//! use pvc_hw::{CauConfig, CauModel};
+//!
+//! // The paper's PE array compresses a Quest 2 eye frame within a 72 Hz
+//! // frame budget while staying under a milliwatt-scale power envelope.
+//! let cau = CauModel::new(CauConfig::default());
+//! let eye = Dimensions::new(1832, 1920);
+//! assert!(cau.meets_frame_budget(eye, 72.0));
+//! assert!(cau.total_power_mw() < 10.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

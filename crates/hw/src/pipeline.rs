@@ -35,9 +35,7 @@ pub struct PipelineReport {
 impl PipelineReport {
     /// Peak buffer occupancy converted to bytes.
     pub fn peak_occupancy_bytes(&self, pixels_per_tile: u32) -> usize {
-        self.peak_occupancy_tiles as usize
-            * pixels_per_tile as usize
-            * PENDING_BYTES_PER_PIXEL
+        self.peak_occupancy_tiles as usize * pixels_per_tile as usize * PENDING_BYTES_PER_PIXEL
     }
 
     /// True when the GPU never stalled (the CAU keeps up with production).
@@ -82,14 +80,17 @@ impl PipelineSimulator {
             gpu_utilization > 0.0 && gpu_utilization <= 1.0,
             "GPU utilization must be in (0, 1]"
         );
-        PipelineSimulator { cau, gpu, capacity_tiles, gpu_utilization }
+        PipelineSimulator {
+            cau,
+            gpu,
+            capacity_tiles,
+            gpu_utilization,
+        }
     }
 
     /// The buffer capacity in bytes (36 KiB for the paper's configuration).
     pub fn capacity_bytes(&self) -> usize {
-        self.capacity_tiles as usize
-            * self.cau.pixels_per_tile as usize
-            * PENDING_BYTES_PER_PIXEL
+        self.capacity_tiles as usize * self.cau.pixels_per_tile as usize * PENDING_BYTES_PER_PIXEL
     }
 
     /// Pixels the GPU produces per CAU cycle at the configured utilization.
@@ -178,26 +179,21 @@ mod tests {
         // At one-third utilization the production rate (32 tiles/cycle)
         // matches the sustained drain rate and the pipeline reaches steady
         // state without stalls.
-        let sim = PipelineSimulator::new(
-            CauConfig::default(),
-            GpuConfig::default(),
-            192,
-            1.0 / 3.0,
-        );
+        let sim =
+            PipelineSimulator::new(CauConfig::default(), GpuConfig::default(), 192, 1.0 / 3.0);
         let report = sim.simulate(10_000);
-        assert!(report.gpu_never_stalls(), "stalled {} cycles", report.gpu_stall_cycles);
+        assert!(
+            report.gpu_never_stalls(),
+            "stalled {} cycles",
+            report.gpu_stall_cycles
+        );
         assert!(report.peak_occupancy_tiles <= 192);
         assert!(report.tiles_consumed > 0);
     }
 
     #[test]
     fn underutilized_gpu_starves_the_pe_array() {
-        let sim = PipelineSimulator::new(
-            CauConfig::default(),
-            GpuConfig::default(),
-            192,
-            0.05,
-        );
+        let sim = PipelineSimulator::new(CauConfig::default(), GpuConfig::default(), 192, 0.05);
         let report = sim.simulate(1_000);
         assert!(report.pe_starved_cycles > 0);
         assert!(report.gpu_never_stalls());

@@ -21,8 +21,12 @@ pub enum RefreshRate {
 
 impl RefreshRate {
     /// All refresh rates in ascending order.
-    pub const ALL: [RefreshRate; 4] =
-        [RefreshRate::Hz72, RefreshRate::Hz80, RefreshRate::Hz90, RefreshRate::Hz120];
+    pub const ALL: [RefreshRate; 4] = [
+        RefreshRate::Hz72,
+        RefreshRate::Hz80,
+        RefreshRate::Hz90,
+        RefreshRate::Hz120,
+    ];
 
     /// The refresh rate in frames per second.
     pub fn fps(self) -> f64 {
@@ -181,8 +185,16 @@ mod tests {
             Dimensions::QUEST2_HIGH,
             RefreshRate::Hz120,
         );
-        assert!((low.net_saving_w() - 0.18).abs() < 0.05, "low {}", low.net_saving_w());
-        assert!((high.net_saving_w() - 0.51).abs() < 0.08, "high {}", high.net_saving_w());
+        assert!(
+            (low.net_saving_w() - 0.18).abs() < 0.05,
+            "low {}",
+            low.net_saving_w()
+        );
+        assert!(
+            (high.net_saving_w() - 0.51).abs() < 0.08,
+            "high {}",
+            high.net_saving_w()
+        );
     }
 
     #[test]

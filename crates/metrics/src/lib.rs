@@ -68,10 +68,12 @@ impl QualityReport {
     /// different dimensions.
     pub fn compare(reference: &SrgbFrame, distorted: &SrgbFrame) -> Result<Self, MetricsError> {
         if reference.dimensions() != distorted.dimensions() {
-            return Err(MetricsError::DimensionMismatch(FrameError::DimensionMismatch {
-                left: reference.dimensions(),
-                right: distorted.dimensions(),
-            }));
+            return Err(MetricsError::DimensionMismatch(
+                FrameError::DimensionMismatch {
+                    left: reference.dimensions(),
+                    right: distorted.dimensions(),
+                },
+            ));
         }
         let mut squared_sum = 0.0f64;
         let mut abs_sum = 0.0f64;
@@ -93,7 +95,11 @@ impl QualityReport {
             }
         }
         let mse = squared_sum / samples as f64;
-        let psnr_db = if mse == 0.0 { f64::INFINITY } else { 10.0 * (255.0f64 * 255.0 / mse).log10() };
+        let psnr_db = if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        };
         Ok(QualityReport {
             mse,
             psnr_db,

@@ -1,0 +1,149 @@
+//! Deterministic scoped-thread fan-out for the encoder hot paths.
+//!
+//! The perceptual encoder and the BD codec both process a frame as an
+//! ordered list of independent tiles, so their parallel paths share one
+//! primitive: split the work-list into contiguous chunks, process the
+//! chunks on scoped worker threads, and stitch the results back together
+//! *in order*. Because every item is processed by a pure function and the
+//! output order is the input order, the parallel result is bit-identical
+//! to the sequential one — the property the round-trip tests pin down.
+//!
+//! The implementation uses [`std::thread::scope`], so it needs no external
+//! runtime (the environment cannot fetch `rayon`; this module is the
+//! drop-in stand-in and the single place to swap a work-stealing pool in
+//! later).
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = pvc_parallel::parallel_map(&[1u64, 2, 3, 4], 2, |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Smallest number of items per worker for which spawning threads can pay
+/// off; below `threads * MIN_ITEMS_PER_THREAD` items the map runs inline.
+pub const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning the outputs in input order.
+///
+/// With `threads <= 1`, or when the work-list is too small to amortise
+/// thread spawns, the map runs sequentially on the calling thread. The
+/// output is identical in both paths.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_chunk_map(items, threads, |chunk| chunk.iter().map(&f).collect())
+}
+
+/// Maps `f` over contiguous chunks of `items` on up to `threads` scoped
+/// worker threads, concatenating the per-chunk outputs in input order.
+///
+/// This is the primitive behind [`parallel_map`]; use it directly when the
+/// worker wants to amortise per-chunk state (a stats accumulator, a scratch
+/// buffer) across the items of its chunk.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_chunk_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> Vec<U> + Sync,
+{
+    if threads <= 1 || items.len() < threads * MIN_ITEMS_PER_THREAD {
+        return f(items);
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| f(chunk)))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// The number of worker threads that saturates the current machine, for
+/// callers that want a good default for the `threads` knob.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u32> = (0..1000).collect();
+        let serial = parallel_map(&items, 1, |&x| x.wrapping_mul(2654435761));
+        for threads in [2, 3, 4, 8, 16] {
+            assert_eq!(
+                parallel_map(&items, threads, |&x| x.wrapping_mul(2654435761)),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_map_preserves_order_with_stateful_chunks() {
+        let items: Vec<usize> = (0..777).collect();
+        let out = parallel_chunk_map(&items, 4, |chunk| {
+            let mut acc = Vec::with_capacity(chunk.len());
+            for &x in chunk {
+                acc.push(x + 1);
+            }
+            acc
+        });
+        assert_eq!(out, (1..=777).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(&items, 8, |&x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: [u8; 0] = [];
+        assert!(parallel_map(&items, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items: Vec<u32> = (0..5).collect();
+        assert_eq!(parallel_map(&items, 64, |&x| x), items);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = parallel_map(&items, 4, |&x| {
+            assert!(x < 60, "boom");
+            x
+        });
+    }
+}

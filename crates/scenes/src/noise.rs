@@ -32,8 +32,15 @@ impl FractalNoise {
     /// Panics if `octaves` is zero or `persistence` is outside `(0, 1]`.
     pub fn new(seed: u64, octaves: u32, persistence: f64) -> Self {
         assert!(octaves > 0, "octave count must be non-zero");
-        assert!(persistence > 0.0 && persistence <= 1.0, "persistence must be in (0, 1]");
-        FractalNoise { seed, octaves, persistence_milli: (persistence * 1000.0).round() as u32 }
+        assert!(
+            persistence > 0.0 && persistence <= 1.0,
+            "persistence must be in (0, 1]"
+        );
+        FractalNoise {
+            seed,
+            octaves,
+            persistence_milli: (persistence * 1000.0).round() as u32,
+        }
     }
 
     /// Samples the fractal noise at `(x, y)`, where `scale` is the base
@@ -134,7 +141,10 @@ mod tests {
             max_step = max_step.max((v - prev).abs());
             prev = v;
         }
-        assert!(max_step < 0.05, "noise jumps by {max_step} between close samples");
+        assert!(
+            max_step < 0.05,
+            "noise jumps by {max_step} between close samples"
+        );
     }
 
     #[test]

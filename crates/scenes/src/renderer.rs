@@ -98,7 +98,11 @@ pub struct SceneConfig {
 impl SceneConfig {
     /// Creates a monoscopic configuration of the given size.
     pub fn new(dimensions: Dimensions) -> Self {
-        SceneConfig { dimensions, stereo: false, seed: 0 }
+        SceneConfig {
+            dimensions,
+            stereo: false,
+            seed: 0,
+        }
     }
 
     /// Creates a stereo configuration (two per-eye sub-frames side by side).
@@ -107,8 +111,15 @@ impl SceneConfig {
     ///
     /// Panics if the width is odd.
     pub fn stereo(dimensions: Dimensions) -> Self {
-        assert!(dimensions.width % 2 == 0, "stereo frames need an even width");
-        SceneConfig { dimensions, stereo: true, seed: 0 }
+        assert!(
+            dimensions.width % 2 == 0,
+            "stereo frames need an even width"
+        );
+        SceneConfig {
+            dimensions,
+            stereo: true,
+            seed: 0,
+        }
     }
 
     /// Returns a copy with a different seed.
@@ -163,7 +174,11 @@ impl SceneRenderer {
             0.5,
         );
         let time = f64::from(index) * 0.06;
-        let eye_width = if self.config.stereo { dims.width / 2 } else { dims.width };
+        let eye_width = if self.config.stereo {
+            dims.width / 2
+        } else {
+            dims.width
+        };
         for y in 0..dims.height {
             for x in 0..dims.width {
                 // Per-eye coordinates normalized to [0, 1]; the right eye is
@@ -188,7 +203,14 @@ impl SceneRenderer {
         self.render_linear(index).to_srgb()
     }
 
-    fn shade(&self, u: f64, v: f64, time: f64, noise: &FractalNoise, detail: &FractalNoise) -> LinearRgb {
+    fn shade(
+        &self,
+        u: f64,
+        v: f64,
+        time: f64,
+        noise: &FractalNoise,
+        detail: &FractalNoise,
+    ) -> LinearRgb {
         match self.scene {
             SceneId::Office => shade_office(u, v, noise, detail),
             SceneId::Fortnite => shade_fortnite(u, v, time, noise, detail),
@@ -220,14 +242,24 @@ fn shade_office(u: f64, v: f64, noise: &FractalNoise, detail: &FractalNoise) -> 
     }
     if (0.55..0.72).contains(&u) && (0.35..0.52).contains(&v) {
         color = LinearRgb::new(0.12, 0.2, 0.3);
-        color = mix(color, LinearRgb::new(0.3, 0.5, 0.7), detail.sample(u, v, 24.0) * 0.4);
+        color = mix(
+            color,
+            LinearRgb::new(0.3, 0.5, 0.7),
+            detail.sample(u, v, 24.0) * 0.4,
+        );
     }
     // Gentle ambient-occlusion-like shading and very mild texture.
     let shade = 0.92 + 0.08 * noise.sample(u, v, 3.0);
     LinearRgb::new(color.r * shade, color.g * shade, color.b * shade)
 }
 
-fn shade_fortnite(u: f64, v: f64, time: f64, noise: &FractalNoise, detail: &FractalNoise) -> LinearRgb {
+fn shade_fortnite(
+    u: f64,
+    v: f64,
+    time: f64,
+    noise: &FractalNoise,
+    detail: &FractalNoise,
+) -> LinearRgb {
     // Bright sky over rolling green terrain with saturated foliage.
     let sky_top = LinearRgb::new(0.35, 0.6, 0.95);
     let sky_bottom = LinearRgb::new(0.75, 0.85, 0.98);
@@ -282,18 +314,32 @@ fn shade_skyline(u: f64, v: f64, noise: &FractalNoise, detail: &FractalNoise) ->
     }
 }
 
-fn shade_dumbo(u: f64, v: f64, time: f64, noise: &FractalNoise, detail: &FractalNoise) -> LinearRgb {
+fn shade_dumbo(
+    u: f64,
+    v: f64,
+    time: f64,
+    noise: &FractalNoise,
+    detail: &FractalNoise,
+) -> LinearRgb {
     // Dark night-time street under a bridge: low luminance, sparse lights.
     let night = LinearRgb::new(0.012, 0.015, 0.03);
     // Bridge deck: a very dark band across the top; street below with faint
     // reflections.
     let mut color = if v < 0.3 {
         let deck = LinearRgb::new(0.02, 0.018, 0.02);
-        mix(deck, LinearRgb::new(0.05, 0.045, 0.05), noise.sample(u * 2.0, v * 4.0, 8.0))
+        mix(
+            deck,
+            LinearRgb::new(0.05, 0.045, 0.05),
+            noise.sample(u * 2.0, v * 4.0, 8.0),
+        )
     } else {
         let street = LinearRgb::new(0.03, 0.03, 0.045);
         let base = mix(night, street, ((v - 0.3) * 2.0).clamp(0.0, 1.0));
-        mix(base, LinearRgb::new(0.06, 0.05, 0.07), detail.sample(u * 3.0, v * 3.0, 12.0) * 0.5)
+        mix(
+            base,
+            LinearRgb::new(0.06, 0.05, 0.07),
+            detail.sample(u * 3.0, v * 3.0, 12.0) * 0.5,
+        )
     };
     // Street lamps: small warm glows that drift slightly over time.
     for lamp in 0..4 {
@@ -321,7 +367,11 @@ fn shade_thai(u: f64, v: f64, noise: &FractalNoise, detail: &FractalNoise) -> Li
     // Ceiling shadow gradient and candle-like warmth near the floor.
     let shade = 0.55 + 0.45 * noise.sample(u, v, 3.0);
     let warmth = 1.0 + 0.2 * (1.0 - v);
-    LinearRgb::new(color.r * shade * warmth, color.g * shade, color.b * shade * 0.9)
+    LinearRgb::new(
+        color.r * shade * warmth,
+        color.g * shade,
+        color.b * shade * 0.9,
+    )
 }
 
 fn shade_monkey(u: f64, v: f64, noise: &FractalNoise, detail: &FractalNoise) -> LinearRgb {
@@ -384,8 +434,16 @@ mod tests {
     fn fortnite_is_bright_and_green() {
         let frame = SceneRenderer::new(SceneId::Fortnite, small_config()).render_linear(0);
         let stats = SceneStatistics::of_linear(&frame);
-        assert!(stats.mean_luminance > 0.25, "luminance {}", stats.mean_luminance);
-        assert!(stats.green_dominant_fraction > 0.4, "green {}", stats.green_dominant_fraction);
+        assert!(
+            stats.mean_luminance > 0.25,
+            "luminance {}",
+            stats.mean_luminance
+        );
+        assert!(
+            stats.green_dominant_fraction > 0.4,
+            "green {}",
+            stats.green_dominant_fraction
+        );
     }
 
     #[test]
@@ -393,7 +451,11 @@ mod tests {
         for scene in [SceneId::Dumbo, SceneId::Monkey] {
             let frame = SceneRenderer::new(scene, small_config()).render_linear(0);
             let stats = SceneStatistics::of_linear(&frame);
-            assert!(stats.mean_luminance < 0.1, "{scene}: {}", stats.mean_luminance);
+            assert!(
+                stats.mean_luminance < 0.1,
+                "{scene}: {}",
+                stats.mean_luminance
+            );
             assert!(scene.is_dark());
         }
         assert!(!SceneId::Office.is_dark());
@@ -426,14 +488,20 @@ mod tests {
                 total += 1;
             }
         }
-        assert!(identical < total, "stereo halves must not be pixel-identical");
+        assert!(
+            identical < total,
+            "stereo halves must not be pixel-identical"
+        );
     }
 
     #[test]
     fn all_scenes_render_in_gamut() {
         for scene in SceneId::ALL {
             let frame = SceneRenderer::new(scene, small_config()).render_linear(0);
-            assert!(frame.pixels().iter().all(|p| p.in_gamut(1e-9)), "{scene} out of gamut");
+            assert!(
+                frame.pixels().iter().all(|p| p.in_gamut(1e-9)),
+                "{scene} out of gamut"
+            );
         }
     }
 

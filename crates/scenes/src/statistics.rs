@@ -31,8 +31,7 @@ impl SceneStatistics {
         assert!(!pixels.is_empty(), "frame must contain pixels");
         let n = pixels.len() as f64;
         let mean_luminance = pixels.iter().map(|p| p.luminance()).sum::<f64>() / n;
-        let green_dominant =
-            pixels.iter().filter(|p| p.g > p.r && p.g > p.b).count() as f64 / n;
+        let green_dominant = pixels.iter().filter(|p| p.g > p.r && p.g > p.b).count() as f64 / n;
 
         let mut contrast_sum = 0.0;
         let mut contrast_count = 0usize;
@@ -44,10 +43,17 @@ impl SceneStatistics {
                 contrast_count += 1;
             }
         }
-        let mean_local_contrast =
-            if contrast_count == 0 { 0.0 } else { contrast_sum / contrast_count as f64 };
+        let mean_local_contrast = if contrast_count == 0 {
+            0.0
+        } else {
+            contrast_sum / contrast_count as f64
+        };
 
-        SceneStatistics { mean_luminance, green_dominant_fraction: green_dominant, mean_local_contrast }
+        SceneStatistics {
+            mean_luminance,
+            green_dominant_fraction: green_dominant,
+            mean_local_contrast,
+        }
     }
 }
 

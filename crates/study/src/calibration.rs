@@ -33,7 +33,12 @@ pub struct CalibrationConfig {
 
 impl Default for CalibrationConfig {
     fn default() -> Self {
-        CalibrationConfig { reversals: 12, step_ratio: 1.25, eccentricity_deg: 15.0, lapse_rate: 0.02 }
+        CalibrationConfig {
+            reversals: 12,
+            step_ratio: 1.25,
+            eccentricity_deg: 15.0,
+            lapse_rate: 0.02,
+        }
     }
 }
 
@@ -119,7 +124,11 @@ pub fn calibrate_observer(
     } else {
         usable.iter().sum::<f64>() / usable.len() as f64
     };
-    CalibrationResult { observer, estimated_scale, trials }
+    CalibrationResult {
+        observer,
+        estimated_scale,
+        trials,
+    }
 }
 
 #[cfg(test)]
@@ -127,7 +136,10 @@ mod tests {
     use super::*;
 
     fn observer(scale: f64) -> Observer {
-        Observer { id: 3, sensitivity_scale: scale }
+        Observer {
+            id: 3,
+            sensitivity_scale: scale,
+        }
     }
 
     #[test]
@@ -159,7 +171,10 @@ mod tests {
 
     #[test]
     fn staircase_terminates_even_with_high_lapse_rate() {
-        let config = CalibrationConfig { lapse_rate: 0.3, ..CalibrationConfig::default() };
+        let config = CalibrationConfig {
+            lapse_rate: 0.3,
+            ..CalibrationConfig::default()
+        };
         let result = calibrate_observer(observer(1.0), config, 11);
         assert!(result.trials <= 400);
         assert!(result.estimated_scale > 0.0);

@@ -18,6 +18,19 @@
 //!
 //! The output is Fig. 14's quantity: for each scene, how many of the
 //! observers did **not** notice any artifact.
+//!
+//! # Examples
+//!
+//! ```
+//! use pvc_study::{StudyConfig, UserStudy};
+//!
+//! // The default configuration reproduces the paper's 11-participant
+//! // cohort; the sampled population is deterministic in the seed.
+//! let study = UserStudy::new(StudyConfig::default());
+//! assert_eq!(study.population().len(), 11);
+//! let outcome = study.run(&[]);
+//! assert_eq!(outcome.mean_noticed(), 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -72,8 +72,14 @@ impl ObserverPopulation {
     /// Panics if the configuration asks for zero observers or non-positive
     /// scale parameters.
     pub fn sample(config: PopulationConfig, seed: u64) -> Self {
-        assert!(config.observers > 0, "the study needs at least one observer");
-        assert!(config.mean_scale > 0.0 && config.scale_std_dev >= 0.0, "invalid scale parameters");
+        assert!(
+            config.observers > 0,
+            "the study needs at least one observer"
+        );
+        assert!(
+            config.mean_scale > 0.0 && config.scale_std_dev >= 0.0,
+            "invalid scale parameters"
+        );
         assert!(
             (0.0..=1.0).contains(&config.color_sensitive_fraction),
             "color-sensitive fraction must be a probability"
@@ -90,7 +96,10 @@ impl ObserverPopulation {
                     let sum: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
                     config.mean_scale + (sum - 6.0) * config.scale_std_dev
                 };
-                Observer { id, sensitivity_scale: base.max(0.4) }
+                Observer {
+                    id,
+                    sensitivity_scale: base.max(0.4),
+                }
             })
             .collect();
         ObserverPopulation { observers }
@@ -144,16 +153,25 @@ mod tests {
 
     #[test]
     fn visibility_threshold_is_square_of_scale() {
-        let o = Observer { id: 0, sensitivity_scale: 0.8 };
+        let o = Observer {
+            id: 0,
+            sensitivity_scale: 0.8,
+        };
         assert!((o.visibility_threshold() - 0.64).abs() < 1e-12);
         assert!(o.is_color_sensitive());
-        let avg = Observer { id: 1, sensitivity_scale: 1.0 };
+        let avg = Observer {
+            id: 1,
+            sensitivity_scale: 1.0,
+        };
         assert!(!avg.is_color_sensitive());
     }
 
     #[test]
     fn forced_sensitive_population() {
-        let config = PopulationConfig { color_sensitive_fraction: 1.0, ..Default::default() };
+        let config = PopulationConfig {
+            color_sensitive_fraction: 1.0,
+            ..Default::default()
+        };
         let pop = ObserverPopulation::sample(config, 3);
         assert!(pop.observers().iter().all(|o| o.is_color_sensitive()));
     }
@@ -161,7 +179,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_observers_panics() {
-        let config = PopulationConfig { observers: 0, ..Default::default() };
+        let config = PopulationConfig {
+            observers: 0,
+            ..Default::default()
+        };
         let _ = ObserverPopulation::sample(config, 0);
     }
 }

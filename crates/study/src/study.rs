@@ -36,9 +36,12 @@ impl SceneTrial {
         eccentricity: &EccentricityMap,
         model: &M,
     ) -> Self {
-        let (distances, luminances) =
-            artifact_visibility(original, adjusted, eccentricity, model);
-        SceneTrial { scene_name: scene_name.into(), distances, luminances }
+        let (distances, luminances) = artifact_visibility(original, adjusted, eccentricity, model);
+        SceneTrial {
+            scene_name: scene_name.into(),
+            distances,
+            luminances,
+        }
     }
 }
 
@@ -57,7 +60,11 @@ pub fn artifact_visibility<M: DiscriminationModel + ?Sized>(
     eccentricity: &EccentricityMap,
     model: &M,
 ) -> (Vec<f64>, Vec<f64>) {
-    assert_eq!(original.dimensions(), adjusted.dimensions(), "frame dimensions must match");
+    assert_eq!(
+        original.dimensions(),
+        adjusted.dimensions(),
+        "frame dimensions must match"
+    );
     let grid = TileGrid::new(original.dimensions(), eccentricity.tile_size());
     let mut distances = vec![0.0; original.dimensions().pixel_count()];
     let mut luminances = vec![0.0; original.dimensions().pixel_count()];
@@ -146,7 +153,11 @@ impl StudyOutcome {
             return 0.0;
         }
         let mean = self.mean_noticed();
-        (self.scenes.iter().map(|s| (s.noticed as f64 - mean).powi(2)).sum::<f64>()
+        (self
+            .scenes
+            .iter()
+            .map(|s| (s.noticed as f64 - mean).powi(2))
+            .sum::<f64>()
             / self.scenes.len() as f64)
             .sqrt()
     }
@@ -210,7 +221,10 @@ impl UserStudy {
                 mean_visible_fraction: visible_sum / self.population.len() as f64,
             });
         }
-        StudyOutcome { scenes, observers: self.population.len() }
+        StudyOutcome {
+            scenes,
+            observers: self.population.len(),
+        }
     }
 }
 
@@ -218,7 +232,12 @@ impl UserStudy {
 mod tests {
     use super::*;
 
-    fn synthetic_trial(name: &str, visible_level: f64, luminance: f64, pixels: usize) -> SceneTrial {
+    fn synthetic_trial(
+        name: &str,
+        visible_level: f64,
+        luminance: f64,
+        pixels: usize,
+    ) -> SceneTrial {
         SceneTrial {
             scene_name: name.to_string(),
             distances: vec![visible_level; pixels],
@@ -269,7 +288,10 @@ mod tests {
 
     #[test]
     fn study_is_deterministic() {
-        let trials = vec![synthetic_trial("a", 0.8, 0.4, 5000), synthetic_trial("b", 0.95, 0.1, 5000)];
+        let trials = vec![
+            synthetic_trial("a", 0.8, 0.4, 5000),
+            synthetic_trial("b", 0.95, 0.1, 5000),
+        ];
         let a = UserStudy::new(StudyConfig::default()).run(&trials);
         let b = UserStudy::new(StudyConfig::default()).run(&trials);
         assert_eq!(a, b);
@@ -277,8 +299,10 @@ mod tests {
 
     #[test]
     fn outcome_statistics_are_consistent() {
-        let trials =
-            vec![synthetic_trial("a", 0.9, 0.3, 5000), synthetic_trial("b", 0.0, 0.5, 5000)];
+        let trials = vec![
+            synthetic_trial("a", 0.9, 0.3, 5000),
+            synthetic_trial("b", 0.0, 0.5, 5000),
+        ];
         let outcome = UserStudy::new(StudyConfig::default()).run(&trials);
         for scene in &outcome.scenes {
             assert_eq!(scene.noticed + scene.did_not_notice, outcome.observers);

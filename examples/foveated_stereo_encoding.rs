@@ -33,9 +33,19 @@ fn main() {
             Eye::Right => full.width / 2,
         };
         let mut eye_frame = LinearFrame::filled(eye_dims, pvc_color::LinearRgb::BLACK);
-        let region = TileRect { x: offset_x, y: 0, width: eye_dims.width, height: eye_dims.height };
+        let region = TileRect {
+            x: offset_x,
+            y: 0,
+            width: eye_dims.width,
+            height: eye_dims.height,
+        };
         eye_frame.write_tile(
-            TileRect { x: 0, y: 0, width: eye_dims.width, height: eye_dims.height },
+            TileRect {
+                x: 0,
+                y: 0,
+                width: eye_dims.width,
+                height: eye_dims.height,
+            },
             &frame.tile_pixels(region),
         );
 
@@ -56,10 +66,16 @@ fn main() {
 
     // Project the saving onto the headset's DRAM power budget at 90 Hz.
     let power = PowerModel::default();
-    let to_stats = |bits: u64| CompressionStats::from_breakdown(
-        full.pixel_count(),
-        pvc_bdc::SizeBreakdown { base_bits: 0, metadata_bits: 0, delta_bits: bits },
-    );
+    let to_stats = |bits: u64| {
+        CompressionStats::from_breakdown(
+            full.pixel_count(),
+            pvc_bdc::SizeBreakdown {
+                base_bits: 0,
+                metadata_bits: 0,
+                delta_bits: bits,
+            },
+        )
+    };
     let breakdown = power.breakdown(
         &to_stats(total_bd),
         &to_stats(total_ours),

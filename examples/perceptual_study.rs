@@ -38,7 +38,11 @@ fn main() {
             "  participant {:>2}: scale {:.2}{}",
             o.id + 1,
             o.sensitivity_scale,
-            if o.is_color_sensitive() { "  (color-sensitive)" } else { "" }
+            if o.is_color_sensitive() {
+                "  (color-sensitive)"
+            } else {
+                ""
+            }
         );
     }
 

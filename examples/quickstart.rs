@@ -29,7 +29,10 @@ fn main() {
     let bd = result.bd_stats();
     let nocom = nocom_stats(dims);
     println!("scene: office, {dims} pixels, gaze at center");
-    println!("  uncompressed : {:>8.2} bits/pixel", nocom.bits_per_pixel());
+    println!(
+        "  uncompressed : {:>8.2} bits/pixel",
+        nocom.bits_per_pixel()
+    );
     println!(
         "  BD baseline  : {:>8.2} bits/pixel ({:.1}% reduction vs uncompressed)",
         bd.bits_per_pixel(),

@@ -46,9 +46,14 @@ fn main() {
         )
     };
     let power = PowerModel::default();
-    println!("{:>12} {:>8} {:>12} {:>12}", "resolution", "fps", "saving (W)", "CAU fits?");
+    println!(
+        "{:>12} {:>8} {:>12} {:>12}",
+        "resolution", "fps", "saving (W)", "CAU fits?"
+    );
     for breakdown in power.quest2_sweep(&to_stats(bd_bpp), &to_stats(ours_bpp)) {
-        let fits = power.cau.meets_frame_budget(breakdown.dimensions, breakdown.fps);
+        let fits = power
+            .cau
+            .meets_frame_budget(breakdown.dimensions, breakdown.fps);
         println!(
             "{:>12} {:>8} {:>12.3} {:>12}",
             breakdown.dimensions.to_string(),

@@ -60,7 +60,9 @@ pub mod prelude {
         DiscriminationModel, DklColor, LinearRgb, RbfDiscriminationModel, RgbAxis, Srgb8,
         SyntheticDiscriminationModel,
     };
-    pub use pvc_core::{EncoderConfig, PerceptualEncodeResult, PerceptualEncoder};
+    pub use pvc_core::{
+        BatchCacheStats, BatchEncoder, EncoderConfig, PerceptualEncodeResult, PerceptualEncoder,
+    };
     pub use pvc_fovea::{DisplayGeometry, EccentricityMap, FoveaConfig, GazePoint, StereoGeometry};
     pub use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, TileGrid};
     pub use pvc_hw::{CauModel, DramConfig, PowerModel, RefreshRate};

@@ -23,7 +23,11 @@ fn fig10_shape_ours_beats_nocom_and_bd_everywhere() {
             m.scene.name(),
             m.reduction_over_nocom()
         );
-        assert!(m.reduction_over_bd() > 0.0, "{}: must beat BD", m.scene.name());
+        assert!(
+            m.reduction_over_bd() > 0.0,
+            "{}: must beat BD",
+            m.scene.name()
+        );
         assert!(
             m.bd.bandwidth_reduction_percent() > 0.0,
             "{}: BD must beat NoCom",
@@ -58,7 +62,10 @@ fn fig13_shape_savings_grow_with_resolution_and_rate() {
     let fig = fig13_power_saving(&quick_measurements());
     let savings: Vec<f64> = fig.rows.iter().map(|r| r[5].parse().unwrap()).collect();
     assert_eq!(savings.len(), 8);
-    assert!(savings.iter().all(|&s| s > 0.0), "every configuration saves power");
+    assert!(
+        savings.iter().all(|&s| s > 0.0),
+        "every configuration saves power"
+    );
     // Within each resolution the saving grows with the refresh rate.
     assert!(savings[0] < savings[3]);
     assert!(savings[4] < savings[7]);
@@ -96,7 +103,10 @@ fn fig15_shape_compression_degrades_for_large_tiles() {
     let avg = |ms: &[pvc_bench::SceneMeasurement]| {
         ms.iter().map(|m| m.reduction_over_nocom()).sum::<f64>() / ms.len() as f64
     };
-    assert!(avg(&small) > avg(&large), "4x4 tiles should outperform 16x16 tiles");
+    assert!(
+        avg(&small) > avg(&large),
+        "4x4 tiles should outperform 16x16 tiles"
+    );
 }
 
 #[test]
@@ -112,7 +122,15 @@ fn objective_quality_is_numerically_lossy_as_in_sec_6_3() {
     // The paper stresses that PSNR is mediocre even though subjective
     // quality is high; check the PSNR lands in a "lossy but bounded" band.
     for m in quick_measurements() {
-        assert!(m.quality.psnr_db > 25.0, "{}: too much numeric damage", m.scene.name());
-        assert!(m.quality.psnr_db < 70.0, "{}: suspiciously lossless", m.scene.name());
+        assert!(
+            m.quality.psnr_db > 25.0,
+            "{}: too much numeric damage",
+            m.scene.name()
+        );
+        assert!(
+            m.quality.psnr_db < 70.0,
+            "{}: suspiciously lossless",
+            m.scene.name()
+        );
     }
 }

@@ -34,8 +34,14 @@ fn perceptual_encoding_beats_bd_which_beats_nocom() {
         let nocom = nocom_stats(Dimensions::new(160, 128));
         let bd = result.bd_stats();
         let ours = result.our_stats();
-        assert!(bd.compressed_bits < nocom.compressed_bits, "{scene}: BD must beat NoCom");
-        assert!(ours.compressed_bits <= bd.compressed_bits, "{scene}: ours must not lose to BD");
+        assert!(
+            bd.compressed_bits < nocom.compressed_bits,
+            "{scene}: BD must beat NoCom"
+        );
+        assert!(
+            ours.compressed_bits <= bd.compressed_bits,
+            "{scene}: ours must not lose to BD"
+        );
     }
 }
 
@@ -45,7 +51,10 @@ fn adjusted_frames_are_perceptually_bounded_but_numerically_lossy() {
     let (result, original) = encode_scene(SceneId::Thai, dims);
     // Numerically lossy relative to the original...
     let quality = QualityReport::compare(&result.original, &result.adjusted).unwrap();
-    assert!(quality.changed_pixel_fraction > 0.05, "adjustment should touch peripheral pixels");
+    assert!(
+        quality.changed_pixel_fraction > 0.05,
+        "adjustment should touch peripheral pixels"
+    );
     assert!(quality.psnr_db > 20.0, "the adjustment must stay bounded");
     // ...but every change stays within the discrimination ellipsoid of the
     // original color at that location's eccentricity. The constraint is
@@ -64,7 +73,11 @@ fn adjusted_frames_are_perceptually_bounded_but_numerically_lossy() {
     let (adjusted_linear, _) = encoder.adjust_frame(&original, &display, gaze);
     for tile in grid.tiles() {
         let ecc = map.tile_eccentricity(tile);
-        for (orig, adj) in original.tile_pixels(tile).iter().zip(adjusted_linear.tile_pixels(tile)) {
+        for (orig, adj) in original
+            .tile_pixels(tile)
+            .iter()
+            .zip(adjusted_linear.tile_pixels(tile))
+        {
             let ellipsoid = model.ellipsoid(*orig, ecc);
             assert!(
                 ellipsoid.contains_rgb(adj, 1e-6),

@@ -1,0 +1,156 @@
+//! Offline stand-in for the parts of the `proptest` API this workspace's
+//! property tests use.
+//!
+//! Instead of shrinking failure cases, the stub simply runs each property
+//! over [`test_runner::DEFAULT_CASES`] deterministic pseudo-random samples
+//! (seeded from the test name), which preserves the coverage intent of the
+//! original tests while requiring no external dependencies.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! The deterministic pseudo-random driver behind the [`proptest!`](crate::proptest) macro.
+
+    /// Number of sampled cases each property is checked against.
+    pub const DEFAULT_CASES: u32 = 96;
+
+    /// A small deterministic RNG (SplitMix64) seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name (FNV-1a over the bytes).
+        pub fn deterministic(name: &str) -> Self {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Returns the next 64 pseudo-random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Returns a uniform integer in `[0, bound)`; `bound` must be > 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod collection {
+    //! `Vec` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of values drawn from `element`, with lengths in
+    /// the half-open range `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "length range must be non-empty");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let len = self.len.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; 3]` sampling each element independently.
+    #[derive(Debug, Clone)]
+    pub struct Uniform3<S> {
+        element: S,
+    }
+
+    /// Generates arrays of three values drawn from `element`.
+    pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+        Uniform3 { element }
+    }
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            [
+                self.element.sample(rng),
+                self.element.sample(rng),
+                self.element.sample(rng),
+            ]
+        }
+    }
+}
+
+/// The subset of `proptest::prelude` the workspace imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Checks a condition inside a property, panicking with context on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Checks equality inside a property, panicking with context on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body over deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner_rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..$crate::test_runner::DEFAULT_CASES {
+                    $(let $arg =
+                        $crate::strategy::Strategy::sample(&($strategy), &mut runner_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}

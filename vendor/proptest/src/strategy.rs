@@ -1,0 +1,206 @@
+//! The [`Strategy`] trait and the primitive strategies the workspace uses:
+//! numeric ranges, `any::<T>()`, tuples, and `prop_map`.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy producing any value of a primitive type; see [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+/// Generates arbitrary values of a primitive type, as `any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+/// Primitive types with a full-range uniform distribution.
+pub trait Arbitrary {
+    /// Draws one uniformly distributed value over the type's full range.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })+
+    };
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(!self.is_empty(), "integer range must be non-empty");
+                    let span = u64::from(self.end - self.start);
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(!self.is_empty(), "integer range must be non-empty");
+                    let span = u64::from(*self.end() - *self.start()) + 1;
+                    self.start() + rng.below(span) as $t
+                }
+            }
+        )+
+    };
+}
+
+impl_strategy_int_range!(u8, u16, u32);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let x = (1u32..40).sample(&mut r);
+            assert!((1..40).contains(&x));
+            let y = (0u8..=255).sample(&mut r);
+            let _ = y; // full range: every draw valid by construction
+            let z = (-2.0..2.0f64).sample(&mut r);
+            assert!((-2.0..2.0).contains(&z));
+            let w = (0.0..=1.0f64).sample(&mut r);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut r = rng();
+        let strategy = (any::<u8>(), any::<u8>()).prop_map(|(a, b)| u16::from(a) + u16::from(b));
+        let v = strategy.sample(&mut r);
+        assert!(v <= 510);
+    }
+
+    #[test]
+    fn collection_vec_length_in_range() {
+        let mut r = rng();
+        let strategy = crate::collection::vec(any::<u8>(), 1..64);
+        for _ in 0..100 {
+            let v = strategy.sample(&mut r);
+            assert!((1..64).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn uniform3_yields_three_independent_samples() {
+        let mut r = rng();
+        let strategy = crate::array::uniform3(0.0..=1.0f64);
+        let [a, b, c] = strategy.sample(&mut r);
+        assert!(
+            a != b || b != c,
+            "three equal uniform draws are vanishingly unlikely"
+        );
+    }
+}

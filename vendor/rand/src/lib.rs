@@ -1,0 +1,106 @@
+//! Offline stand-in for the parts of the `rand` crate this workspace uses:
+//! the [`Rng`] extension trait with `gen::<T>()` for primitive types, and
+//! re-exports of the [`rand_core`] traits.
+
+#![forbid(unsafe_code)]
+
+pub use rand_core::{RngCore, SeedableRng};
+
+/// Types that can be sampled uniformly from an [`RngCore`], mirroring
+/// `rand`'s `Standard` distribution for the primitives this workspace uses.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $from:ident($src:ident)),+ $(,)?) => {
+        $(impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$src() as $t
+            }
+        })+
+    };
+}
+
+impl_standard_int! {
+    u8 => from(next_u32),
+    u16 => from(next_u32),
+    u32 => from(next_u32),
+    u64 => from(next_u64),
+    usize => from(next_u64),
+    i8 => from(next_u32),
+    i16 => from(next_u32),
+    i32 => from(next_u32),
+    i64 => from(next_u64),
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use the high bit; low bits of some generators are weaker.
+        rng.next_u32() >> 31 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Extension methods for random number generators.
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+
+    impl RngCore for Fixed {
+        fn next_u32(&mut self) -> u32 {
+            self.0 as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_sampling_stays_in_unit_interval() {
+        for bits in [0u64, 1, u64::MAX, 0x8000_0000_0000_0000] {
+            let x: f64 = Fixed(bits).gen();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn bool_uses_high_bit() {
+        assert!(Fixed(u64::MAX).gen::<bool>());
+        assert!(!Fixed(0).gen::<bool>());
+    }
+
+    #[test]
+    fn integer_widths_truncate() {
+        assert_eq!(Fixed(0x1_23).gen::<u8>(), 0x23);
+        assert_eq!(Fixed(0xFFFF_FFFF_FFFF_FFFF).gen::<u64>(), u64::MAX);
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `rand_core` traits this workspace uses:
+//! [`RngCore`] and [`SeedableRng`] (including `seed_from_u64`).
+
+#![forbid(unsafe_code)]
+
+/// A source of uniformly distributed random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// An RNG that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates the RNG from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed into a full seed with a SplitMix64 stream and
+    /// instantiates the RNG from it.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// The SplitMix64 generator used for seed expansion.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit state.
+    pub fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u32);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn next_u64_combines_two_words() {
+        let mut c = Counter(0);
+        assert_eq!(c.next_u64(), (2u64 << 32) | 1);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut c = Counter(0);
+        let mut buf = [0u8; 7];
+        c.fill_bytes(&mut buf);
+        assert_eq!(&buf[..4], &1u32.to_le_bytes());
+        assert_eq!(&buf[4..], &2u32.to_le_bytes()[..3]);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_not_constant() {
+        let a: Vec<u64> = {
+            let mut s = SplitMix64::new(42);
+            (0..4).map(|_| s.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = SplitMix64::new(42);
+            (0..4).map(|_| s.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for the parts of [serde](https://serde.rs) this
+//! workspace uses.
+//!
+//! The in-tree crates only ever *derive* `Serialize` / `Deserialize`; no
+//! code path serializes at run time (there is no `serde_json` in the
+//! dependency tree). The traits are therefore pure markers with blanket
+//! implementations, and the derives expand to nothing. Swapping this stub
+//! for the real `serde` crate requires no source changes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Blanket-implemented for every type so that derive bounds and generic
+/// bounds written against the real serde API continue to compile.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// Blanket-implemented for every type so that derive bounds and generic
+/// bounds written against the real serde API continue to compile.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

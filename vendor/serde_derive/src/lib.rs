@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derive macros backing the vendored
+//! serde stand-in. The traits they "implement" are blanket-implemented in
+//! the `serde` stub, so the derives expand to nothing at all.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: `Serialize` is blanket-implemented in the stub.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: `Deserialize` is blanket-implemented in the stub.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
