@@ -1,0 +1,164 @@
+//! Multi-session streaming throughput benchmark.
+//!
+//! Spins up N synthetic headset sessions on a sharded [`StreamService`]
+//! and reports aggregate frames/sec, bytes in/out, cache hit-rates and
+//! per-shard utilization. `--quick` runs a small configuration suitable
+//! for CI; the knobs below override either preset.
+//!
+//! ```text
+//! cargo run --release -p pvc_bench --bin stream_throughput -- --quick
+//! cargo run --release -p pvc_bench --bin stream_throughput -- \
+//!     --sessions 32 --frames 60 --shards 8
+//! ```
+
+use pvc_bench::cli::{exit_with_usage, ArgSpec, CliError, ParsedArgs};
+use pvc_frame::Dimensions;
+use pvc_stream::{ServiceConfig, StreamService};
+
+const SPEC: ArgSpec = ArgSpec {
+    flags: &["--quick"],
+    options: &[
+        "--sessions",
+        "--frames",
+        "--shards",
+        "--queue-depth",
+        "--width",
+        "--height",
+    ],
+};
+
+const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
+                     [--queue-depth N] [--width PX] [--height PX]";
+
+/// The workload, after applying the preset and any explicit overrides.
+struct RunConfig {
+    sessions: usize,
+    frames: u32,
+    shards: usize,
+    queue_depth: usize,
+    dimensions: Dimensions,
+}
+
+fn run_config(parsed: &ParsedArgs) -> Result<RunConfig, CliError> {
+    let quick = parsed.has("--quick");
+    let default_shards = pvc_parallel::available_threads().min(if quick { 4 } else { 8 });
+    let mut config = if quick {
+        RunConfig {
+            sessions: 8,
+            frames: 12,
+            shards: default_shards,
+            queue_depth: 4,
+            dimensions: Dimensions::new(96, 96),
+        }
+    } else {
+        RunConfig {
+            sessions: 16,
+            frames: 30,
+            shards: default_shards,
+            queue_depth: 4,
+            dimensions: Dimensions::new(256, 256),
+        }
+    };
+    if let Some(sessions) = parsed.positive_usize("--sessions")? {
+        config.sessions = sessions;
+    }
+    if let Some(frames) = parsed.positive_u32("--frames")? {
+        config.frames = frames;
+    }
+    if let Some(shards) = parsed.positive_usize("--shards")? {
+        config.shards = shards;
+    }
+    if let Some(depth) = parsed.positive_usize("--queue-depth")? {
+        config.queue_depth = depth;
+    }
+    if let Some(width) = parsed.positive_u32("--width")? {
+        config.dimensions.width = width;
+    }
+    if let Some(height) = parsed.positive_u32("--height")? {
+        config.dimensions.height = height;
+    }
+    Ok(config)
+}
+
+fn main() {
+    let parsed = SPEC
+        .parse(std::env::args().skip(1))
+        .unwrap_or_else(|err| exit_with_usage(&err, USAGE));
+    let config = run_config(&parsed).unwrap_or_else(|err| exit_with_usage(&err, USAGE));
+
+    println!(
+        "stream_throughput: {} sessions x {} frames at {}x{}, {} shards (queue depth {})\n",
+        config.sessions,
+        config.frames,
+        config.dimensions.width,
+        config.dimensions.height,
+        config.shards,
+        config.queue_depth,
+    );
+
+    let mut service = StreamService::new(
+        ServiceConfig::default()
+            .with_shards(config.shards)
+            .with_queue_depth(config.queue_depth),
+    );
+    service.admit_synthetic(config.sessions, config.dimensions, config.frames);
+    let report = service.run();
+
+    println!("session  scene      frames     kB out   hit-rate");
+    for session in &report.sessions {
+        println!(
+            "{:>7}  {:<9} {:>7} {:>10.1} {:>9.0}%",
+            session.session,
+            session.scene.name(),
+            session.throughput.frames,
+            session.throughput.bytes_out as f64 / 1e3,
+            session.cache.hit_rate() * 100.0,
+        );
+    }
+
+    println!("\nshard  sessions  frames  utilization  queue-stalls");
+    for shard in &report.shards {
+        println!(
+            "{:>5} {:>9} {:>7} {:>11.0}% {:>13}",
+            shard.shard,
+            shard.sessions,
+            shard.frames,
+            shard.utilization() * 100.0,
+            shard.queue_stalls,
+        );
+    }
+
+    let totals = &report.totals;
+    let cache = report.aggregate_cache();
+    println!("\naggregate:");
+    println!("  frames encoded      {}", totals.frames);
+    println!("  wall time           {:.3} s", totals.wall_seconds);
+    println!(
+        "  throughput          {:.1} frames/s",
+        totals.frames_per_second()
+    );
+    println!(
+        "  bytes in / out      {:.2} MB / {:.2} MB",
+        totals.bytes_in as f64 / 1e6,
+        totals.bytes_out as f64 / 1e6,
+    );
+    println!(
+        "  traffic reduction   {:.1}% ({:.1} Mbit/s on the wire)",
+        totals.bandwidth_reduction_percent(),
+        totals.output_megabits_per_second(),
+    );
+    println!(
+        "  map-cache hit rate  {:.0}% ({} hits / {} misses)",
+        cache.hit_rate() * 100.0,
+        cache.hits,
+        cache.misses,
+    );
+    if let Some(utilization) = report.utilization_summary() {
+        println!(
+            "  shard utilization   mean {:.0}% (min {:.0}%, max {:.0}%)",
+            utilization.mean * 100.0,
+            utilization.min * 100.0,
+            utilization.max * 100.0,
+        );
+    }
+}

@@ -1,19 +1,240 @@
-//! Shared helpers for the figure binaries.
+//! Strict command-line parsing shared by the figure and stream binaries.
 //!
-//! Each binary accepts an optional `--quick` flag that switches to the
-//! reduced experiment configuration (smaller frames, no offline baselines).
+//! Every binary accepts an optional `--quick` flag that switches to the
+//! reduced experiment configuration (smaller frames, no offline
+//! baselines). Parsing is *strict*: an unknown argument aborts with a
+//! non-zero exit instead of being silently ignored, so a typo'd `--quikc`
+//! can no longer launch a multi-minute full-scale run — the error comes
+//! with a "did you mean" hint when a known argument is close.
 
 use crate::figures::Figure;
 use crate::harness::ExperimentConfig;
 
-/// Parses the command line shared by all figure binaries: `--quick` selects
-/// [`ExperimentConfig::quick`], anything else keeps the default.
-pub fn experiment_config_from_args() -> ExperimentConfig {
-    if std::env::args().any(|a| a == "--quick") {
+/// A parse failure, rendered to the user before a non-zero exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The argument matches no known flag or option.
+    Unknown {
+        /// The offending argument as typed.
+        arg: String,
+        /// The closest known argument, when one is plausibly close.
+        suggestion: Option<String>,
+    },
+    /// An option that takes a value appeared last with no value after it.
+    MissingValue {
+        /// The option missing its value.
+        option: String,
+    },
+    /// An option's value failed to parse.
+    InvalidValue {
+        /// The option whose value is malformed.
+        option: String,
+        /// The value as typed.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Unknown { arg, suggestion } => {
+                write!(f, "unknown argument '{arg}'")?;
+                if let Some(known) = suggestion {
+                    write!(f, " (did you mean '{known}'?)")?;
+                }
+                Ok(())
+            }
+            CliError::MissingValue { option } => {
+                write!(f, "option '{option}' requires a value")
+            }
+            CliError::InvalidValue { option, value } => {
+                write!(f, "invalid value '{value}' for option '{option}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The arguments a binary understands: boolean `flags` and single-value
+/// `options` (`--option VALUE`).
+#[derive(Debug, Clone, Copy)]
+pub struct ArgSpec {
+    /// Flags that take no value, e.g. `--quick`.
+    pub flags: &'static [&'static str],
+    /// Options that consume the following argument as their value.
+    pub options: &'static [&'static str],
+}
+
+impl ArgSpec {
+    /// Parses `args` (without the program name) against this spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] on the first unknown argument, option with a
+    /// missing value, or malformed value.
+    pub fn parse<I>(&self, args: I) -> Result<ParsedArgs, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if self.flags.contains(&arg.as_str()) {
+                parsed.flags.push(arg);
+            } else if self.options.contains(&arg.as_str()) {
+                match iter.next() {
+                    Some(value) => parsed.options.push((arg, value)),
+                    None => return Err(CliError::MissingValue { option: arg }),
+                }
+            } else {
+                let suggestion = self.did_you_mean(&arg);
+                return Err(CliError::Unknown { arg, suggestion });
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The known argument closest to `arg`, if close enough to plausibly
+    /// be a typo (edit distance at most 3, ignoring dashes).
+    fn did_you_mean(&self, arg: &str) -> Option<String> {
+        let normalize = |s: &str| s.trim_start_matches('-').to_ascii_lowercase();
+        let typed = normalize(arg);
+        self.flags
+            .iter()
+            .chain(self.options)
+            .map(|known| (levenshtein(&typed, &normalize(known)), *known))
+            .filter(|(distance, _)| *distance <= 3)
+            .min_by_key(|(distance, _)| *distance)
+            .map(|(_, known)| known.to_string())
+    }
+}
+
+/// Successfully parsed arguments.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    flags: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl ParsedArgs {
+    /// True when `flag` was given at least once.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// The (last) value given for `option`, verbatim.
+    pub fn value(&self, option: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(name, _)| name == option)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// The (last) value given for `option`, parsed as a positive integer of
+    /// the target width; parse failures — including values overflowing the
+    /// target type — are errors, never silent truncations.
+    fn positive<T>(&self, option: &str) -> Result<Option<T>, CliError>
+    where
+        T: std::str::FromStr + Default + PartialEq,
+    {
+        match self.value(option) {
+            None => Ok(None),
+            Some(raw) => match raw.parse::<T>() {
+                Ok(n) if n != T::default() => Ok(Some(n)),
+                _ => Err(CliError::InvalidValue {
+                    option: option.to_string(),
+                    value: raw.to_string(),
+                }),
+            },
+        }
+    }
+
+    /// The (last) value given for `option`, parsed as a positive integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::InvalidValue`] when the value is not a positive
+    /// integer.
+    pub fn positive_usize(&self, option: &str) -> Result<Option<usize>, CliError> {
+        self.positive::<usize>(option)
+    }
+
+    /// Like [`Self::positive_usize`], but range-checked for `u32`-typed
+    /// knobs (frame counts, pixel dimensions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::InvalidValue`] when the value is not a positive
+    /// integer that fits in a `u32`.
+    pub fn positive_u32(&self, option: &str) -> Result<Option<u32>, CliError> {
+        self.positive::<u32>(option)
+    }
+}
+
+/// Edit distance between two short ASCII strings (classic two-row DP).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution = previous[j] + usize::from(ca != cb);
+            current[j + 1] = substitution
+                .min(previous[j + 1] + 1) // deletion
+                .min(current[j] + 1); // insertion
+        }
+        std::mem::swap(&mut previous, &mut current);
+    }
+    previous[b.len()]
+}
+
+/// The command line understood by the figure binaries.
+const FIGURE_SPEC: ArgSpec = ArgSpec {
+    flags: &["--quick"],
+    options: &[],
+};
+
+/// Parses the figure-binary command line: `--quick` selects
+/// [`ExperimentConfig::quick`], no arguments keeps the default.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for anything else — unknown flags abort instead
+/// of silently running the full-scale configuration.
+pub fn parse_experiment_config<I>(args: I) -> Result<ExperimentConfig, CliError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let parsed = FIGURE_SPEC.parse(args)?;
+    Ok(if parsed.has("--quick") {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::default()
+    })
+}
+
+/// Parses the process's command line for a figure binary, exiting with
+/// status 2 (and a "did you mean" hint when applicable) on any unknown
+/// argument.
+pub fn experiment_config_from_args() -> ExperimentConfig {
+    match parse_experiment_config(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(err) => exit_with_usage(&err, "[--quick]"),
     }
+}
+
+/// Prints a [`CliError`] plus a usage line and exits with status 2.
+pub fn exit_with_usage(err: &CliError, usage: &str) -> ! {
+    let binary = std::env::args()
+        .next()
+        .unwrap_or_else(|| "binary".to_string());
+    eprintln!("error: {err}");
+    eprintln!("usage: {binary} {usage}");
+    std::process::exit(2);
 }
 
 /// Prints a figure and stores its CSV under `target/figures/`.
@@ -29,10 +250,153 @@ pub fn emit(figure: &Figure) {
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
-    fn default_config_is_returned_without_flags() {
-        // The test binary's argv has no --quick flag.
-        let config = experiment_config_from_args();
+    fn no_arguments_keeps_the_default_config() {
+        let config = parse_experiment_config(args(&[])).unwrap();
         assert_eq!(config, ExperimentConfig::default());
+    }
+
+    #[test]
+    fn quick_flag_selects_the_quick_config() {
+        let config = parse_experiment_config(args(&["--quick"])).unwrap();
+        assert_eq!(config, ExperimentConfig::quick());
+    }
+
+    #[test]
+    fn a_typoed_quick_flag_is_rejected_with_a_hint() {
+        let err = parse_experiment_config(args(&["--quikc"])).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::Unknown {
+                arg: "--quikc".to_string(),
+                suggestion: Some("--quick".to_string()),
+            }
+        );
+        let message = err.to_string();
+        assert!(message.contains("unknown argument '--quikc'"));
+        assert!(message.contains("did you mean '--quick'?"));
+    }
+
+    #[test]
+    fn a_wildly_wrong_argument_gets_no_suggestion() {
+        let err = parse_experiment_config(args(&["--frobnicate-everything"])).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::Unknown {
+                arg: "--frobnicate-everything".to_string(),
+                suggestion: None,
+            }
+        );
+        assert!(!err.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn options_consume_the_following_value() {
+        let spec = ArgSpec {
+            flags: &["--quick"],
+            options: &["--sessions", "--frames"],
+        };
+        let parsed = spec
+            .parse(args(&["--sessions", "12", "--quick", "--frames", "30"]))
+            .unwrap();
+        assert!(parsed.has("--quick"));
+        assert_eq!(parsed.value("--sessions"), Some("12"));
+        assert_eq!(parsed.positive_usize("--frames").unwrap(), Some(30));
+        assert_eq!(parsed.positive_usize("--shards").unwrap(), None);
+    }
+
+    #[test]
+    fn the_last_repeated_option_wins() {
+        let spec = ArgSpec {
+            flags: &[],
+            options: &["--sessions"],
+        };
+        let parsed = spec
+            .parse(args(&["--sessions", "4", "--sessions", "9"]))
+            .unwrap();
+        assert_eq!(parsed.positive_usize("--sessions").unwrap(), Some(9));
+    }
+
+    #[test]
+    fn a_trailing_option_without_a_value_is_rejected() {
+        let spec = ArgSpec {
+            flags: &[],
+            options: &["--sessions"],
+        };
+        let err = spec.parse(args(&["--sessions"])).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::MissingValue {
+                option: "--sessions".to_string()
+            }
+        );
+        assert!(err.to_string().contains("requires a value"));
+    }
+
+    #[test]
+    fn non_numeric_and_zero_values_are_rejected() {
+        let spec = ArgSpec {
+            flags: &[],
+            options: &["--sessions"],
+        };
+        for bad in ["abc", "0", "-3", "1.5"] {
+            let parsed = spec.parse(args(&["--sessions", bad])).unwrap();
+            let err = parsed.positive_usize("--sessions").unwrap_err();
+            assert_eq!(
+                err,
+                CliError::InvalidValue {
+                    option: "--sessions".to_string(),
+                    value: bad.to_string(),
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn u32_values_reject_overflow_instead_of_truncating() {
+        let spec = ArgSpec {
+            flags: &[],
+            options: &["--frames"],
+        };
+        let parsed = spec.parse(args(&["--frames", "4294967296"])).unwrap();
+        let err = parsed.positive_u32("--frames").unwrap_err();
+        assert_eq!(
+            err,
+            CliError::InvalidValue {
+                option: "--frames".to_string(),
+                value: "4294967296".to_string(),
+            }
+        );
+        let parsed = spec.parse(args(&["--frames", "60"])).unwrap();
+        assert_eq!(parsed.positive_u32("--frames").unwrap(), Some(60));
+    }
+
+    #[test]
+    fn typoed_options_suggest_the_nearest_known_one() {
+        let spec = ArgSpec {
+            flags: &["--quick"],
+            options: &["--sessions", "--shards"],
+        };
+        let err = spec.parse(args(&["--sesions", "4"])).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::Unknown {
+                arg: "--sesions".to_string(),
+                suggestion: Some("--sessions".to_string()),
+            }
+        );
+    }
+
+    #[test]
+    fn levenshtein_matches_known_distances() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("quikc", "quick"), 2);
     }
 }

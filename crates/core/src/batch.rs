@@ -16,7 +16,7 @@
 //! stream is bit-identical to calling the one-shot encoder per frame.
 
 use crate::config::EncoderConfig;
-use crate::encoder::{PerceptualEncodeResult, PerceptualEncoder};
+use crate::encoder::{PerceptualEncodeResult, PerceptualEncoder, StreamEncodeResult};
 use pvc_color::DiscriminationModel;
 use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
 use pvc_frame::{LinearFrame, TileGrid};
@@ -154,6 +154,30 @@ impl<M: DiscriminationModel + Sync> BatchEncoder<M> {
         self.encoder.encode_frame_with_map(frame, &map)
     }
 
+    /// Stream-mode encode of the next frame: like [`Self::encode`] but
+    /// produces only the serving payload ([`StreamEncodeResult`]), skipping
+    /// the gamma-encode of the original frame and any baseline BD material.
+    ///
+    /// This is what a multi-session streaming service calls per frame; the
+    /// `encoded` bitstream is bit-identical to [`Self::encode`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame and display dimensions differ.
+    pub fn encode_frame_stream(
+        &mut self,
+        frame: &LinearFrame,
+        gaze: GazePoint,
+    ) -> StreamEncodeResult {
+        assert_eq!(
+            frame.dimensions(),
+            self.display.dimensions(),
+            "frame and display dimensions must match"
+        );
+        let map = self.map_for(gaze);
+        self.encoder.encode_frame_stream_with_map(frame, &map)
+    }
+
     /// Encodes a whole gaze-stream, returning one result per frame.
     pub fn encode_stream<'a, I>(&mut self, stream: I) -> Vec<PerceptualEncodeResult>
     where
@@ -228,7 +252,7 @@ mod tests {
             let expected = one_shot.encode_frame(frame, &display, gaze);
             let got = batch.encode(frame, gaze);
             assert_eq!(got.encoded, expected.encoded);
-            assert_eq!(got.baseline, expected.baseline);
+            assert_eq!(got.baseline(), expected.baseline());
             assert_eq!(got.adjusted, expected.adjusted);
             assert_eq!(got.stats, expected.stats);
         }
@@ -266,6 +290,85 @@ mod tests {
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn touching_an_entry_refreshes_its_recency() {
+        // MRU semantics: with capacity 2, re-touching g1 right before g3
+        // arrives must make g2 — not g1 — the eviction victim.
+        let dims = Dimensions::new(64, 64);
+        let mut batch = session(dims).with_cache_capacity(2);
+        let frame = &frames(dims, 1)[0];
+        let g1 = GazePoint::new(1.0, 1.0);
+        let g2 = GazePoint::new(2.0, 2.0);
+        let g3 = GazePoint::new(3.0, 3.0);
+        let _ = batch.encode(frame, g1); // miss: [g1]
+        let _ = batch.encode(frame, g2); // miss: [g2, g1]
+        let _ = batch.encode(frame, g1); // hit, refresh: [g1, g2]
+        let _ = batch.encode(frame, g3); // miss, evicts LRU g2: [g3, g1]
+        assert_eq!(
+            batch.cache_stats(),
+            BatchCacheStats {
+                hits: 1,
+                misses: 3,
+                entries: 2
+            }
+        );
+        let _ = batch.encode(frame, g1); // still cached
+        assert_eq!(batch.cache_stats().hits, 2);
+        let _ = batch.encode(frame, g2); // was evicted, rebuilt
+        let stats = batch.cache_stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn eviction_at_capacity_removes_only_the_least_recently_used() {
+        let dims = Dimensions::new(64, 64);
+        let mut batch = session(dims).with_cache_capacity(3);
+        let frame = &frames(dims, 1)[0];
+        let gazes: Vec<GazePoint> = (0..3).map(|i| GazePoint::new(i as f64, 0.0)).collect();
+        for &g in &gazes {
+            let _ = batch.encode(frame, g); // fill: [g2, g1, g0]
+        }
+        let newcomer = GazePoint::new(99.0, 0.0);
+        let _ = batch.encode(frame, newcomer); // evicts g0: [new, g2, g1]
+                                               // g1 and g2 survived ...
+        let _ = batch.encode(frame, gazes[1]);
+        let _ = batch.encode(frame, gazes[2]);
+        assert_eq!(batch.cache_stats().hits, 2);
+        // ... and only g0 has to be rebuilt.
+        let _ = batch.encode(frame, gazes[0]);
+        assert_eq!(
+            batch.cache_stats(),
+            BatchCacheStats {
+                hits: 2,
+                misses: 5,
+                entries: 3
+            }
+        );
+    }
+
+    #[test]
+    fn stream_mode_encode_matches_the_full_session_encode() {
+        let dims = Dimensions::new(96, 64);
+        let mut full = session(dims);
+        let mut stream = session(dims);
+        let gazes = [
+            GazePoint::center_of(dims),
+            GazePoint::new(10.0, 12.0),
+            GazePoint::center_of(dims),
+        ];
+        for (frame, gaze) in frames(dims, 3).iter().zip(gazes) {
+            let expected = full.encode(frame, gaze);
+            let got = stream.encode_frame_stream(frame, gaze);
+            assert_eq!(got.encoded, expected.encoded);
+            assert_eq!(got.adjusted, expected.adjusted);
+            assert_eq!(got.stats, expected.stats);
+        }
+        // Both paths drive the same cache.
+        assert_eq!(stream.cache_stats(), full.cache_stats());
+        assert_eq!(stream.cache_stats().hits, 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use pvc_color::{DiscriminationModel, LinearRgb};
 use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
 use pvc_frame::{LinearFrame, SrgbFrame, TileGrid, TileRect};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// What one worker decided about one tile. Collected in tile order so the
 /// fold below is deterministic regardless of the thread count.
@@ -153,9 +154,11 @@ impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
     }
 
     /// Runs the complete pipeline of Fig. 7: adjust colors, gamma-encode to
-    /// sRGB and compress with the existing BD encoder. The result also
-    /// carries the BD encoding of the *unadjusted* frame so callers can
-    /// compare against the state-of-the-art baseline directly.
+    /// sRGB and compress with the existing BD encoder. The result can also
+    /// produce the BD encoding of the *unadjusted* frame on demand
+    /// ([`PerceptualEncodeResult::baseline`]) so callers can compare against
+    /// the state-of-the-art baseline directly; that second BD pass is
+    /// evaluated lazily and costs nothing until asked for.
     ///
     /// # Panics
     ///
@@ -185,32 +188,93 @@ impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
         self.bd_encode(frame, adjusted_linear, stats)
     }
 
+    /// Stream-mode encode: adjust colors, gamma-encode and BD-compress the
+    /// adjusted frame — and nothing else.
+    ///
+    /// A serving path never consumes the baseline BD encoding of the
+    /// unadjusted frame (that exists to regenerate the paper's comparison
+    /// figures), nor the gamma-encoded original. Skipping both halves the
+    /// BD work per streamed frame. The `encoded` bitstream is bit-identical
+    /// to [`Self::encode_frame`]'s on the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame and display dimensions differ.
+    pub fn encode_frame_stream(
+        &self,
+        frame: &LinearFrame,
+        display: &DisplayGeometry,
+        gaze: GazePoint,
+    ) -> StreamEncodeResult {
+        let (adjusted_linear, stats) = self.adjust_frame(frame, display, gaze);
+        self.bd_encode_stream(adjusted_linear, stats)
+    }
+
+    /// Like [`Self::encode_frame_stream`], but reuses a prebuilt
+    /// eccentricity map (see [`Self::adjust_frame_with_map`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map does not match the frame and encoder configuration.
+    pub fn encode_frame_stream_with_map(
+        &self,
+        frame: &LinearFrame,
+        eccentricity: &EccentricityMap,
+    ) -> StreamEncodeResult {
+        let (adjusted_linear, stats) = self.adjust_frame_with_map(frame, eccentricity);
+        self.bd_encode_stream(adjusted_linear, stats)
+    }
+
+    fn bd_encoder(&self) -> BdEncoder {
+        BdEncoder::new(BdConfig::with_tile_size(self.config.tile_size))
+            // The public `threads` field allows 0 (struct literal bypasses the
+            // with_threads assert); treat it as sequential like adjust_frame does.
+            .with_threads(self.config.threads.max(1))
+    }
+
     fn bd_encode(
         &self,
         frame: &LinearFrame,
         adjusted_linear: LinearFrame,
         stats: AdjustmentStats,
     ) -> PerceptualEncodeResult {
-        let bd = BdEncoder::new(BdConfig::with_tile_size(self.config.tile_size))
-            // The public `threads` field allows 0 (struct literal bypasses the
-            // with_threads assert); treat it as sequential like adjust_frame does.
-            .with_threads(self.config.threads.max(1));
+        let bd = self.bd_encoder();
         let original = frame.to_srgb();
         let adjusted = adjusted_linear.to_srgb();
         let encoded = bd.encode_frame(&adjusted);
-        let baseline = bd.encode_frame(&original);
         PerceptualEncodeResult {
             original,
             adjusted,
             encoded,
-            baseline,
+            baseline: OnceLock::new(),
+            bd_threads: self.config.threads.max(1),
+            stats,
+        }
+    }
+
+    fn bd_encode_stream(
+        &self,
+        adjusted_linear: LinearFrame,
+        stats: AdjustmentStats,
+    ) -> StreamEncodeResult {
+        let adjusted = adjusted_linear.to_srgb();
+        let encoded = self.bd_encoder().encode_frame(&adjusted);
+        StreamEncodeResult {
+            adjusted,
+            encoded,
             stats,
         }
     }
 }
 
 /// Everything produced by one invocation of the perceptual encoder.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The BD encoding of the *unadjusted* frame (the paper's "BD" baseline) is
+/// computed lazily on first access through [`Self::baseline`] /
+/// [`Self::bd_stats`]; callers that never compare against the baseline —
+/// streaming sessions, ablations over our own numbers — no longer pay a
+/// second BD pass per frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerceptualEncodeResult {
     /// The unadjusted frame, gamma-encoded (what BD alone would compress).
     pub original: SrgbFrame,
@@ -218,21 +282,57 @@ pub struct PerceptualEncodeResult {
     pub adjusted: SrgbFrame,
     /// BD encoding of the adjusted frame — "ours" in the paper's figures.
     pub encoded: BdEncodedFrame,
-    /// BD encoding of the original frame — the "BD" baseline.
-    pub baseline: BdEncodedFrame,
+    /// Lazily computed BD encoding of `original` — the "BD" baseline.
+    /// Skipped by serde (real serde has no `OnceLock` impls; the cache is
+    /// rebuilt on first access after a round-trip anyway).
+    #[serde(skip)]
+    baseline: OnceLock<BdEncodedFrame>,
+    /// Thread count the baseline encode should use, mirroring the encoder.
+    /// Skipped by serde; a deserialized 0 is treated as sequential.
+    #[serde(skip)]
+    bd_threads: usize,
     /// Per-tile adjustment statistics.
     pub stats: AdjustmentStats,
 }
 
+/// Equality ignores whether the lazy baseline has been materialized: two
+/// results from the same inputs are equal regardless of which accessors
+/// have been called on them.
+impl PartialEq for PerceptualEncodeResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.original == other.original
+            && self.adjusted == other.adjusted
+            && self.encoded == other.encoded
+            && self.stats == other.stats
+    }
+}
+
+impl Eq for PerceptualEncodeResult {}
+
 impl PerceptualEncodeResult {
+    /// BD encoding of the original frame — the "BD" baseline the paper's
+    /// figures compare against.
+    ///
+    /// Computed on first access (one extra BD pass, using the same tile
+    /// size and thread count as the perceptual encoding) and cached for the
+    /// lifetime of the result.
+    pub fn baseline(&self) -> &BdEncodedFrame {
+        self.baseline.get_or_init(|| {
+            BdEncoder::new(BdConfig::with_tile_size(self.encoded.tile_size()))
+                .with_threads(self.bd_threads.max(1))
+                .encode_frame(&self.original)
+        })
+    }
+
     /// Compression statistics of the perceptual encoding.
     pub fn our_stats(&self) -> CompressionStats {
         self.encoded.stats()
     }
 
-    /// Compression statistics of the plain BD baseline.
+    /// Compression statistics of the plain BD baseline (materializes the
+    /// lazy baseline encoding on first call).
     pub fn bd_stats(&self) -> CompressionStats {
-        self.baseline.stats()
+        self.baseline().stats()
     }
 
     /// Traffic reduction of the perceptual encoding over plain BD, percent.
@@ -242,6 +342,31 @@ impl PerceptualEncodeResult {
 
     /// Traffic reduction of the perceptual encoding over uncompressed
     /// frames, percent (the main number of Fig. 10).
+    pub fn reduction_over_uncompressed_percent(&self) -> f64 {
+        self.our_stats().bandwidth_reduction_percent()
+    }
+}
+
+/// The output of the stream-mode encode path: only what a serving pipeline
+/// ships — the adjusted frame and its BD bitstream — with no baseline
+/// comparison material at all.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamEncodeResult {
+    /// The perceptually adjusted frame, gamma-encoded.
+    pub adjusted: SrgbFrame,
+    /// BD encoding of the adjusted frame — the bits that go on the wire.
+    pub encoded: BdEncodedFrame,
+    /// Per-tile adjustment statistics.
+    pub stats: AdjustmentStats,
+}
+
+impl StreamEncodeResult {
+    /// Compression statistics of the perceptual encoding.
+    pub fn our_stats(&self) -> CompressionStats {
+        self.encoded.stats()
+    }
+
+    /// Traffic reduction over uncompressed frames, percent.
     pub fn reduction_over_uncompressed_percent(&self) -> f64 {
         self.our_stats().bandwidth_reduction_percent()
     }
@@ -342,7 +467,7 @@ mod tests {
         let gaze = GazePoint::center_of(frame.dimensions());
         let result = encoder().encode_frame(&frame, &display, gaze);
         assert_eq!(result.encoded.decode(), result.adjusted);
-        assert_eq!(result.baseline.decode(), result.original);
+        assert_eq!(result.baseline().decode(), result.original);
         assert_ne!(
             result.adjusted, result.original,
             "adjustment must change peripheral pixels"
@@ -398,6 +523,52 @@ mod tests {
         .encode_frame(&frame, &display, gaze);
         assert_eq!(sequential.adjusted, parallel.adjusted);
         assert_eq!(sequential.stats, parallel.stats);
+    }
+
+    #[test]
+    fn stream_mode_matches_the_full_encode_bit_for_bit() {
+        for scene in [SceneId::Office, SceneId::Dumbo] {
+            let frame = test_frame(scene);
+            let display = DisplayGeometry::quest2_like(frame.dimensions());
+            let gaze = GazePoint::new(40.0, 30.0);
+            let enc = encoder();
+            let full = enc.encode_frame(&frame, &display, gaze);
+            let stream = enc.encode_frame_stream(&frame, &display, gaze);
+            assert_eq!(stream.encoded, full.encoded);
+            assert_eq!(stream.adjusted, full.adjusted);
+            assert_eq!(stream.stats, full.stats);
+            assert_eq!(
+                stream.our_stats().compressed_bits,
+                full.our_stats().compressed_bits
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_baseline_matches_an_eager_bd_pass() {
+        let frame = test_frame(SceneId::Skyline);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let gaze = GazePoint::center_of(frame.dimensions());
+        let enc = encoder();
+        let result = enc.encode_frame(&frame, &display, gaze);
+        let eager = BdEncoder::new(BdConfig::with_tile_size(enc.config().tile_size))
+            .encode_frame(&frame.to_srgb());
+        // First access materializes; second reuses the same encoding.
+        assert_eq!(*result.baseline(), eager);
+        assert_eq!(result.bd_stats(), eager.stats());
+        assert!(std::ptr::eq(result.baseline(), result.baseline()));
+    }
+
+    #[test]
+    fn equality_ignores_baseline_materialization_state() {
+        let frame = test_frame(SceneId::Thai);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let gaze = GazePoint::center_of(frame.dimensions());
+        let enc = encoder();
+        let touched = enc.encode_frame(&frame, &display, gaze);
+        let untouched = enc.encode_frame(&frame, &display, gaze);
+        let _ = touched.bd_stats();
+        assert_eq!(touched, untouched);
     }
 
     #[test]

@@ -65,6 +65,6 @@ pub use adjust::{
 };
 pub use batch::{BatchCacheStats, BatchEncoder, DEFAULT_GAZE_CACHE_CAPACITY};
 pub use config::EncoderConfig;
-pub use encoder::{PerceptualEncodeResult, PerceptualEncoder};
+pub use encoder::{PerceptualEncodeResult, PerceptualEncoder, StreamEncodeResult};
 pub use solver::IterativeSolver;
 pub use stats::AdjustmentStats;

@@ -7,6 +7,11 @@
 //! provides the objective side of that comparison: MSE, PSNR and
 //! per-channel error statistics between an original and an adjusted frame.
 //!
+//! For streaming workloads the [`throughput`] module adds the aggregate
+//! side: frames/bytes counters and derived rates ([`ThroughputReport`])
+//! that the multi-session service sums per session, per shard and
+//! service-wide.
+//!
 //! # Examples
 //!
 //! ```
@@ -23,6 +28,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod throughput;
+
+pub use throughput::ThroughputReport;
 
 use pvc_frame::{FrameError, SrgbFrame};
 use serde::{Deserialize, Serialize};

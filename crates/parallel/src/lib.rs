@@ -23,6 +23,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod queue;
+
+pub use queue::{bounded_queue, BoundedSender, QueueClosed, StallCounter};
+
 /// Smallest number of items per worker for which spawning threads can pay
 /// off; below `threads * MIN_ITEMS_PER_THREAD` items the map runs inline.
 pub const MIN_ITEMS_PER_THREAD: usize = 2;
@@ -77,6 +81,42 @@ where
         }
     });
     results.into_iter().flatten().collect()
+}
+
+/// Runs one closure per shard on scoped worker threads, returning the
+/// results in shard order.
+///
+/// This is the serving-side counterpart of [`parallel_chunk_map`]: instead
+/// of splitting one homogeneous work-list, each shard owns a *stream* of
+/// work (its sessions, its caches) for the whole call. The closure receives
+/// its shard index; results are joined in index order, so any
+/// per-shard-deterministic computation yields the same output regardless of
+/// how the shards interleave in time.
+///
+/// With a single shard the closure runs inline on the calling thread.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero, and propagates a panic from any shard (the
+/// scope joins all workers first).
+pub fn shard_map<R, F>(shards: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(shards > 0, "shard count must be non-zero");
+    if shards == 1 {
+        return vec![f(0)];
+    }
+    let mut results = Vec::with_capacity(shards);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards).map(|s| scope.spawn(move || f(s))).collect();
+        for handle in handles {
+            results.push(handle.join().expect("shard worker panicked"));
+        }
+    });
+    results
 }
 
 /// The number of worker threads that saturates the current machine, for
@@ -135,6 +175,29 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn shard_map_returns_results_in_shard_order() {
+        for shards in [1, 2, 3, 8] {
+            let out = shard_map(shards, |s| s * 10);
+            assert_eq!(out, (0..shards).map(|s| s * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be non-zero")]
+    fn zero_shards_panic() {
+        let _ = shard_map(0, |s| s);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard worker panicked")]
+    fn shard_panics_propagate() {
+        let _ = shard_map(4, |s| {
+            assert!(s < 3, "boom");
+            s
+        });
     }
 
     #[test]

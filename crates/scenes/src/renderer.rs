@@ -36,6 +36,13 @@ impl SceneId {
         SceneId::Monkey,
     ];
 
+    /// The scene at `index` modulo the catalogue size, in [`Self::ALL`]
+    /// order. Multi-session workloads use this to deal distinct scene
+    /// content to an arbitrary number of concurrent sessions.
+    pub fn by_index(index: usize) -> SceneId {
+        SceneId::ALL[index % SceneId::ALL.len()]
+    }
+
     /// Lower-case scene name as used in the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -409,6 +416,17 @@ mod tests {
             assert_eq!(parsed, scene);
         }
         assert!("nonexistent".parse::<SceneId>().is_err());
+    }
+
+    #[test]
+    fn by_index_cycles_through_the_catalogue() {
+        assert_eq!(SceneId::by_index(0), SceneId::Office);
+        assert_eq!(SceneId::by_index(5), SceneId::Monkey);
+        assert_eq!(SceneId::by_index(6), SceneId::Office);
+        for i in 0..SceneId::ALL.len() {
+            assert_eq!(SceneId::by_index(i), SceneId::ALL[i]);
+            assert_eq!(SceneId::by_index(i + SceneId::ALL.len()), SceneId::ALL[i]);
+        }
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Multi-session streaming service over the perceptual encoder.
+//!
+//! The paper's encoder lives inside a VR runtime that serves *continuous
+//! per-headset frame streams*, not one frame at a time. This crate models
+//! that serving layer end to end, deterministically:
+//!
+//! * [`GazeTrace`] synthesizes realistic gaze streams — fixations,
+//!   saccades, smooth pursuit — from a seed, so sessions exercise the
+//!   eccentricity-map cache the way real eye trackers do ([`gaze`]).
+//! * [`SessionConfig`] describes one headset's stream declaratively:
+//!   scene, display size, frame budget, gaze model, seed ([`session`]).
+//! * [`StreamService`] schedules admitted sessions onto a sharded worker
+//!   pool with stable per-session routing, bounded render→encode queues
+//!   (backpressure), the stream-mode encode path
+//!   ([`pvc_core::BatchEncoder::encode_frame_stream`]) and per-session /
+//!   per-shard / service-wide telemetry ([`service`]).
+//!
+//! Encoded output is **bit-identical for the same seeds regardless of the
+//! shard count** — only timing telemetry varies. The `stream_throughput`
+//! binary in `pvc_bench` drives this crate at scale.
+//!
+//! # Examples
+//!
+//! ```
+//! use pvc_frame::Dimensions;
+//! use pvc_stream::{ServiceConfig, StreamService};
+//!
+//! // Four headsets, two shard workers, eight frames each.
+//! let mut service = StreamService::new(ServiceConfig::default().with_shards(2));
+//! service.admit_synthetic(4, Dimensions::new(32, 32), 8);
+//!
+//! let report = service.run();
+//! assert_eq!(report.totals.frames, 32);
+//! assert!(report.totals.bytes_out < report.totals.bytes_in, "BD always compresses");
+//!
+//! // Fixation-heavy gaze keeps the per-session map cache hot.
+//! let cache = report.aggregate_cache();
+//! assert!(cache.hit_rate() > 0.0);
+//!
+//! // Sessions stay pinned to their shard.
+//! for session in &report.sessions {
+//!     assert_eq!(session.shard, session.session % 2);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gaze;
+pub mod service;
+pub mod session;
+
+pub use gaze::{FixationSaccadeConfig, GazeModel, GazeTrace, SmoothPursuitConfig};
+pub use service::{ServiceConfig, ServiceReport, ShardReport, StreamService};
+pub use session::{SessionConfig, SessionReport};

@@ -1,0 +1,569 @@
+//! The multi-session streaming service.
+//!
+//! [`StreamService`] models the serving side of the paper's encoder: many
+//! headsets (sessions), each with its own scene, gaze trace and
+//! [`BatchEncoder`] state, scheduled onto a fixed pool of shard workers.
+//! Three properties drive the design:
+//!
+//! * **Stable routing.** A session is pinned to shard
+//!   `session_id % shards` for its whole stream, so its eccentricity-map
+//!   cache stays hot on one worker instead of being rebuilt wherever the
+//!   next frame happens to land.
+//! * **Bounded pipelining.** Within a shard, frame *production* (scene
+//!   rendering) runs on a producer thread and frame *encoding* on the shard
+//!   worker, connected by a [`pvc_parallel::bounded_queue`]. The queue
+//!   depth caps rendered-but-unencoded frames (memory), and its stall
+//!   counter is the backpressure signal: stalls mean encoding, not
+//!   rendering, is the bottleneck.
+//! * **Shard-count invariance.** Each session's frames are encoded in
+//!   frame order by exactly one worker, from inputs derived only from the
+//!   session's own config — so the encoded streams are bit-identical no
+//!   matter how many shards the service runs with. Only wall-clock
+//!   telemetry changes.
+
+use crate::gaze::GazeTrace;
+use crate::session::{fnv1a_update, SessionConfig, SessionReport, FNV_OFFSET_BASIS};
+use pvc_color::SyntheticDiscriminationModel;
+use pvc_core::{BatchCacheStats, BatchEncoder, EncoderConfig, DEFAULT_GAZE_CACHE_CAPACITY};
+use pvc_fovea::{DisplayGeometry, GazePoint};
+use pvc_frame::{Dimensions, LinearFrame};
+use pvc_metrics::{SampleSummary, ThroughputReport};
+use pvc_parallel::{bounded_queue, shard_map};
+use pvc_scenes::{SceneConfig, SceneRenderer};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Salt mixed into a session's seed for gaze-trace synthesis, so scene
+/// content and gaze randomness are decorrelated.
+const GAZE_SEED_SALT: u64 = 0x6A7E_5EED_0BAD_CAFE;
+
+/// Service-wide configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Number of shard workers; sessions are routed by `id % shards`.
+    pub shards: usize,
+    /// Depth of each shard's render→encode queue (frames in flight).
+    pub queue_depth: usize,
+    /// Encoder configuration shared by every session.
+    pub encoder: EncoderConfig,
+    /// Eccentricity-map cache capacity of each session's encoder.
+    pub gaze_cache_capacity: usize,
+    /// Keep every frame's encoded bitstream in the session reports.
+    /// Memory-hungry; meant for tests and debugging, not serving.
+    pub collect_payloads: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 1,
+            queue_depth: 4,
+            encoder: EncoderConfig::default(),
+            gaze_cache_capacity: DEFAULT_GAZE_CACHE_CAPACITY,
+            collect_payloads: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Returns the configuration with a different shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be non-zero");
+        self.shards = shards;
+        self
+    }
+
+    /// Returns the configuration with a different queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "queue depth must be non-zero");
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Returns the configuration with a different encoder configuration.
+    pub fn with_encoder(mut self, encoder: EncoderConfig) -> Self {
+        self.encoder = encoder;
+        self
+    }
+
+    /// Returns the configuration with a different per-session gaze-cache
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_gaze_cache_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        self.gaze_cache_capacity = capacity;
+        self
+    }
+
+    /// Returns the configuration with payload collection switched on/off.
+    pub fn with_collect_payloads(mut self, collect: bool) -> Self {
+        self.collect_payloads = collect;
+        self
+    }
+}
+
+/// What one shard worker observed over a [`StreamService::run`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// The shard index.
+    pub shard: usize,
+    /// Sessions routed to this shard.
+    pub sessions: usize,
+    /// Frames this shard encoded.
+    pub frames: u64,
+    /// Seconds the worker spent inside the encoder.
+    pub busy_seconds: f64,
+    /// Wall-clock seconds from shard start to last frame.
+    pub wall_seconds: f64,
+    /// Times the producer blocked on a full queue (backpressure events).
+    pub queue_stalls: u64,
+}
+
+impl ShardReport {
+    /// Fraction of the shard's wall-clock spent encoding, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_seconds / self.wall_seconds).clamp(0.0, 1.0)
+    }
+}
+
+/// Everything a [`StreamService::run`] produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Per-session results, ordered by session id.
+    pub sessions: Vec<SessionReport>,
+    /// Per-shard telemetry, ordered by shard index.
+    pub shards: Vec<ShardReport>,
+    /// Service-wide totals; `wall_seconds` is the full run's elapsed time.
+    pub totals: ThroughputReport,
+}
+
+impl ServiceReport {
+    /// Eccentricity-map cache counters summed over every session.
+    pub fn aggregate_cache(&self) -> BatchCacheStats {
+        let mut total = BatchCacheStats::default();
+        for session in &self.sessions {
+            total.hits += session.cache.hits;
+            total.misses += session.cache.misses;
+            total.entries += session.cache.entries;
+        }
+        total
+    }
+
+    /// Mean/spread of per-shard utilization, or `None` with no shards.
+    pub fn utilization_summary(&self) -> Option<SampleSummary> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        let utilizations: Vec<f64> = self.shards.iter().map(ShardReport::utilization).collect();
+        Some(SampleSummary::of(&utilizations))
+    }
+}
+
+/// One frame travelling through a shard's render→encode queue.
+struct FrameJob {
+    /// Index into the shard's member list (not the global session id).
+    local: usize,
+    frame: LinearFrame,
+    gaze: GazePoint,
+}
+
+/// A deterministic multi-session streaming service over the stream-mode
+/// perceptual encoder. See the [crate docs](crate) for an end-to-end
+/// example.
+#[derive(Debug, Clone)]
+pub struct StreamService {
+    config: ServiceConfig,
+    sessions: Vec<SessionConfig>,
+}
+
+impl StreamService {
+    /// Creates an empty service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero shards, queue depth or cache
+    /// capacity (the builder methods already enforce this; the assert
+    /// guards struct-literal configs).
+    pub fn new(config: ServiceConfig) -> StreamService {
+        assert!(config.shards > 0, "shard count must be non-zero");
+        assert!(config.queue_depth > 0, "queue depth must be non-zero");
+        assert!(
+            config.gaze_cache_capacity > 0,
+            "cache capacity must be non-zero"
+        );
+        StreamService {
+            config,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The admitted sessions, in admission order.
+    pub fn sessions(&self) -> &[SessionConfig] {
+        &self.sessions
+    }
+
+    /// Admits a session and returns its id (= admission index).
+    pub fn admit(&mut self, session: SessionConfig) -> usize {
+        self.sessions.push(session);
+        self.sessions.len() - 1
+    }
+
+    /// Admits `count` synthetic sessions (see [`SessionConfig::synthetic`])
+    /// and returns the range of their ids.
+    pub fn admit_synthetic(
+        &mut self,
+        count: usize,
+        dimensions: Dimensions,
+        frames: u32,
+    ) -> std::ops::Range<usize> {
+        let first = self.sessions.len();
+        for index in first..first + count {
+            self.sessions
+                .push(SessionConfig::synthetic(index, dimensions, frames));
+        }
+        first..self.sessions.len()
+    }
+
+    /// The shard a session id is routed to.
+    pub fn shard_of(&self, session: usize) -> usize {
+        session % self.config.shards
+    }
+
+    /// Streams every admitted session to completion and reports.
+    ///
+    /// Per-session encoded output (payload bytes, digests, cache counters)
+    /// depends only on the session configs and the encoder configuration —
+    /// never on the shard count, queue depth or thread scheduling. Timing
+    /// telemetry (utilization, wall seconds, stalls) is of course
+    /// machine-dependent.
+    pub fn run(&self) -> ServiceReport {
+        let start = Instant::now();
+        let outputs = shard_map(self.config.shards, |shard| self.run_shard(shard));
+        let mut sessions = Vec::with_capacity(self.sessions.len());
+        let mut shards = Vec::with_capacity(outputs.len());
+        for (mut shard_sessions, shard_report) in outputs {
+            sessions.append(&mut shard_sessions);
+            shards.push(shard_report);
+        }
+        sessions.sort_by_key(|report| report.session);
+        let mut totals = ThroughputReport::default();
+        for session in &sessions {
+            totals.merge(&session.throughput);
+        }
+        totals.wall_seconds = start.elapsed().as_secs_f64();
+        ServiceReport {
+            sessions,
+            shards,
+            totals,
+        }
+    }
+
+    /// Runs one shard: a producer thread renders member sessions' frames
+    /// round-robin into the bounded queue; the shard worker (this thread)
+    /// drains it through each session's stream-mode [`BatchEncoder`].
+    fn run_shard(&self, shard: usize) -> (Vec<SessionReport>, ShardReport) {
+        let members: Vec<(usize, &SessionConfig)> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| id % self.config.shards == shard)
+            .collect();
+        let mut shard_report = ShardReport {
+            shard,
+            sessions: members.len(),
+            ..ShardReport::default()
+        };
+        if members.is_empty() {
+            return (Vec::new(), shard_report);
+        }
+        let wall_start = Instant::now();
+
+        // Deterministic per-session machinery, rebuilt from configs alone.
+        let renderers: Vec<SceneRenderer> = members
+            .iter()
+            .map(|(_, cfg)| {
+                SceneRenderer::new(
+                    cfg.scene,
+                    SceneConfig::new(cfg.dimensions).with_seed(cfg.seed),
+                )
+            })
+            .collect();
+        let traces: Vec<GazeTrace> = members
+            .iter()
+            .map(|(_, cfg)| {
+                GazeTrace::synthesize(
+                    &cfg.gaze_model,
+                    cfg.dimensions,
+                    cfg.seed ^ GAZE_SEED_SALT,
+                    cfg.frames as usize,
+                )
+            })
+            .collect();
+        let mut encoders: Vec<BatchEncoder<SyntheticDiscriminationModel>> = members
+            .iter()
+            .map(|(_, cfg)| {
+                BatchEncoder::new(
+                    SyntheticDiscriminationModel::default(),
+                    self.config.encoder.clone(),
+                    DisplayGeometry::quest2_like(cfg.dimensions),
+                )
+                .with_cache_capacity(self.config.gaze_cache_capacity)
+            })
+            .collect();
+        let mut reports: Vec<SessionReport> = members
+            .iter()
+            .map(|(id, cfg)| SessionReport {
+                session: *id,
+                scene: cfg.scene,
+                shard,
+                throughput: ThroughputReport::default(),
+                cache: BatchCacheStats::default(),
+                stream_digest: FNV_OFFSET_BASIS,
+                payloads: self.config.collect_payloads.then(Vec::new),
+            })
+            .collect();
+
+        let max_frames = members.iter().map(|(_, cfg)| cfg.frames).max().unwrap_or(0);
+        let (tx, rx, stall_counter) = bounded_queue(self.config.queue_depth);
+        let mut busy_seconds = 0.0f64;
+        std::thread::scope(|scope| {
+            let members = &members;
+            let renderers = &renderers;
+            let traces = &traces;
+            scope.spawn(move || {
+                // Frame-major round-robin: session A frame 0, B frame 0, …,
+                // A frame 1 — fair interleaving with per-session frame order
+                // preserved, which is all determinism needs.
+                for t in 0..max_frames {
+                    for (local, (_, cfg)) in members.iter().enumerate() {
+                        if t >= cfg.frames {
+                            continue;
+                        }
+                        let job = FrameJob {
+                            local,
+                            frame: renderers[local].render_linear(t),
+                            gaze: traces[local].samples()[t as usize],
+                        };
+                        if tx.send(job).is_err() {
+                            return; // worker gone (panic unwinding); stop producing
+                        }
+                    }
+                }
+            });
+            for job in rx {
+                let encode_start = Instant::now();
+                let result = encoders[job.local].encode_frame_stream(&job.frame, job.gaze);
+                let bitstream = result.encoded.to_bitstream();
+                busy_seconds += encode_start.elapsed().as_secs_f64();
+                let report = &mut reports[job.local];
+                report.throughput.record_frame(
+                    result.our_stats().uncompressed_bits / 8,
+                    bitstream.len() as u64,
+                );
+                report.stream_digest = fnv1a_update(report.stream_digest, &bitstream);
+                if let Some(payloads) = &mut report.payloads {
+                    payloads.push(bitstream);
+                }
+            }
+        });
+
+        for (report, encoder) in reports.iter_mut().zip(&encoders) {
+            report.cache = encoder.cache_stats();
+        }
+        shard_report.frames = reports.iter().map(|r| r.throughput.frames).sum();
+        shard_report.busy_seconds = busy_seconds;
+        shard_report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        shard_report.queue_stalls = stall_counter.stalls();
+        (reports, shard_report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaze::{FixationSaccadeConfig, GazeModel};
+
+    fn tiny_dims() -> Dimensions {
+        Dimensions::new(32, 32)
+    }
+
+    fn service_with(
+        shards: usize,
+        session_count: usize,
+        frames: u32,
+        collect: bool,
+    ) -> StreamService {
+        let mut service = StreamService::new(
+            ServiceConfig::default()
+                .with_shards(shards)
+                .with_collect_payloads(collect),
+        );
+        service.admit_synthetic(session_count, tiny_dims(), frames);
+        service
+    }
+
+    #[test]
+    fn shard_count_does_not_change_encoded_streams() {
+        let single = service_with(1, 5, 4, true).run();
+        let sharded = service_with(3, 5, 4, true).run();
+        assert_eq!(single.sessions.len(), 5);
+        assert_eq!(sharded.sessions.len(), 5);
+        for (a, b) in single.sessions.iter().zip(&sharded.sessions) {
+            assert_eq!(a.session, b.session);
+            assert_eq!(a.scene, b.scene);
+            assert_eq!(a.stream_digest, b.stream_digest);
+            assert_eq!(
+                a.payloads, b.payloads,
+                "session {} payloads differ",
+                a.session
+            );
+            assert_eq!(a.cache, b.cache);
+            assert_eq!(a.throughput.frames, b.throughput.frames);
+            assert_eq!(a.throughput.bytes_out, b.throughput.bytes_out);
+        }
+    }
+
+    #[test]
+    fn service_output_matches_a_hand_driven_batch_encoder() {
+        let service = service_with(1, 1, 3, true);
+        let report = service.run();
+        let cfg = &service.sessions()[0];
+
+        // Re-derive the stream exactly the way run_shard documents it.
+        let renderer = SceneRenderer::new(
+            cfg.scene,
+            SceneConfig::new(cfg.dimensions).with_seed(cfg.seed),
+        );
+        let trace = GazeTrace::synthesize(
+            &cfg.gaze_model,
+            cfg.dimensions,
+            cfg.seed ^ GAZE_SEED_SALT,
+            cfg.frames as usize,
+        );
+        let mut encoder = BatchEncoder::new(
+            SyntheticDiscriminationModel::default(),
+            EncoderConfig::default(),
+            DisplayGeometry::quest2_like(cfg.dimensions),
+        );
+        let mut digest = FNV_OFFSET_BASIS;
+        let mut expected_payloads = Vec::new();
+        for t in 0..cfg.frames {
+            let frame = renderer.render_linear(t);
+            let result = encoder.encode_frame_stream(&frame, trace.samples()[t as usize]);
+            let bitstream = result.encoded.to_bitstream();
+            digest = fnv1a_update(digest, &bitstream);
+            expected_payloads.push(bitstream);
+        }
+        let session = &report.sessions[0];
+        assert_eq!(session.stream_digest, digest);
+        assert_eq!(
+            session.payloads.as_deref(),
+            Some(expected_payloads.as_slice())
+        );
+        assert_eq!(session.cache, encoder.cache_stats());
+    }
+
+    #[test]
+    fn sessions_are_routed_to_stable_shards() {
+        let service = service_with(2, 4, 2, false);
+        let report = service.run();
+        for session in &report.sessions {
+            assert_eq!(session.shard, session.session % 2);
+            assert_eq!(service.shard_of(session.session), session.shard);
+        }
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.shards[0].sessions, 2);
+        assert_eq!(report.shards[1].sessions, 2);
+        assert_eq!(report.shards[0].frames + report.shards[1].frames, 8);
+    }
+
+    #[test]
+    fn totals_aggregate_every_session() {
+        let report = service_with(2, 3, 2, false).run();
+        assert_eq!(report.totals.frames, 6);
+        assert_eq!(
+            report.totals.bytes_out,
+            report
+                .sessions
+                .iter()
+                .map(|s| s.throughput.bytes_out)
+                .sum::<u64>()
+        );
+        assert!(report.totals.wall_seconds > 0.0);
+        assert!(report.totals.frames_per_second() > 0.0);
+        let cache = report.aggregate_cache();
+        assert_eq!(cache.hits + cache.misses, 6);
+        let summary = report.utilization_summary().expect("two shards ran");
+        assert!(summary.mean >= 0.0 && summary.mean <= 1.0);
+    }
+
+    #[test]
+    fn fixation_heavy_gaze_keeps_the_cache_hot() {
+        let mut service = StreamService::new(ServiceConfig::default());
+        let pinned_fixation = GazeModel::FixationSaccade(FixationSaccadeConfig {
+            min_fixation_frames: 5,
+            max_fixation_frames: 5,
+            mean_saccade_px: 10.0,
+            max_saccade_px: 20.0,
+        });
+        service
+            .admit(SessionConfig::synthetic(0, tiny_dims(), 20).with_gaze_model(pinned_fixation));
+        let report = service.run();
+        let cache = report.aggregate_cache();
+        assert_eq!(cache.misses, 4, "20 frames / 5-frame fixations");
+        assert_eq!(cache.hits, 16);
+        assert!((cache.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_service_produces_an_empty_report() {
+        let report = StreamService::new(ServiceConfig::default().with_shards(2)).run();
+        assert!(report.sessions.is_empty());
+        assert_eq!(report.totals.frames, 0);
+        assert_eq!(report.aggregate_cache(), BatchCacheStats::default());
+    }
+
+    #[test]
+    fn more_shards_than_sessions_is_fine() {
+        let report = service_with(4, 2, 2, false).run();
+        assert_eq!(report.sessions.len(), 2);
+        assert_eq!(report.totals.frames, 4);
+        let occupied: usize = report.shards.iter().map(|s| s.sessions).sum();
+        assert_eq!(occupied, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be non-zero")]
+    fn zero_shards_is_rejected() {
+        let _ = StreamService::new(ServiceConfig {
+            shards: 0,
+            ..ServiceConfig::default()
+        });
+    }
+
+    #[test]
+    fn payloads_are_absent_unless_requested() {
+        let report = service_with(1, 1, 2, false).run();
+        assert!(report.sessions[0].payloads.is_none());
+        assert_ne!(report.sessions[0].stream_digest, FNV_OFFSET_BASIS);
+    }
+}

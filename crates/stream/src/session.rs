@@ -1,0 +1,133 @@
+//! Session descriptions and per-session results.
+//!
+//! A *session* is one headset's stream: a display geometry, a scene being
+//! rendered for it, a synthesized gaze trace, and a frame budget. Sessions
+//! are described declaratively ([`SessionConfig`]) so the service can
+//! re-create a session's renderer, trace and encoder inside whichever
+//! shard the session lands on — which is what makes the encoded output
+//! independent of the shard count.
+
+use crate::gaze::GazeModel;
+use pvc_core::BatchCacheStats;
+use pvc_frame::Dimensions;
+use pvc_metrics::ThroughputReport;
+use pvc_scenes::SceneId;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to (re)create one headset's stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// The scene rendered for this headset.
+    pub scene: SceneId,
+    /// Per-eye display resolution; also the rendered frame size.
+    pub dimensions: Dimensions,
+    /// Number of frames the session streams.
+    pub frames: u32,
+    /// Seed for both the scene's animation content and the gaze trace.
+    pub seed: u64,
+    /// How this session's gaze moves.
+    pub gaze_model: GazeModel,
+}
+
+impl SessionConfig {
+    /// A synthetic session for load generation: scene dealt round-robin
+    /// from the catalogue by `index`, a seed derived from `index`, and the
+    /// default fixation/saccade gaze model for the display size.
+    pub fn synthetic(index: usize, dimensions: Dimensions, frames: u32) -> SessionConfig {
+        SessionConfig {
+            scene: SceneId::by_index(index),
+            dimensions,
+            frames,
+            // SplitMix64-style dispersion so neighbouring indices get
+            // unrelated scene/gaze randomness.
+            seed: (index as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0x5EED_CAFE),
+            gaze_model: GazeModel::default_for(dimensions),
+        }
+    }
+
+    /// Returns the session with a different gaze model.
+    pub fn with_gaze_model(mut self, gaze_model: GazeModel) -> SessionConfig {
+        self.gaze_model = gaze_model;
+        self
+    }
+
+    /// Returns the session with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> SessionConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What one session's stream produced, as observed by the service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// The session's id (its admission index).
+    pub session: usize,
+    /// The scene the session streamed.
+    pub scene: SceneId,
+    /// Shard the session was routed to.
+    pub shard: usize,
+    /// Frame/byte totals. `wall_seconds` stays 0 here — sessions share a
+    /// shard thread, so only shard- and service-level rates are meaningful.
+    pub throughput: ThroughputReport,
+    /// The session's eccentricity-map cache counters.
+    pub cache: BatchCacheStats,
+    /// Chained FNV-1a digest over every frame's encoded bitstream, in frame
+    /// order — two runs produced bit-identical streams iff digests match.
+    pub stream_digest: u64,
+    /// The per-frame encoded bitstreams, kept only when
+    /// [`crate::ServiceConfig::collect_payloads`] is set (tests, debugging).
+    pub payloads: Option<Vec<Vec<u8>>>,
+}
+
+/// Seed value of the FNV-1a digest chain.
+pub(crate) const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a digest.
+pub(crate) fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_sessions_cycle_scenes_and_disperse_seeds() {
+        let dims = Dimensions::new(64, 64);
+        let a = SessionConfig::synthetic(0, dims, 10);
+        let b = SessionConfig::synthetic(1, dims, 10);
+        let g = SessionConfig::synthetic(6, dims, 10);
+        assert_eq!(a.scene, SceneId::Office);
+        assert_eq!(b.scene, SceneId::Fortnite);
+        assert_eq!(g.scene, a.scene, "index 6 wraps back to the first scene");
+        assert_ne!(a.seed, g.seed, "same scene, different content");
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let dims = Dimensions::new(32, 32);
+        let s = SessionConfig::synthetic(0, dims, 5)
+            .with_seed(77)
+            .with_gaze_model(GazeModel::pursuit(2.0));
+        assert_eq!(s.seed, 77);
+        assert_eq!(s.gaze_model, GazeModel::pursuit(2.0));
+    }
+
+    #[test]
+    fn fnv_digest_is_order_sensitive() {
+        let d1 = fnv1a_update(fnv1a_update(FNV_OFFSET_BASIS, b"ab"), b"cd");
+        let d2 = fnv1a_update(fnv1a_update(FNV_OFFSET_BASIS, b"cd"), b"ab");
+        assert_ne!(d1, d2);
+        // Known FNV-1a vector: empty input leaves the offset basis.
+        assert_eq!(fnv1a_update(FNV_OFFSET_BASIS, b""), FNV_OFFSET_BASIS);
+    }
+}

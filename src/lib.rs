@@ -14,7 +14,9 @@
 //! * [`baselines`] — PNG-style and SCC baseline codecs,
 //! * [`core`] — the perceptual color adjustment algorithm and frame encoder,
 //! * [`hw`] — the CAU hardware, DRAM energy and power-saving models,
-//! * [`metrics`] — PSNR and error statistics,
+//! * [`metrics`] — PSNR, error statistics and throughput telemetry,
+//! * [`stream`] — the multi-session streaming service with gaze-trace
+//!   synthesis and sharded scheduling,
 //! * [`study`] — the simulated psychophysical user study.
 //!
 //! # Quickstart
@@ -50,6 +52,7 @@ pub use pvc_frame as frame;
 pub use pvc_hw as hw;
 pub use pvc_metrics as metrics;
 pub use pvc_scenes as scenes;
+pub use pvc_stream as stream;
 pub use pvc_study as study;
 
 /// The most commonly used types, re-exported for convenient glob imports.
@@ -62,11 +65,13 @@ pub mod prelude {
     };
     pub use pvc_core::{
         BatchCacheStats, BatchEncoder, EncoderConfig, PerceptualEncodeResult, PerceptualEncoder,
+        StreamEncodeResult,
     };
     pub use pvc_fovea::{DisplayGeometry, EccentricityMap, FoveaConfig, GazePoint, StereoGeometry};
     pub use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, TileGrid};
     pub use pvc_hw::{CauModel, DramConfig, PowerModel, RefreshRate};
-    pub use pvc_metrics::QualityReport;
+    pub use pvc_metrics::{QualityReport, ThroughputReport};
     pub use pvc_scenes::{SceneConfig, SceneId, SceneRenderer};
+    pub use pvc_stream::{GazeModel, GazeTrace, ServiceConfig, SessionConfig, StreamService};
     pub use pvc_study::{SceneTrial, StudyConfig, UserStudy};
 }

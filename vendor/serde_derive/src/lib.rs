@@ -1,17 +1,21 @@
 //! No-op `Serialize` / `Deserialize` derive macros backing the vendored
 //! serde stand-in. The traits they "implement" are blanket-implemented in
 //! the `serde` stub, so the derives expand to nothing at all.
+//!
+//! Both derives declare the `serde` helper attribute so in-tree types can
+//! carry real field attributes (`#[serde(skip)]` and friends); the stub
+//! ignores them, the real `serde_derive` honours them.
 
 use proc_macro::TokenStream;
 
 /// Expands to nothing: `Serialize` is blanket-implemented in the stub.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Expands to nothing: `Deserialize` is blanket-implemented in the stub.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
