@@ -1,0 +1,236 @@
+//! Long-lived runtime benchmark: session churn under load-aware placement.
+//!
+//! Starts a [`StreamRuntime`], admits an initial fleet of synthetic
+//! headset sessions, then runs admission/retirement *waves*: each wave
+//! retires the oldest live sessions (graceful — they finish their frame
+//! budgets) and admits fresh replacements while the rest of the fleet
+//! keeps streaming. Reports per-session FPS for every stream, per-shard
+//! load distribution, churn counters and steady-state aggregate FPS.
+//!
+//! `--quick` runs a small configuration suitable for CI; the knobs below
+//! override either preset.
+//!
+//! ```text
+//! cargo run --release -p pvc_bench --bin session_churn -- --quick
+//! cargo run --release -p pvc_bench --bin session_churn -- \
+//!     --sessions 16 --frames 30 --shards 8 --waves 4 --churn 4 --placement p2c
+//! ```
+
+use pvc_bench::assert_session_rates;
+use pvc_bench::cli::{exit_with_usage, placement_option, ArgSpec, CliError, ParsedArgs};
+use pvc_frame::Dimensions;
+use pvc_stream::{ServiceConfig, SessionConfig, SessionReport, StreamRuntime};
+use std::collections::VecDeque;
+
+const SPEC: ArgSpec = ArgSpec {
+    flags: &["--quick"],
+    options: &[
+        "--sessions",
+        "--frames",
+        "--shards",
+        "--queue-depth",
+        "--width",
+        "--height",
+        "--waves",
+        "--churn",
+        "--placement",
+    ],
+};
+
+const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
+                     [--queue-depth N] [--width PX] [--height PX] \
+                     [--waves N] [--churn N] [--placement static|p2c]";
+
+/// The workload, after applying the preset and any explicit overrides.
+struct RunConfig {
+    sessions: usize,
+    frames: u32,
+    shards: usize,
+    queue_depth: usize,
+    dimensions: Dimensions,
+    waves: usize,
+    churn: usize,
+}
+
+fn run_config(parsed: &ParsedArgs) -> Result<RunConfig, CliError> {
+    let quick = parsed.has("--quick");
+    let default_shards = pvc_parallel::available_threads().min(if quick { 4 } else { 8 });
+    let mut config = if quick {
+        RunConfig {
+            sessions: 8,
+            frames: 10,
+            shards: default_shards,
+            queue_depth: 4,
+            dimensions: Dimensions::new(96, 96),
+            waves: 2,
+            churn: 2,
+        }
+    } else {
+        RunConfig {
+            sessions: 16,
+            frames: 30,
+            shards: default_shards,
+            queue_depth: 4,
+            dimensions: Dimensions::new(256, 256),
+            waves: 3,
+            churn: 4,
+        }
+    };
+    if let Some(sessions) = parsed.positive_usize("--sessions")? {
+        config.sessions = sessions;
+    }
+    if let Some(frames) = parsed.positive_u32("--frames")? {
+        config.frames = frames;
+    }
+    if let Some(shards) = parsed.positive_usize("--shards")? {
+        config.shards = shards;
+    }
+    if let Some(depth) = parsed.positive_usize("--queue-depth")? {
+        config.queue_depth = depth;
+    }
+    if let Some(width) = parsed.positive_u32("--width")? {
+        config.dimensions.width = width;
+    }
+    if let Some(height) = parsed.positive_u32("--height")? {
+        config.dimensions.height = height;
+    }
+    if let Some(waves) = parsed.positive_usize("--waves")? {
+        config.waves = waves;
+    }
+    if let Some(churn) = parsed.positive_usize("--churn")? {
+        config.churn = churn.min(config.sessions);
+    }
+    Ok(config)
+}
+
+fn main() {
+    let parsed = SPEC
+        .parse(std::env::args().skip(1))
+        .unwrap_or_else(|err| exit_with_usage(&err, USAGE));
+    let config = run_config(&parsed).unwrap_or_else(|err| exit_with_usage(&err, USAGE));
+    // Load-aware placement is the default here: churn is exactly the
+    // workload where modulo routing starts leaving shards lopsided.
+    let placement =
+        placement_option(&parsed, "p2c").unwrap_or_else(|err| exit_with_usage(&err, USAGE));
+
+    println!(
+        "session_churn: {} initial sessions x {} frames at {}x{}, {} shards \
+         (queue depth {}, {} placement), {} waves retiring {} sessions each\n",
+        config.sessions,
+        config.frames,
+        config.dimensions.width,
+        config.dimensions.height,
+        config.shards,
+        config.queue_depth,
+        placement.name(),
+        config.waves,
+        config.churn,
+    );
+
+    let mut runtime = StreamRuntime::start(
+        ServiceConfig::default()
+            .with_shards(config.shards)
+            .with_queue_depth(config.queue_depth),
+        placement,
+    );
+
+    let mut next_index = 0usize;
+    let mut admit = |runtime: &mut StreamRuntime, live: &mut VecDeque<usize>| {
+        let session = SessionConfig::synthetic(next_index, config.dimensions, config.frames);
+        next_index += 1;
+        live.push_back(runtime.admit(session));
+    };
+
+    let mut live: VecDeque<usize> = VecDeque::new();
+    for _ in 0..config.sessions {
+        admit(&mut runtime, &mut live);
+    }
+
+    // retire() hands each report over for good; keep them so the final
+    // table can cover the whole fleet, not just the survivors.
+    let mut retired_reports: Vec<SessionReport> = Vec::new();
+    for wave in 1..=config.waves {
+        let mut retired_fps = Vec::new();
+        for _ in 0..config.churn.min(live.len()) {
+            let id = live.pop_front().expect("live fleet is non-empty");
+            let report = runtime.retire(id);
+            assert_session_rates(&report);
+            retired_fps.push(format!(
+                "#{} {:.1} fps",
+                report.session,
+                report.throughput.frames_per_second()
+            ));
+            retired_reports.push(report);
+            admit(&mut runtime, &mut live);
+        }
+        let loads = runtime.shard_loads();
+        let spread: Vec<String> = loads.iter().map(|l| l.sessions.to_string()).collect();
+        println!(
+            "wave {wave}: retired [{}], shard sessions [{}]",
+            retired_fps.join(", "),
+            spread.join(" "),
+        );
+    }
+
+    let report = runtime.shutdown();
+
+    let mut all_sessions: Vec<&SessionReport> =
+        retired_reports.iter().chain(&report.sessions).collect();
+    all_sessions.sort_by_key(|session| session.session);
+    println!("\nsession  scene      shard  frames     kB out    fps   hit-rate");
+    for session in all_sessions {
+        assert_session_rates(session);
+        println!(
+            "{:>7}  {:<9} {:>5} {:>7} {:>10.1} {:>6.1} {:>9.0}%",
+            session.session,
+            session.scene.name(),
+            session.shard,
+            session.throughput.frames,
+            session.throughput.bytes_out as f64 / 1e3,
+            session.throughput.frames_per_second(),
+            session.cache.hit_rate() * 100.0,
+        );
+    }
+
+    println!("\nshard  sessions  frames  utilization  queue-stalls");
+    for shard in &report.shards {
+        println!(
+            "{:>5} {:>9} {:>7} {:>11.0}% {:>13}",
+            shard.shard,
+            shard.sessions,
+            shard.frames,
+            shard.utilization() * 100.0,
+            shard.queue_stalls,
+        );
+    }
+
+    let totals = &report.totals;
+    let churn = &report.churn;
+    println!("\naggregate:");
+    println!("  frames encoded      {}", totals.frames);
+    println!("  wall time           {:.3} s", totals.wall_seconds);
+    println!(
+        "  steady-state        {:.1} frames/s",
+        totals.frames_per_second()
+    );
+    println!(
+        "  bytes in / out      {:.2} MB / {:.2} MB ({:.1}% reduction)",
+        totals.bytes_in as f64 / 1e6,
+        totals.bytes_out as f64 / 1e6,
+        totals.bandwidth_reduction_percent(),
+    );
+    println!(
+        "  churn               {} admitted / {} retired / {} completed (peak {} concurrent)",
+        churn.admitted, churn.retired, churn.completed, churn.peak_concurrent,
+    );
+    if let Some(utilization) = report.utilization_summary() {
+        println!(
+            "  shard utilization   mean {:.0}% (min {:.0}%, max {:.0}%)",
+            utilization.mean * 100.0,
+            utilization.min * 100.0,
+            utilization.max * 100.0,
+        );
+    }
+    assert_eq!(churn.completed, churn.admitted, "every stream must finish");
+    assert!(totals.frames_per_second() > 0.0);
+}

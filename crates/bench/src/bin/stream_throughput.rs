@@ -11,7 +11,7 @@
 //!     --sessions 32 --frames 60 --shards 8
 //! ```
 
-use pvc_bench::cli::{exit_with_usage, ArgSpec, CliError, ParsedArgs};
+use pvc_bench::cli::{exit_with_usage, placement_option, ArgSpec, CliError, ParsedArgs};
 use pvc_frame::Dimensions;
 use pvc_stream::{ServiceConfig, StreamService};
 
@@ -24,11 +24,13 @@ const SPEC: ArgSpec = ArgSpec {
         "--queue-depth",
         "--width",
         "--height",
+        "--placement",
     ],
 };
 
 const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
-                     [--queue-depth N] [--width PX] [--height PX]";
+                     [--queue-depth N] [--width PX] [--height PX] \
+                     [--placement static|p2c]";
 
 /// The workload, after applying the preset and any explicit overrides.
 struct RunConfig {
@@ -85,15 +87,18 @@ fn main() {
         .parse(std::env::args().skip(1))
         .unwrap_or_else(|err| exit_with_usage(&err, USAGE));
     let config = run_config(&parsed).unwrap_or_else(|err| exit_with_usage(&err, USAGE));
+    let placement =
+        placement_option(&parsed, "static").unwrap_or_else(|err| exit_with_usage(&err, USAGE));
 
     println!(
-        "stream_throughput: {} sessions x {} frames at {}x{}, {} shards (queue depth {})\n",
+        "stream_throughput: {} sessions x {} frames at {}x{}, {} shards (queue depth {}, {} placement)\n",
         config.sessions,
         config.frames,
         config.dimensions.width,
         config.dimensions.height,
         config.shards,
         config.queue_depth,
+        placement.name(),
     );
 
     let mut service = StreamService::new(
@@ -102,16 +107,18 @@ fn main() {
             .with_queue_depth(config.queue_depth),
     );
     service.admit_synthetic(config.sessions, config.dimensions, config.frames);
-    let report = service.run();
+    let report = service.run_with_placement(placement);
 
-    println!("session  scene      frames     kB out   hit-rate");
+    println!("session  scene      frames     kB out    fps   hit-rate");
     for session in &report.sessions {
+        pvc_bench::assert_session_rates(session);
         println!(
-            "{:>7}  {:<9} {:>7} {:>10.1} {:>9.0}%",
+            "{:>7}  {:<9} {:>7} {:>10.1} {:>6.1} {:>9.0}%",
             session.session,
             session.scene.name(),
             session.throughput.frames,
             session.throughput.bytes_out as f64 / 1e3,
+            session.throughput.frames_per_second(),
             session.cache.hit_rate() * 100.0,
         );
     }

@@ -173,6 +173,27 @@ impl ParsedArgs {
     }
 }
 
+/// Parses a `--placement` option into a session→shard policy: `static`
+/// (modulo routing) or `p2c` / `power-of-two-choices` (load-aware).
+/// `default` applies when the option is absent.
+///
+/// # Errors
+///
+/// Returns [`CliError::InvalidValue`] for any other policy name.
+pub fn placement_option(
+    parsed: &ParsedArgs,
+    default: &str,
+) -> Result<Box<dyn pvc_stream::Placement>, CliError> {
+    match parsed.value("--placement").unwrap_or(default) {
+        "static" => Ok(Box::new(pvc_stream::Static)),
+        "p2c" | "power-of-two-choices" => Ok(Box::new(pvc_stream::PowerOfTwoChoices::default())),
+        other => Err(CliError::InvalidValue {
+            option: "--placement".to_string(),
+            value: other.to_string(),
+        }),
+    }
+}
+
 /// Edit distance between two short ASCII strings (classic two-row DP).
 fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
@@ -388,6 +409,36 @@ mod tests {
                 arg: "--sesions".to_string(),
                 suggestion: Some("--sessions".to_string()),
             }
+        );
+    }
+
+    #[test]
+    fn placement_option_maps_names_and_defaults() {
+        let spec = ArgSpec {
+            flags: &[],
+            options: &["--placement"],
+        };
+        let parsed = spec.parse(args(&["--placement", "p2c"])).unwrap();
+        assert_eq!(
+            placement_option(&parsed, "static").unwrap().name(),
+            "power-of-two-choices"
+        );
+        let parsed = spec.parse(args(&[])).unwrap();
+        assert_eq!(
+            placement_option(&parsed, "static").unwrap().name(),
+            "static"
+        );
+        assert_eq!(
+            placement_option(&parsed, "p2c").unwrap().name(),
+            "power-of-two-choices"
+        );
+        let parsed = spec.parse(args(&["--placement", "rondom"])).unwrap();
+        assert_eq!(
+            placement_option(&parsed, "static").map(|policy| policy.name()),
+            Err(CliError::InvalidValue {
+                option: "--placement".to_string(),
+                value: "rondom".to_string(),
+            })
         );
     }
 

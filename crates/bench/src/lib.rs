@@ -36,4 +36,4 @@ pub use figures::{
     tab_scc, Figure,
 };
 pub use harness::{measure_all_scenes, measure_scene, ExperimentConfig, SceneMeasurement};
-pub use report::{format_table, write_csv};
+pub use report::{assert_session_rates, format_table, write_csv};

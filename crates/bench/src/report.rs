@@ -56,6 +56,29 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::
     Ok(path)
 }
 
+/// Asserts the per-session telemetry contract the streaming binaries
+/// print: any session that encoded frames must report real elapsed time
+/// and therefore a non-zero frame rate. This is the regression guard for
+/// the bug where `SessionReport.throughput.wall_seconds` was never
+/// assigned and every per-session rate silently read 0.
+///
+/// # Panics
+///
+/// Panics when a session with frames reports zero wall-clock or FPS.
+pub fn assert_session_rates(report: &pvc_stream::SessionReport) {
+    assert!(
+        report.throughput.frames == 0 || report.throughput.wall_seconds > 0.0,
+        "session {} encoded {} frames in zero wall-clock seconds",
+        report.session,
+        report.throughput.frames,
+    );
+    assert!(
+        report.throughput.frames == 0 || report.throughput.frames_per_second() > 0.0,
+        "session {} reports zero frames/s",
+        report.session,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

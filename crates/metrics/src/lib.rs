@@ -10,7 +10,9 @@
 //! For streaming workloads the [`throughput`] module adds the aggregate
 //! side: frames/bytes counters and derived rates ([`ThroughputReport`])
 //! that the multi-session service sums per session, per shard and
-//! service-wide.
+//! service-wide. The [`churn`] module complements it with population
+//! telemetry ([`ChurnCounters`]) for the long-lived runtime: admissions,
+//! retirements, completions and peak session concurrency.
 //!
 //! # Examples
 //!
@@ -29,8 +31,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod throughput;
 
+pub use churn::ChurnCounters;
 pub use throughput::ThroughputReport;
 
 use pvc_frame::{FrameError, SrgbFrame};

@@ -30,6 +30,16 @@ impl ThroughputReport {
         self.bytes_out += bytes_out;
     }
 
+    /// Records one encoded frame whose input size is known in *bits*.
+    ///
+    /// Rounds the input size **up** to whole bytes (`div_ceil`): a 9-bit
+    /// payload occupies 2 bytes on any byte-addressed transport. Flooring
+    /// here would undercount `bytes_in` whenever `bits_in % 8 != 0` and
+    /// silently inflate [`Self::compression_ratio`].
+    pub fn record_frame_bits(&mut self, bits_in: u64, bytes_out: u64) {
+        self.record_frame(bits_in.div_ceil(8), bytes_out);
+    }
+
     /// Adds another report's totals into this one.
     ///
     /// Wall-clock seconds take the maximum rather than the sum: merged
@@ -90,6 +100,20 @@ mod tests {
         assert_eq!(report.bytes_out, 400);
         assert!((report.compression_ratio() - 5.0).abs() < 1e-12);
         assert!((report.bandwidth_reduction_percent() - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_sized_inputs_round_up_to_whole_bytes() {
+        // Regression: floor division (bits / 8) dropped the partial byte,
+        // undercounting bytes_in and inflating the compression ratio.
+        let mut report = ThroughputReport::default();
+        report.record_frame_bits(9, 1);
+        assert_eq!(report.bytes_in, 2, "9 bits occupy 2 bytes, not 1");
+        report.record_frame_bits(16, 1);
+        assert_eq!(report.bytes_in, 4, "exact multiples stay exact");
+        report.record_frame_bits(1, 1);
+        assert_eq!(report.bytes_in, 5);
+        assert_eq!(report.frames, 3);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Unbounded control channels for long-lived pipeline workers.
+//!
+//! The frame queue ([`crate::bounded_queue`]) carries the *data plane* of a
+//! shard: rendered frames, in order, under backpressure. A long-lived
+//! worker additionally needs a *control plane* — admit this session, start
+//! draining, shut down — that must never block the caller and must be
+//! consumable in the two modes a pipeline loop actually has:
+//!
+//! * **blocked**, when the worker is idle and should sleep until the next
+//!   command arrives ([`ControlReceiver::wait`]), and
+//! * **polled**, when the worker is busy streaming and only wants to
+//!   absorb whatever commands have piled up between frames
+//!   ([`ControlReceiver::poll`]).
+//!
+//! Closing is part of the protocol: when every [`ControlSender`] is gone,
+//! `wait` returns `None` and `poll` returns [`ControlPoll::Closed`], which
+//! doubles as an implicit shutdown signal.
+
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+
+/// Error returned by [`ControlSender::send`] when the receiving worker has
+/// exited and dropped its [`ControlReceiver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlClosed;
+
+impl std::fmt::Display for ControlClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("control channel closed: worker exited")
+    }
+}
+
+impl std::error::Error for ControlClosed {}
+
+/// What a non-blocking [`ControlReceiver::poll`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlPoll<C> {
+    /// A command was pending and is handed over.
+    Message(C),
+    /// No command is pending right now; senders still exist.
+    Empty,
+    /// Every sender is gone and all pending commands have been consumed.
+    Closed,
+}
+
+/// The commanding half of a control channel.
+#[derive(Debug)]
+pub struct ControlSender<C>(Sender<C>);
+
+// Not derived: deriving Clone would bound C: Clone needlessly.
+impl<C> Clone for ControlSender<C> {
+    fn clone(&self) -> Self {
+        ControlSender(self.0.clone())
+    }
+}
+
+impl<C> ControlSender<C> {
+    /// Delivers a command without blocking (the channel is unbounded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlClosed`] when the worker has exited.
+    pub fn send(&self, command: C) -> Result<(), ControlClosed> {
+        self.0.send(command).map_err(|_| ControlClosed)
+    }
+}
+
+/// The worker-side half of a control channel.
+#[derive(Debug)]
+pub struct ControlReceiver<C>(Receiver<C>);
+
+impl<C> ControlReceiver<C> {
+    /// Blocks until the next command, or returns `None` once every sender
+    /// is gone and the backlog is drained. Use while idle.
+    pub fn wait(&self) -> Option<C> {
+        self.0.recv().ok()
+    }
+
+    /// Returns one pending command without blocking. Use between units of
+    /// in-flight work to absorb the backlog.
+    pub fn poll(&self) -> ControlPoll<C> {
+        match self.0.try_recv() {
+            Ok(command) => ControlPoll::Message(command),
+            Err(TryRecvError::Empty) => ControlPoll::Empty,
+            Err(TryRecvError::Disconnected) => ControlPoll::Closed,
+        }
+    }
+}
+
+/// Creates an unbounded control channel.
+pub fn control_channel<C>() -> (ControlSender<C>, ControlReceiver<C>) {
+    let (tx, rx) = channel();
+    (ControlSender(tx), ControlReceiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_delivers_commands_in_order() {
+        let (tx, rx) = control_channel();
+        tx.send(1u32).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.wait(), Some(1));
+        assert_eq!(rx.wait(), Some(2));
+    }
+
+    #[test]
+    fn wait_returns_none_once_senders_are_gone() {
+        let (tx, rx) = control_channel::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.wait(), Some(7), "backlog drains before closing");
+        assert_eq!(rx.wait(), None);
+    }
+
+    #[test]
+    fn poll_distinguishes_empty_from_closed() {
+        let (tx, rx) = control_channel::<u8>();
+        assert_eq!(rx.poll(), ControlPoll::Empty);
+        tx.send(3).unwrap();
+        assert_eq!(rx.poll(), ControlPoll::Message(3));
+        assert_eq!(rx.poll(), ControlPoll::Empty);
+        drop(tx);
+        assert_eq!(rx.poll(), ControlPoll::Closed);
+    }
+
+    #[test]
+    fn send_to_an_exited_worker_errors() {
+        let (tx, rx) = control_channel::<u8>();
+        drop(rx);
+        let err = tx.send(1).unwrap_err();
+        assert_eq!(err, ControlClosed);
+        assert!(err.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn cloned_senders_feed_the_same_worker() {
+        let (tx, rx) = control_channel();
+        let tx2 = tx.clone();
+        tx.send("a").unwrap();
+        tx2.send("b").unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.wait(), Some("a"));
+        assert_eq!(rx.wait(), Some("b"));
+        assert_eq!(rx.wait(), None);
+    }
+}

@@ -23,9 +23,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod queue;
 
-pub use queue::{bounded_queue, BoundedSender, QueueClosed, StallCounter};
+pub use control::{control_channel, ControlClosed, ControlPoll, ControlReceiver, ControlSender};
+pub use queue::{bounded_queue, BoundedReceiver, BoundedSender, QueueClosed, QueueStats};
 
 /// Smallest number of items per worker for which spawning threads can pay
 /// off; below `threads * MIN_ITEMS_PER_THREAD` items the map runs inline.

@@ -9,17 +9,27 @@
 //!   eccentricity-map cache the way real eye trackers do ([`gaze`]).
 //! * [`SessionConfig`] describes one headset's stream declaratively:
 //!   scene, display size, frame budget, gaze model, seed ([`session`]).
-//! * [`StreamService`] schedules admitted sessions onto a sharded worker
-//!   pool with stable per-session routing, bounded render→encode queues
-//!   (backpressure), the stream-mode encode path
-//!   ([`pvc_core::BatchEncoder::encode_frame_stream`]) and per-session /
-//!   per-shard / service-wide telemetry ([`service`]).
+//! * [`StreamRuntime`] is the long-lived serving core: per-shard
+//!   producer/worker thread pairs spawned once at `start()`, sessions
+//!   admitted and retired dynamically over control channels while frames
+//!   are in flight, bounded render→encode queues (backpressure), and
+//!   per-session / per-shard / service-wide / churn telemetry
+//!   ([`runtime`]).
+//! * [`Placement`] policies decide which shard an admitted session lands
+//!   on: [`Static`] modulo routing or load-aware [`PowerOfTwoChoices`]
+//!   over live queue depth and session count ([`placement`]).
+//! * [`StreamService`] is the run-to-completion front end — collect a
+//!   roster, `run()` (= start → admit all → drain → shutdown), read the
+//!   report ([`service`]).
 //!
-//! Encoded output is **bit-identical for the same seeds regardless of the
-//! shard count** — only timing telemetry varies. The `stream_throughput`
-//! binary in `pvc_bench` drives this crate at scale.
+//! Encoded output is **bit-identical for the same seeds regardless of
+//! shard count, placement policy, or admission/retirement timing** — only
+//! timing telemetry varies. The `stream_throughput` and `session_churn`
+//! binaries in `pvc_bench` drive this crate at scale.
 //!
 //! # Examples
+//!
+//! Batch front end:
 //!
 //! ```
 //! use pvc_frame::Dimensions;
@@ -37,19 +47,46 @@
 //! let cache = report.aggregate_cache();
 //! assert!(cache.hit_rate() > 0.0);
 //!
-//! // Sessions stay pinned to their shard.
+//! // Sessions stay pinned to their shard; per-session rates are real.
 //! for session in &report.sessions {
 //!     assert_eq!(session.shard, session.session % 2);
+//!     assert!(session.throughput.frames_per_second() > 0.0);
 //! }
+//! ```
+//!
+//! Long-lived runtime with churn:
+//!
+//! ```
+//! use pvc_frame::Dimensions;
+//! use pvc_stream::{ServiceConfig, SessionConfig, StreamRuntime};
+//!
+//! let dims = Dimensions::new(32, 32);
+//! let mut runtime = StreamRuntime::start_static(ServiceConfig::default().with_shards(2));
+//! let first = runtime.admit(SessionConfig::synthetic(0, dims, 6));
+//! let _second = runtime.admit(SessionConfig::synthetic(1, dims, 6));
+//!
+//! // Retire the first session (graceful: it finishes its frame budget)
+//! // while the second keeps streaming, then admit a replacement.
+//! let report = runtime.retire(first);
+//! assert_eq!(report.throughput.frames, 6);
+//! let _third = runtime.admit(SessionConfig::synthetic(2, dims, 6));
+//!
+//! let service_report = runtime.shutdown();
+//! assert_eq!(service_report.churn.admitted, 3);
+//! assert_eq!(service_report.churn.completed, 3);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gaze;
+pub mod placement;
+pub mod runtime;
 pub mod service;
 pub mod session;
 
 pub use gaze::{FixationSaccadeConfig, GazeModel, GazeTrace, SmoothPursuitConfig};
+pub use placement::{Placement, PowerOfTwoChoices, ShardLoad, Static};
+pub use runtime::StreamRuntime;
 pub use service::{ServiceConfig, ServiceReport, ShardReport, StreamService};
 pub use session::{SessionConfig, SessionReport};

@@ -1,0 +1,234 @@
+//! Pluggable session→shard placement policies.
+//!
+//! When a session is admitted, the runtime must pick the shard worker that
+//! will own it for its whole stream. Which shard that is never affects the
+//! session's encoded bits — each session is encoded in frame order by
+//! exactly one worker from its own config — it only affects *load*: how
+//! evenly sessions and their queued frames spread across workers.
+//!
+//! Two policies ship with the crate:
+//!
+//! * [`Static`] — the modulo routing of the original batch service
+//!   (`session_id % shards`). Fully deterministic and oblivious to load;
+//!   the baseline every determinism test pins against.
+//! * [`PowerOfTwoChoices`] — samples two distinct shards with a seeded
+//!   RNG and places the session on the less loaded of the two (queue
+//!   depth plus live session count). The classic result is that this
+//!   "two choices" step drops the maximum load exponentially compared to
+//!   random placement, at the cost of reading just two load gauges.
+//!
+//! Policies see only [`ShardLoad`] snapshots, so custom implementations
+//! (locality-aware, size-aware, …) plug in without touching the runtime.
+
+use crate::session::SessionConfig;
+
+/// A moment-in-time load snapshot of one shard, as sampled at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// The shard index.
+    pub shard: usize,
+    /// Sessions currently placed on the shard (admitted, not yet retired).
+    pub sessions: usize,
+    /// Messages pending in the shard's render→encode queue — rendered
+    /// frames awaiting encode, plus the session open/close markers that
+    /// travel the same queue (at most two per session lifetime).
+    pub queue_depth: usize,
+}
+
+impl ShardLoad {
+    /// The scalar load score placement compares: queued frames plus live
+    /// sessions. Queue depth is the fast congestion signal, session count
+    /// the steady commitment signal; summing them keeps an idle-but-crowded
+    /// shard distinguishable from a busy-but-emptying one.
+    pub fn score(&self) -> usize {
+        self.sessions + self.queue_depth
+    }
+}
+
+/// A session→shard placement policy.
+///
+/// Implementations may keep internal state (an RNG, a round-robin cursor);
+/// the runtime calls [`Placement::place`] once per admission with live
+/// load snapshots for every shard.
+pub trait Placement: Send {
+    /// Picks the shard for a newly admitted session.
+    ///
+    /// Must return an index below `loads.len()`; the runtime asserts this.
+    /// `loads` is never empty (the runtime always has at least one shard).
+    fn place(&mut self, session_id: usize, config: &SessionConfig, loads: &[ShardLoad]) -> usize;
+
+    /// A short human-readable policy name for reports and CLI output.
+    fn name(&self) -> &'static str;
+}
+
+/// The deterministic modulo baseline: `session_id % shards`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Static;
+
+impl Placement for Static {
+    fn place(&mut self, session_id: usize, _config: &SessionConfig, loads: &[ShardLoad]) -> usize {
+        session_id % loads.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Load-aware placement: sample two distinct shards, take the emptier one.
+///
+/// The candidate pair comes from a seeded SplitMix64 stream, so a given
+/// seed yields a reproducible *choice sequence*; the chosen shard still
+/// depends on live load, which is timing-dependent. Encoded output is
+/// placement-independent either way.
+#[derive(Debug, Clone)]
+pub struct PowerOfTwoChoices {
+    state: u64,
+}
+
+impl PowerOfTwoChoices {
+    /// Creates the policy with an RNG seed.
+    pub fn new(seed: u64) -> PowerOfTwoChoices {
+        PowerOfTwoChoices { state: seed }
+    }
+
+    /// SplitMix64 step: cheap, full-period, good dispersion — the same
+    /// generator the synthetic session seeds use.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for PowerOfTwoChoices {
+    /// Seeds the RNG with a fixed constant, for reproducible choice
+    /// sequences out of the box.
+    fn default() -> Self {
+        PowerOfTwoChoices::new(0x70F2_C401_5EED_0002)
+    }
+}
+
+impl Placement for PowerOfTwoChoices {
+    fn place(&mut self, _session_id: usize, _config: &SessionConfig, loads: &[ShardLoad]) -> usize {
+        let shards = loads.len();
+        if shards == 1 {
+            return 0;
+        }
+        let first = (self.next_u64() % shards as u64) as usize;
+        // Sample the second candidate from the remaining shards so the two
+        // choices are always distinct.
+        let mut second = (self.next_u64() % (shards as u64 - 1)) as usize;
+        if second >= first {
+            second += 1;
+        }
+        // Lower score wins; ties break toward the lower shard index so the
+        // decision is reproducible given equal loads.
+        let (a, b) = (loads[first], loads[second]);
+        if (a.score(), a.shard) <= (b.score(), b.shard) {
+            first
+        } else {
+            second
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "power-of-two-choices"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_frame::Dimensions;
+
+    fn config() -> SessionConfig {
+        SessionConfig::synthetic(0, Dimensions::new(32, 32), 4)
+    }
+
+    fn loads(scores: &[(usize, usize)]) -> Vec<ShardLoad> {
+        scores
+            .iter()
+            .enumerate()
+            .map(|(shard, &(sessions, queue_depth))| ShardLoad {
+                shard,
+                sessions,
+                queue_depth,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_placement_is_modulo() {
+        let mut policy = Static;
+        let loads = loads(&[(9, 9), (0, 0), (5, 5)]);
+        for id in 0..12 {
+            assert_eq!(policy.place(id, &config(), &loads), id % 3);
+        }
+    }
+
+    #[test]
+    fn power_of_two_prefers_the_emptier_shard() {
+        // With exactly two shards the candidate pair is always {0, 1}, so
+        // the choice is purely load-driven.
+        let mut policy = PowerOfTwoChoices::default();
+        let lopsided = loads(&[(8, 3), (1, 0)]);
+        for id in 0..16 {
+            assert_eq!(policy.place(id, &config(), &lopsided), 1);
+        }
+        let reversed = loads(&[(0, 0), (4, 2)]);
+        for id in 0..16 {
+            assert_eq!(policy.place(id, &config(), &reversed), 0);
+        }
+    }
+
+    #[test]
+    fn power_of_two_breaks_ties_toward_the_lower_index() {
+        let mut policy = PowerOfTwoChoices::default();
+        let even = loads(&[(2, 1), (2, 1)]);
+        for id in 0..16 {
+            assert_eq!(policy.place(id, &config(), &even), 0);
+        }
+    }
+
+    #[test]
+    fn power_of_two_choice_sequence_is_seed_reproducible() {
+        let even = loads(&[(0, 0); 8]);
+        let run = |seed: u64| {
+            let mut policy = PowerOfTwoChoices::new(seed);
+            (0..64)
+                .map(|id| policy.place(id, &config(), &even))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(
+            run(42),
+            run(43),
+            "different seeds should explore different candidate pairs"
+        );
+    }
+
+    #[test]
+    fn power_of_two_single_shard_short_circuits() {
+        let mut policy = PowerOfTwoChoices::default();
+        assert_eq!(policy.place(5, &config(), &loads(&[(3, 3)])), 0);
+    }
+
+    #[test]
+    fn score_sums_sessions_and_queue_depth() {
+        let load = ShardLoad {
+            shard: 0,
+            sessions: 3,
+            queue_depth: 2,
+        };
+        assert_eq!(load.score(), 5);
+    }
+
+    #[test]
+    fn policies_report_their_names() {
+        assert_eq!(Static.name(), "static");
+        assert_eq!(PowerOfTwoChoices::default().name(), "power-of-two-choices");
+    }
+}

@@ -1,0 +1,843 @@
+//! The long-lived streaming runtime: persistent shard workers, dynamic
+//! session churn, pluggable placement.
+//!
+//! [`StreamRuntime`] is the serving core the batch-style
+//! [`crate::StreamService`] wraps. Where the batch service respawned its
+//! shard threads per `run()` and streamed a fixed roster to completion,
+//! the runtime spawns each shard's **producer** (scene rendering) and
+//! **worker** (encoding) thread once at [`StreamRuntime::start`] and keeps
+//! them alive until [`StreamRuntime::shutdown`]. In between, sessions are
+//! [admitted](StreamRuntime::admit) and [retired](StreamRuntime::retire)
+//! dynamically over per-shard control channels while other sessions'
+//! frames are still in flight.
+//!
+//! # Threading model
+//!
+//! Per shard, two threads connected by a bounded frame queue
+//! ([`pvc_parallel::bounded_queue`]):
+//!
+//! ```text
+//!            control channel (admit / shutdown)
+//! runtime ──────────────────────────► producer thread
+//!                                        │ render, round-robin
+//!                                        ▼
+//!                              bounded frame queue
+//!                                        │ encode, in arrival order
+//!                                        ▼
+//! runtime ◄────────────────────────── worker thread
+//!            event channel (session reports, shard report)
+//! ```
+//!
+//! The producer owns each member session's renderer and gaze trace and
+//! interleaves sessions frame-major (A0 B0 A1 B1 …); the worker owns each
+//! member session's [`BatchEncoder`] and telemetry. A session's stream
+//! travels `Open → Frame×n → Close` through the queue, so the worker
+//! learns about sessions in the exact order the producer committed to.
+//!
+//! # Determinism
+//!
+//! A session's encoded stream is **bit-identical** regardless of shard
+//! count, placement policy, admission order, retirement timing or queue
+//! depth: it is encoded in frame order by exactly one worker, by an
+//! encoder built only from the session's own config. Placement and churn
+//! move *where* and *when* that happens — never *what* is produced. Only
+//! wall-clock telemetry is machine- and timing-dependent.
+
+use crate::gaze::GazeTrace;
+use crate::placement::{Placement, ShardLoad, Static};
+use crate::service::{ServiceConfig, ServiceReport, ShardReport};
+use crate::session::{
+    fnv1a_update, SessionConfig, SessionReport, FNV_OFFSET_BASIS, GAZE_SEED_SALT,
+};
+use pvc_color::SyntheticDiscriminationModel;
+use pvc_core::{BatchCacheStats, BatchEncoder};
+use pvc_fovea::{DisplayGeometry, GazePoint};
+use pvc_frame::LinearFrame;
+use pvc_metrics::{ChurnCounters, ThroughputReport};
+use pvc_parallel::{
+    bounded_queue, control_channel, BoundedReceiver, BoundedSender, ControlPoll, ControlReceiver,
+    ControlSender, QueueStats,
+};
+use pvc_scenes::{SceneConfig, SceneRenderer};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Commands the runtime sends to a shard's producer thread.
+enum ShardControl {
+    /// Take ownership of a session and start streaming its frames.
+    Admit { id: usize, config: SessionConfig },
+    /// Finish every member session's remaining frames, then exit.
+    Shutdown,
+}
+
+/// One message travelling through a shard's render→encode queue.
+///
+/// A session's lifetime on the queue is `Open`, then its frames in order,
+/// then `Close` — all emitted by the single producer, so the worker sees
+/// them in exactly that order.
+enum ShardJob {
+    /// The worker should create the session's encoder and report.
+    Open { id: usize, config: SessionConfig },
+    /// One rendered frame to encode.
+    Frame {
+        id: usize,
+        frame: LinearFrame,
+        gaze: GazePoint,
+    },
+    /// The session's last frame has been sent; finalize its report.
+    Close { id: usize },
+}
+
+/// What shard workers report back to the runtime.
+enum RuntimeEvent {
+    /// A session's stream completed; here is its final report.
+    SessionDone(SessionReport),
+    /// A shard worker exited (after queue drain); here is its telemetry.
+    ShardDone(ShardReport),
+}
+
+/// A session as the producer thread sees it: config plus the deterministic
+/// render-side machinery rebuilt from it.
+struct ProducerSession {
+    id: usize,
+    config: SessionConfig,
+    renderer: SceneRenderer,
+    trace: GazeTrace,
+    /// Next frame index to render.
+    next: u32,
+    /// Whether `Open` has been sent ahead of the first frame.
+    opened: bool,
+}
+
+impl ProducerSession {
+    fn admit(id: usize, config: SessionConfig) -> ProducerSession {
+        let renderer = SceneRenderer::new(
+            config.scene,
+            SceneConfig::new(config.dimensions).with_seed(config.seed),
+        );
+        let trace = GazeTrace::synthesize(
+            &config.gaze_model,
+            config.dimensions,
+            config.seed ^ GAZE_SEED_SALT,
+            config.frames as usize,
+        );
+        ProducerSession {
+            id,
+            config,
+            renderer,
+            trace,
+            next: 0,
+            opened: false,
+        }
+    }
+}
+
+/// A session as the worker thread sees it: encoder plus telemetry.
+struct WorkerSession {
+    encoder: BatchEncoder<SyntheticDiscriminationModel>,
+    report: SessionReport,
+    /// Encode-start instant of the session's first frame; per-session
+    /// wall-clock runs from here to the end of the last frame's encode.
+    first_frame: Option<Instant>,
+}
+
+impl WorkerSession {
+    fn open(id: usize, shard: usize, service: &ServiceConfig, config: &SessionConfig) -> Self {
+        WorkerSession {
+            encoder: BatchEncoder::new(
+                SyntheticDiscriminationModel::default(),
+                service.encoder.clone(),
+                DisplayGeometry::quest2_like(config.dimensions),
+            )
+            .with_cache_capacity(service.gaze_cache_capacity),
+            report: SessionReport {
+                session: id,
+                scene: config.scene,
+                shard,
+                throughput: ThroughputReport::default(),
+                cache: BatchCacheStats::default(),
+                stream_digest: FNV_OFFSET_BASIS,
+                payloads: service.collect_payloads.then(Vec::new),
+            },
+            first_frame: None,
+        }
+    }
+}
+
+/// The runtime's handle onto one shard's thread pair.
+struct ShardHandle {
+    control: ControlSender<ShardControl>,
+    queue: QueueStats,
+    /// Sessions placed on the shard and not yet completed; incremented at
+    /// admission (so back-to-back placements see each other) and
+    /// decremented by the worker when a session finalizes.
+    sessions: Arc<AtomicUsize>,
+    producer: JoinHandle<()>,
+    worker: JoinHandle<()>,
+}
+
+/// A long-lived, shard-parallel streaming service with dynamic session
+/// churn and load-aware placement. See the [module docs](self) for the
+/// threading model and determinism argument.
+///
+/// # Examples
+///
+/// ```
+/// use pvc_frame::Dimensions;
+/// use pvc_stream::{PowerOfTwoChoices, ServiceConfig, SessionConfig, StreamRuntime};
+///
+/// let mut runtime = StreamRuntime::start(
+///     ServiceConfig::default().with_shards(2),
+///     Box::new(PowerOfTwoChoices::default()),
+/// );
+///
+/// // Admit two sessions, retire the first mid-flight (blocks until its
+/// // stream completes), admit a third while the second is still going.
+/// let dims = Dimensions::new(32, 32);
+/// let a = runtime.admit(SessionConfig::synthetic(0, dims, 4));
+/// let b = runtime.admit(SessionConfig::synthetic(1, dims, 4));
+/// let report_a = runtime.retire(a);
+/// assert_eq!(report_a.throughput.frames, 4);
+/// assert!(report_a.throughput.frames_per_second() > 0.0);
+/// let c = runtime.admit(SessionConfig::synthetic(2, dims, 4));
+/// assert_eq!(c, 2);
+///
+/// let report = runtime.shutdown();
+/// assert_eq!(report.sessions.len(), 2, "session a's report was handed to retire()");
+/// assert_eq!(report.churn.admitted, 3);
+/// assert_eq!(report.churn.retired, 1);
+/// assert_eq!(report.totals.frames, 12, "totals still cover the retired session");
+/// # let _ = b;
+/// ```
+pub struct StreamRuntime {
+    config: ServiceConfig,
+    placement: Box<dyn Placement>,
+    shards: Vec<ShardHandle>,
+    events: mpsc::Receiver<RuntimeEvent>,
+    /// Final reports of completed sessions awaiting pickup, keyed by id.
+    /// [`Self::retire`] removes and hands over the entry — a long-lived
+    /// runtime must not accumulate reports (least of all collected
+    /// payloads) for every session it ever served — so at shutdown this
+    /// holds only the sessions nobody retired individually.
+    completed: BTreeMap<usize, SessionReport>,
+    /// Frame/byte totals over every session ever completed, merged as
+    /// completions arrive so handing reports out in [`Self::retire`] does
+    /// not lose them from the service-wide aggregate.
+    totals: ThroughputReport,
+    /// Shard telemetry, filled in as workers exit during shutdown.
+    shard_reports: Vec<Option<ShardReport>>,
+    /// Which shard each admitted session was placed on.
+    assignments: BTreeMap<usize, usize>,
+    retired: BTreeSet<usize>,
+    churn: ChurnCounters,
+    started: Instant,
+    next_id: usize,
+}
+
+impl std::fmt::Debug for StreamRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamRuntime")
+            .field("config", &self.config)
+            .field("placement", &self.placement.name())
+            .field("shards", &self.shards.len())
+            .field("churn", &self.churn)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamRuntime {
+    /// Spawns the shard thread pairs and returns the running (idle)
+    /// runtime. `placement` decides which shard each admitted session
+    /// lands on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero shards, queue depth or cache
+    /// capacity.
+    pub fn start(config: ServiceConfig, placement: Box<dyn Placement>) -> StreamRuntime {
+        assert!(config.shards > 0, "shard count must be non-zero");
+        assert!(config.queue_depth > 0, "queue depth must be non-zero");
+        assert!(
+            config.gaze_cache_capacity > 0,
+            "cache capacity must be non-zero"
+        );
+        let (event_tx, events) = mpsc::channel();
+        let shards: Vec<ShardHandle> = (0..config.shards)
+            .map(|shard| spawn_shard(shard, &config, event_tx.clone()))
+            .collect();
+        // Workers hold the only remaining senders: the event channel
+        // closes exactly when the last worker exits.
+        drop(event_tx);
+        let shard_reports = vec![None; config.shards];
+        StreamRuntime {
+            config,
+            placement,
+            shards,
+            events,
+            completed: BTreeMap::new(),
+            totals: ThroughputReport::default(),
+            shard_reports,
+            assignments: BTreeMap::new(),
+            retired: BTreeSet::new(),
+            churn: ChurnCounters::default(),
+            started: Instant::now(),
+            next_id: 0,
+        }
+    }
+
+    /// [`Self::start`] with the deterministic [`Static`] modulo placement.
+    pub fn start_static(config: ServiceConfig) -> StreamRuntime {
+        StreamRuntime::start(config, Box::new(Static))
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The active placement policy's name.
+    pub fn placement_name(&self) -> &'static str {
+        self.placement.name()
+    }
+
+    /// Churn counters as of the runtime's latest bookkeeping. Completion
+    /// events are absorbed lazily, so `completed` may trail the shard
+    /// workers by a moment.
+    pub fn churn(&self) -> ChurnCounters {
+        self.churn
+    }
+
+    /// Live load snapshots for every shard, as placement would see them.
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, handle)| ShardLoad {
+                shard,
+                sessions: handle.sessions.load(Ordering::Relaxed),
+                queue_depth: handle.queue.depth(),
+            })
+            .collect()
+    }
+
+    /// The shard a session was placed on, or `None` for unknown ids.
+    pub fn assignment(&self, session: usize) -> Option<usize> {
+        self.assignments.get(&session).copied()
+    }
+
+    /// Admits a session: places it on a shard (via the placement policy's
+    /// view of live shard loads) and hands it to that shard's producer.
+    /// Returns the session id (admission index). Never blocks on frame
+    /// backpressure — the control channel is unbounded.
+    pub fn admit(&mut self, config: SessionConfig) -> usize {
+        self.pump_events();
+        let id = self.next_id;
+        self.next_id += 1;
+        let loads = self.shard_loads();
+        let shard = self.placement.place(id, &config, &loads);
+        assert!(
+            shard < self.shards.len(),
+            "placement chose shard {shard} of {}",
+            self.shards.len()
+        );
+        let handle = &self.shards[shard];
+        handle.sessions.fetch_add(1, Ordering::Relaxed);
+        handle
+            .control
+            .send(ShardControl::Admit { id, config })
+            .expect("shard producer exited while the runtime is alive");
+        self.assignments.insert(id, shard);
+        self.churn.record_admission();
+        id
+    }
+
+    /// Retires a session: blocks until its stream completes (it always
+    /// finishes its configured frame budget — retirement is graceful, so
+    /// the encoded stream stays bit-identical to an uninterrupted run) and
+    /// returns its final report. Other sessions keep streaming throughout.
+    ///
+    /// The report is handed over, not copied: the runtime keeps only the
+    /// session's contribution to [`ServiceReport::totals`] and the churn
+    /// counters, so serving unbounded session churn does not accumulate
+    /// per-session state (or collected payloads) until shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never admitted or was already retired.
+    pub fn retire(&mut self, session: usize) -> SessionReport {
+        assert!(
+            self.assignments.contains_key(&session),
+            "session {session} was never admitted"
+        );
+        assert!(
+            self.retired.insert(session),
+            "session {session} was already retired"
+        );
+        self.churn.record_retirement();
+        loop {
+            self.pump_events();
+            if let Some(report) = self.completed.remove(&session) {
+                return report;
+            }
+            match self.events.recv() {
+                Ok(event) => self.absorb(event),
+                // The channel only closes when every worker exits, which
+                // before shutdown() means a shard thread panicked.
+                Err(_) => panic!(
+                    "a shard thread panicked before session {session} completed \
+                     (see the shard thread's panic output above)"
+                ),
+            }
+        }
+    }
+
+    /// Blocks until every admitted session's stream has completed. The
+    /// shard threads stay alive and ready for further admissions.
+    pub fn drain(&mut self) {
+        self.pump_events();
+        while self.churn.in_flight() > 0 {
+            match self.events.recv() {
+                Ok(event) => self.absorb(event),
+                // See retire(): a closed channel here means a shard thread
+                // panicked with sessions still in flight.
+                Err(_) => panic!(
+                    "a shard thread panicked with sessions in flight \
+                     (see the shard thread's panic output above)"
+                ),
+            }
+        }
+    }
+
+    /// Stops the runtime: lets every in-flight session finish its frame
+    /// budget, winds down the shard threads, and returns the service
+    /// report. `sessions` holds the final reports not already handed out
+    /// by [`Self::retire`]; `totals` and `churn` cover every session the
+    /// runtime ever served, retired or not.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from shard threads.
+    pub fn shutdown(mut self) -> ServiceReport {
+        for handle in &self.shards {
+            handle.control.send(ShardControl::Shutdown).ok();
+        }
+        let handles = std::mem::take(&mut self.shards);
+        let mut pending_shards = handles.len();
+        while pending_shards > 0 {
+            match self.events.recv() {
+                Ok(event) => {
+                    if matches!(event, RuntimeEvent::ShardDone(_)) {
+                        pending_shards -= 1;
+                    }
+                    self.absorb(event);
+                }
+                // Channel closed with a shard report missing: a worker
+                // panicked. Fall through to the joins to surface it.
+                Err(_) => break,
+            }
+        }
+        for handle in handles {
+            drop(handle.control);
+            handle.producer.join().expect("shard producer panicked");
+            handle.worker.join().expect("shard worker panicked");
+        }
+
+        let sessions: Vec<SessionReport> =
+            std::mem::take(&mut self.completed).into_values().collect();
+        let mut totals = self.totals;
+        totals.wall_seconds = self.started.elapsed().as_secs_f64();
+        let shards = std::mem::take(&mut self.shard_reports)
+            .into_iter()
+            .enumerate()
+            .map(|(shard, report)| {
+                report.unwrap_or(ShardReport {
+                    shard,
+                    ..ShardReport::default()
+                })
+            })
+            .collect();
+        ServiceReport {
+            sessions,
+            shards,
+            totals,
+            churn: self.churn,
+        }
+    }
+
+    /// Absorbs every event the workers have already delivered, without
+    /// blocking.
+    fn pump_events(&mut self) {
+        while let Ok(event) = self.events.try_recv() {
+            self.absorb(event);
+        }
+    }
+
+    fn absorb(&mut self, event: RuntimeEvent) {
+        match event {
+            RuntimeEvent::SessionDone(report) => {
+                self.churn.record_completion();
+                self.totals.merge(&report.throughput);
+                self.completed.insert(report.session, report);
+            }
+            RuntimeEvent::ShardDone(report) => {
+                let slot = &mut self.shard_reports[report.shard];
+                debug_assert!(slot.is_none(), "shard {} reported twice", report.shard);
+                *slot = Some(report);
+            }
+        }
+    }
+}
+
+/// Spawns one shard's producer/worker thread pair.
+fn spawn_shard(
+    shard: usize,
+    config: &ServiceConfig,
+    events: mpsc::Sender<RuntimeEvent>,
+) -> ShardHandle {
+    let (control_tx, control_rx) = control_channel();
+    let (job_tx, job_rx, queue) = bounded_queue(config.queue_depth);
+    let sessions = Arc::new(AtomicUsize::new(0));
+    let producer = std::thread::Builder::new()
+        .name(format!("pvc-shard{shard}-render"))
+        .spawn(move || run_producer(control_rx, job_tx))
+        .expect("spawning shard producer thread");
+    let worker = std::thread::Builder::new()
+        .name(format!("pvc-shard{shard}-encode"))
+        .spawn({
+            let config = config.clone();
+            let queue = queue.clone();
+            let sessions = Arc::clone(&sessions);
+            move || run_worker(shard, config, job_rx, queue, sessions, events)
+        })
+        .expect("spawning shard worker thread");
+    ShardHandle {
+        control: control_tx,
+        queue,
+        sessions,
+        producer,
+        worker,
+    }
+}
+
+/// The producer loop: absorbs control commands (blocking while idle,
+/// polling while busy) and renders member sessions' frames round-robin
+/// into the bounded queue. Frame-major interleaving (A0 B0 A1 B1 …) is
+/// fair across sessions while preserving per-session frame order — which
+/// is all determinism needs.
+fn run_producer(control: ControlReceiver<ShardControl>, jobs: BoundedSender<ShardJob>) {
+    let mut active: Vec<ProducerSession> = Vec::new();
+    let mut draining = false;
+    loop {
+        // Idle: sleep on the control channel rather than spinning.
+        while active.is_empty() && !draining {
+            match control.wait() {
+                Some(ShardControl::Admit { id, config }) => {
+                    active.push(ProducerSession::admit(id, config));
+                }
+                Some(ShardControl::Shutdown) | None => draining = true,
+            }
+        }
+        // Busy: absorb whatever commands piled up, without blocking.
+        loop {
+            match control.poll() {
+                ControlPoll::Message(ShardControl::Admit { id, config }) => {
+                    active.push(ProducerSession::admit(id, config));
+                }
+                ControlPoll::Message(ShardControl::Shutdown) | ControlPoll::Closed => {
+                    draining = true;
+                    break;
+                }
+                ControlPoll::Empty => break,
+            }
+        }
+        if active.is_empty() {
+            if draining {
+                return; // dropping `jobs` closes the queue; worker winds down
+            }
+            continue;
+        }
+        // One frame per member session. Every send can block on the
+        // bounded queue (backpressure); a send error means the worker is
+        // gone (unwinding), so stop producing.
+        let mut index = 0;
+        while index < active.len() {
+            let finished = {
+                let session = &mut active[index];
+                if !session.opened {
+                    let open = ShardJob::Open {
+                        id: session.id,
+                        config: session.config.clone(),
+                    };
+                    if jobs.send(open).is_err() {
+                        return;
+                    }
+                    session.opened = true;
+                }
+                if session.next < session.config.frames {
+                    let t = session.next;
+                    let job = ShardJob::Frame {
+                        id: session.id,
+                        frame: session.renderer.render_linear(t),
+                        gaze: session.trace.samples()[t as usize],
+                    };
+                    if jobs.send(job).is_err() {
+                        return;
+                    }
+                    session.next += 1;
+                }
+                session.next >= session.config.frames
+            };
+            if finished {
+                // `remove` (not swap_remove) keeps the round-robin order of
+                // the remaining sessions stable.
+                let done = active.remove(index);
+                if jobs.send(ShardJob::Close { id: done.id }).is_err() {
+                    return;
+                }
+            } else {
+                index += 1;
+            }
+        }
+    }
+}
+
+/// The worker loop: drains the frame queue in arrival order, encoding each
+/// frame with its session's own encoder, and finalizes session reports on
+/// `Close`. Exits when the producer drops its sender and the queue drains.
+fn run_worker(
+    shard: usize,
+    config: ServiceConfig,
+    jobs: BoundedReceiver<ShardJob>,
+    queue: QueueStats,
+    live_sessions: Arc<AtomicUsize>,
+    events: mpsc::Sender<RuntimeEvent>,
+) {
+    let wall_start = Instant::now();
+    let mut shard_report = ShardReport {
+        shard,
+        ..ShardReport::default()
+    };
+    let mut sessions: BTreeMap<usize, WorkerSession> = BTreeMap::new();
+    let mut busy_seconds = 0.0f64;
+    for job in jobs {
+        match job {
+            ShardJob::Open {
+                id,
+                config: session_config,
+            } => {
+                shard_report.sessions += 1;
+                sessions.insert(id, WorkerSession::open(id, shard, &config, &session_config));
+            }
+            ShardJob::Frame { id, frame, gaze } => {
+                let session = sessions
+                    .get_mut(&id)
+                    .expect("frame for a session that was never opened");
+                let encode_start = Instant::now();
+                let first_frame = *session.first_frame.get_or_insert(encode_start);
+                let result = session.encoder.encode_frame_stream(&frame, gaze);
+                let bitstream = result.encoded.to_bitstream();
+                busy_seconds += encode_start.elapsed().as_secs_f64();
+                let report = &mut session.report;
+                report.throughput.record_frame_bits(
+                    result.our_stats().uncompressed_bits,
+                    bitstream.len() as u64,
+                );
+                // Per-session wall-clock: first frame's encode start to the
+                // latest frame's encode end. Refreshed every frame so the
+                // final value lands on the last frame without needing one.
+                report.throughput.wall_seconds = first_frame.elapsed().as_secs_f64();
+                report.stream_digest = fnv1a_update(report.stream_digest, &bitstream);
+                if let Some(payloads) = &mut report.payloads {
+                    payloads.push(bitstream);
+                }
+            }
+            ShardJob::Close { id } => {
+                let session = sessions
+                    .remove(&id)
+                    .expect("close for a session that was never opened");
+                finalize(session, &mut shard_report, &live_sessions, &events);
+            }
+        }
+    }
+    // The producer only exits without closing every session while
+    // unwinding; finalize leftovers so retirees are not stranded.
+    for (_, session) in std::mem::take(&mut sessions) {
+        finalize(session, &mut shard_report, &live_sessions, &events);
+    }
+    shard_report.busy_seconds = busy_seconds;
+    shard_report.wall_seconds = wall_start.elapsed().as_secs_f64();
+    shard_report.queue_stalls = queue.stalls();
+    events.send(RuntimeEvent::ShardDone(shard_report)).ok();
+}
+
+/// Seals a session's report and hands it back to the runtime.
+fn finalize(
+    mut session: WorkerSession,
+    shard_report: &mut ShardReport,
+    live_sessions: &AtomicUsize,
+    events: &mpsc::Sender<RuntimeEvent>,
+) {
+    session.report.cache = session.encoder.cache_stats();
+    shard_report.frames += session.report.throughput.frames;
+    live_sessions.fetch_sub(1, Ordering::Relaxed);
+    events.send(RuntimeEvent::SessionDone(session.report)).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PowerOfTwoChoices;
+    use pvc_frame::Dimensions;
+
+    fn dims() -> Dimensions {
+        Dimensions::new(32, 32)
+    }
+
+    #[test]
+    fn sessions_admitted_after_a_retire_still_stream() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default().with_shards(2));
+        let a = runtime.admit(SessionConfig::synthetic(0, dims(), 3));
+        let report_a = runtime.retire(a);
+        assert_eq!(report_a.throughput.frames, 3);
+        assert!(report_a.throughput.wall_seconds > 0.0);
+        assert!(report_a.throughput.frames_per_second() > 0.0);
+
+        // The shard threads are still alive: admit another wave.
+        let b = runtime.admit(SessionConfig::synthetic(1, dims(), 2));
+        let report = runtime.shutdown();
+        assert_eq!(
+            report.sessions.len(),
+            1,
+            "session a's report was handed to retire()"
+        );
+        assert_eq!(report.sessions[0].session, b);
+        assert_eq!(report.sessions[0].throughput.frames, 2);
+        assert_eq!(report.totals.frames, 5, "totals still cover the retiree");
+        assert_eq!(report.churn.admitted, 2);
+        assert_eq!(report.churn.retired, 1);
+        assert_eq!(report.churn.completed, 2);
+        assert_eq!(
+            report.churn.peak_concurrent, 1,
+            "never two in flight at once"
+        );
+    }
+
+    #[test]
+    fn retire_waits_for_the_full_frame_budget() {
+        // Retiring immediately after admission must still deliver every
+        // frame the session was configured for: retirement is graceful.
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        let id = runtime.admit(SessionConfig::synthetic(0, dims(), 6));
+        let report = runtime.retire(id);
+        assert_eq!(report.throughput.frames, 6);
+        assert_ne!(report.stream_digest, FNV_OFFSET_BASIS);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn drain_completes_every_stream_and_keeps_the_runtime_alive() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default().with_shards(2));
+        for index in 0..4 {
+            runtime.admit(SessionConfig::synthetic(index, dims(), 2));
+        }
+        runtime.drain();
+        assert_eq!(runtime.churn().in_flight(), 0);
+        assert_eq!(runtime.churn().completed, 4);
+        // Still serving after the drain.
+        runtime.admit(SessionConfig::synthetic(4, dims(), 2));
+        let report = runtime.shutdown();
+        assert_eq!(report.sessions.len(), 5);
+        assert_eq!(report.totals.frames, 10);
+    }
+
+    #[test]
+    fn zero_frame_sessions_complete_immediately() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        let id = runtime.admit(SessionConfig::synthetic(0, dims(), 0));
+        let report = runtime.retire(id);
+        assert_eq!(report.throughput.frames, 0);
+        assert_eq!(
+            report.stream_digest, FNV_OFFSET_BASIS,
+            "no frames, seed digest"
+        );
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn static_assignments_are_modulo_and_observable() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default().with_shards(3));
+        for index in 0..6 {
+            let id = runtime.admit(SessionConfig::synthetic(index, dims(), 1));
+            assert_eq!(runtime.assignment(id), Some(id % 3));
+        }
+        assert_eq!(runtime.assignment(99), None);
+        let report = runtime.shutdown();
+        for session in &report.sessions {
+            assert_eq!(session.shard, session.session % 3);
+        }
+    }
+
+    #[test]
+    fn power_of_two_spreads_sessions_under_load() {
+        // With 2 shards p2c always compares both, and admissions bump the
+        // placed shard's live session count synchronously — so the second
+        // admission must see shard 0 loaded and flee to shard 1. Exact
+        // splits beyond that depend on live load (sessions completing
+        // mid-loop lower their shard's score, legitimately attracting
+        // later admissions), so only the both-shards-used property is
+        // timing-independent.
+        let mut runtime = StreamRuntime::start(
+            ServiceConfig::default().with_shards(2),
+            Box::new(PowerOfTwoChoices::default()),
+        );
+        for index in 0..8 {
+            runtime.admit(SessionConfig::synthetic(index, dims(), 50));
+        }
+        let placed: Vec<usize> = (0..8).map(|id| runtime.assignment(id).unwrap()).collect();
+        let on_zero = placed.iter().filter(|&&shard| shard == 0).count();
+        assert!(
+            (1..=7).contains(&on_zero),
+            "p2c must not pile every session on one shard, got {placed:?}"
+        );
+        let report = runtime.shutdown();
+        assert_eq!(report.totals.frames, 400);
+        let served: usize = report.shards.iter().map(|shard| shard.sessions).sum();
+        assert_eq!(served, 8);
+    }
+
+    #[test]
+    fn shard_loads_report_live_population() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default().with_shards(2));
+        runtime.admit(SessionConfig::synthetic(0, dims(), 40));
+        let loads = runtime.shard_loads();
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].sessions, 1, "admission registers immediately");
+        assert_eq!(loads[1].sessions, 0);
+        runtime.drain();
+        assert_eq!(
+            runtime.shard_loads()[0].sessions,
+            0,
+            "completion deregisters"
+        );
+        runtime.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "was never admitted")]
+    fn retiring_an_unknown_session_panics() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        let _ = runtime.retire(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already retired")]
+    fn retiring_twice_panics() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        let id = runtime.admit(SessionConfig::synthetic(0, dims(), 1));
+        let _ = runtime.retire(id);
+        let _ = runtime.retire(id);
+    }
+}

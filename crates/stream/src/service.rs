@@ -1,46 +1,45 @@
-//! The multi-session streaming service.
+//! The batch-style front end of the streaming subsystem.
 //!
-//! [`StreamService`] models the serving side of the paper's encoder: many
-//! headsets (sessions), each with its own scene, gaze trace and
-//! [`BatchEncoder`] state, scheduled onto a fixed pool of shard workers.
+//! [`StreamService`] models the simplest serving pattern: collect a roster
+//! of sessions, stream all of them to completion, read the report. Since
+//! the long-lived [`StreamRuntime`] landed, the
+//! service is a thin wrapper over it — `run()` is exactly *start → admit
+//! all → drain → shutdown* — so everything pinned against the batch API
+//! (determinism across shard counts, cache behaviour, telemetry shapes)
+//! holds verbatim for the runtime underneath.
+//!
 //! Three properties drive the design:
 //!
-//! * **Stable routing.** A session is pinned to shard
-//!   `session_id % shards` for its whole stream, so its eccentricity-map
-//!   cache stays hot on one worker instead of being rebuilt wherever the
-//!   next frame happens to land.
+//! * **Stable routing.** A session is placed on one shard at admission and
+//!   stays there for its whole stream, so its eccentricity-map cache stays
+//!   hot on one worker. `run()` uses the deterministic [`Static`] modulo
+//!   policy (`session_id % shards`);
+//!   [`run_with_placement`](StreamService::run_with_placement) accepts any
+//!   [`Placement`].
 //! * **Bounded pipelining.** Within a shard, frame *production* (scene
 //!   rendering) runs on a producer thread and frame *encoding* on the shard
 //!   worker, connected by a [`pvc_parallel::bounded_queue`]. The queue
 //!   depth caps rendered-but-unencoded frames (memory), and its stall
 //!   counter is the backpressure signal: stalls mean encoding, not
 //!   rendering, is the bottleneck.
-//! * **Shard-count invariance.** Each session's frames are encoded in
-//!   frame order by exactly one worker, from inputs derived only from the
+//! * **Placement invariance.** Each session's frames are encoded in frame
+//!   order by exactly one worker, from inputs derived only from the
 //!   session's own config — so the encoded streams are bit-identical no
-//!   matter how many shards the service runs with. Only wall-clock
-//!   telemetry changes.
+//!   matter how many shards the service runs with or which placement
+//!   policy routes them. Only wall-clock telemetry changes.
 
-use crate::gaze::GazeTrace;
-use crate::session::{fnv1a_update, SessionConfig, SessionReport, FNV_OFFSET_BASIS};
-use pvc_color::SyntheticDiscriminationModel;
-use pvc_core::{BatchCacheStats, BatchEncoder, EncoderConfig, DEFAULT_GAZE_CACHE_CAPACITY};
-use pvc_fovea::{DisplayGeometry, GazePoint};
-use pvc_frame::{Dimensions, LinearFrame};
-use pvc_metrics::{SampleSummary, ThroughputReport};
-use pvc_parallel::{bounded_queue, shard_map};
-use pvc_scenes::{SceneConfig, SceneRenderer};
+use crate::placement::{Placement, Static};
+use crate::runtime::StreamRuntime;
+use crate::session::{SessionConfig, SessionReport};
+use pvc_core::{BatchCacheStats, EncoderConfig, DEFAULT_GAZE_CACHE_CAPACITY};
+use pvc_frame::Dimensions;
+use pvc_metrics::{ChurnCounters, SampleSummary, ThroughputReport};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
-
-/// Salt mixed into a session's seed for gaze-trace synthesis, so scene
-/// content and gaze randomness are decorrelated.
-const GAZE_SEED_SALT: u64 = 0x6A7E_5EED_0BAD_CAFE;
 
 /// Service-wide configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceConfig {
-    /// Number of shard workers; sessions are routed by `id % shards`.
+    /// Number of shard workers.
     pub shards: usize,
     /// Depth of each shard's render→encode queue (frames in flight).
     pub queue_depth: usize,
@@ -113,18 +112,19 @@ impl ServiceConfig {
     }
 }
 
-/// What one shard worker observed over a [`StreamService::run`].
+/// What one shard worker observed over its lifetime (one
+/// [`StreamService::run`] or one [`StreamRuntime`] start→shutdown).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ShardReport {
     /// The shard index.
     pub shard: usize,
-    /// Sessions routed to this shard.
+    /// Sessions placed on this shard over the run.
     pub sessions: usize,
     /// Frames this shard encoded.
     pub frames: u64,
     /// Seconds the worker spent inside the encoder.
     pub busy_seconds: f64,
-    /// Wall-clock seconds from shard start to last frame.
+    /// Wall-clock seconds from shard start to worker exit.
     pub wall_seconds: f64,
     /// Times the producer blocked on a full queue (backpressure events).
     pub queue_stalls: u64,
@@ -140,19 +140,26 @@ impl ShardReport {
     }
 }
 
-/// Everything a [`StreamService::run`] produced.
+/// Everything a service run (or runtime lifetime) produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceReport {
-    /// Per-session results, ordered by session id.
+    /// Per-session results, ordered by session id. Sessions whose reports
+    /// were already handed out by `StreamRuntime::retire` are not
+    /// repeated here; `totals` and `churn` still cover them.
     pub sessions: Vec<SessionReport>,
     /// Per-shard telemetry, ordered by shard index.
     pub shards: Vec<ShardReport>,
     /// Service-wide totals; `wall_seconds` is the full run's elapsed time.
     pub totals: ThroughputReport,
+    /// Session admission/retirement/completion counters.
+    pub churn: ChurnCounters,
 }
 
 impl ServiceReport {
-    /// Eccentricity-map cache counters summed over every session.
+    /// Eccentricity-map cache counters summed over the sessions in this
+    /// report. Sessions whose reports were handed out by
+    /// `StreamRuntime::retire` are not represented — sum their reports'
+    /// `cache` counters separately if a fleet-wide rate is needed.
     pub fn aggregate_cache(&self) -> BatchCacheStats {
         let mut total = BatchCacheStats::default();
         for session in &self.sessions {
@@ -163,26 +170,29 @@ impl ServiceReport {
         total
     }
 
-    /// Mean/spread of per-shard utilization, or `None` with no shards.
+    /// Mean/spread of per-shard utilization over the shards that actually
+    /// served sessions, or `None` when no shard did.
+    ///
+    /// Shards that never received a session idle at utilization 0.0 by
+    /// construction; including them would drag the mean down whenever
+    /// `shards > sessions` and misreport how busy the serving shards were.
     pub fn utilization_summary(&self) -> Option<SampleSummary> {
-        if self.shards.is_empty() {
+        let utilizations: Vec<f64> = self
+            .shards
+            .iter()
+            .filter(|shard| shard.sessions > 0)
+            .map(ShardReport::utilization)
+            .collect();
+        if utilizations.is_empty() {
             return None;
         }
-        let utilizations: Vec<f64> = self.shards.iter().map(ShardReport::utilization).collect();
         Some(SampleSummary::of(&utilizations))
     }
 }
 
-/// One frame travelling through a shard's render→encode queue.
-struct FrameJob {
-    /// Index into the shard's member list (not the global session id).
-    local: usize,
-    frame: LinearFrame,
-    gaze: GazePoint,
-}
-
 /// A deterministic multi-session streaming service over the stream-mode
-/// perceptual encoder. See the [crate docs](crate) for an end-to-end
+/// perceptual encoder: the run-to-completion front end of
+/// [`StreamRuntime`]. See the [crate docs](crate) for an end-to-end
 /// example.
 #[derive(Debug, Clone)]
 pub struct StreamService {
@@ -243,12 +253,14 @@ impl StreamService {
         first..self.sessions.len()
     }
 
-    /// The shard a session id is routed to.
+    /// The shard a session id lands on under the default [`Static`]
+    /// placement used by [`run`](Self::run).
     pub fn shard_of(&self, session: usize) -> usize {
         session % self.config.shards
     }
 
-    /// Streams every admitted session to completion and reports.
+    /// Streams every admitted session to completion and reports, routing
+    /// sessions with the deterministic [`Static`] modulo placement.
     ///
     /// Per-session encoded output (payload bytes, digests, cache counters)
     /// depends only on the session configs and the encoder configuration —
@@ -256,151 +268,34 @@ impl StreamService {
     /// telemetry (utilization, wall seconds, stalls) is of course
     /// machine-dependent.
     pub fn run(&self) -> ServiceReport {
-        let start = Instant::now();
-        let outputs = shard_map(self.config.shards, |shard| self.run_shard(shard));
-        let mut sessions = Vec::with_capacity(self.sessions.len());
-        let mut shards = Vec::with_capacity(outputs.len());
-        for (mut shard_sessions, shard_report) in outputs {
-            sessions.append(&mut shard_sessions);
-            shards.push(shard_report);
-        }
-        sessions.sort_by_key(|report| report.session);
-        let mut totals = ThroughputReport::default();
-        for session in &sessions {
-            totals.merge(&session.throughput);
-        }
-        totals.wall_seconds = start.elapsed().as_secs_f64();
-        ServiceReport {
-            sessions,
-            shards,
-            totals,
-        }
+        self.run_with_placement(Box::new(Static))
     }
 
-    /// Runs one shard: a producer thread renders member sessions' frames
-    /// round-robin into the bounded queue; the shard worker (this thread)
-    /// drains it through each session's stream-mode [`BatchEncoder`].
-    fn run_shard(&self, shard: usize) -> (Vec<SessionReport>, ShardReport) {
-        let members: Vec<(usize, &SessionConfig)> = self
-            .sessions
-            .iter()
-            .enumerate()
-            .filter(|(id, _)| id % self.config.shards == shard)
-            .collect();
-        let mut shard_report = ShardReport {
-            shard,
-            sessions: members.len(),
-            ..ShardReport::default()
-        };
-        if members.is_empty() {
-            return (Vec::new(), shard_report);
+    /// [`run`](Self::run) with an explicit placement policy.
+    ///
+    /// The thin wrapper over the long-lived runtime: start, admit every
+    /// session, drain, shut down. Encoded output is identical under every
+    /// policy; only load distribution (and thus timing telemetry) moves.
+    pub fn run_with_placement(&self, placement: Box<dyn Placement>) -> ServiceReport {
+        let mut runtime = StreamRuntime::start(self.config.clone(), placement);
+        for session in &self.sessions {
+            runtime.admit(session.clone());
         }
-        let wall_start = Instant::now();
-
-        // Deterministic per-session machinery, rebuilt from configs alone.
-        let renderers: Vec<SceneRenderer> = members
-            .iter()
-            .map(|(_, cfg)| {
-                SceneRenderer::new(
-                    cfg.scene,
-                    SceneConfig::new(cfg.dimensions).with_seed(cfg.seed),
-                )
-            })
-            .collect();
-        let traces: Vec<GazeTrace> = members
-            .iter()
-            .map(|(_, cfg)| {
-                GazeTrace::synthesize(
-                    &cfg.gaze_model,
-                    cfg.dimensions,
-                    cfg.seed ^ GAZE_SEED_SALT,
-                    cfg.frames as usize,
-                )
-            })
-            .collect();
-        let mut encoders: Vec<BatchEncoder<SyntheticDiscriminationModel>> = members
-            .iter()
-            .map(|(_, cfg)| {
-                BatchEncoder::new(
-                    SyntheticDiscriminationModel::default(),
-                    self.config.encoder.clone(),
-                    DisplayGeometry::quest2_like(cfg.dimensions),
-                )
-                .with_cache_capacity(self.config.gaze_cache_capacity)
-            })
-            .collect();
-        let mut reports: Vec<SessionReport> = members
-            .iter()
-            .map(|(id, cfg)| SessionReport {
-                session: *id,
-                scene: cfg.scene,
-                shard,
-                throughput: ThroughputReport::default(),
-                cache: BatchCacheStats::default(),
-                stream_digest: FNV_OFFSET_BASIS,
-                payloads: self.config.collect_payloads.then(Vec::new),
-            })
-            .collect();
-
-        let max_frames = members.iter().map(|(_, cfg)| cfg.frames).max().unwrap_or(0);
-        let (tx, rx, stall_counter) = bounded_queue(self.config.queue_depth);
-        let mut busy_seconds = 0.0f64;
-        std::thread::scope(|scope| {
-            let members = &members;
-            let renderers = &renderers;
-            let traces = &traces;
-            scope.spawn(move || {
-                // Frame-major round-robin: session A frame 0, B frame 0, …,
-                // A frame 1 — fair interleaving with per-session frame order
-                // preserved, which is all determinism needs.
-                for t in 0..max_frames {
-                    for (local, (_, cfg)) in members.iter().enumerate() {
-                        if t >= cfg.frames {
-                            continue;
-                        }
-                        let job = FrameJob {
-                            local,
-                            frame: renderers[local].render_linear(t),
-                            gaze: traces[local].samples()[t as usize],
-                        };
-                        if tx.send(job).is_err() {
-                            return; // worker gone (panic unwinding); stop producing
-                        }
-                    }
-                }
-            });
-            for job in rx {
-                let encode_start = Instant::now();
-                let result = encoders[job.local].encode_frame_stream(&job.frame, job.gaze);
-                let bitstream = result.encoded.to_bitstream();
-                busy_seconds += encode_start.elapsed().as_secs_f64();
-                let report = &mut reports[job.local];
-                report.throughput.record_frame(
-                    result.our_stats().uncompressed_bits / 8,
-                    bitstream.len() as u64,
-                );
-                report.stream_digest = fnv1a_update(report.stream_digest, &bitstream);
-                if let Some(payloads) = &mut report.payloads {
-                    payloads.push(bitstream);
-                }
-            }
-        });
-
-        for (report, encoder) in reports.iter_mut().zip(&encoders) {
-            report.cache = encoder.cache_stats();
-        }
-        shard_report.frames = reports.iter().map(|r| r.throughput.frames).sum();
-        shard_report.busy_seconds = busy_seconds;
-        shard_report.wall_seconds = wall_start.elapsed().as_secs_f64();
-        shard_report.queue_stalls = stall_counter.stalls();
-        (reports, shard_report)
+        runtime.drain();
+        runtime.shutdown()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gaze::{FixationSaccadeConfig, GazeModel};
+    use crate::gaze::{FixationSaccadeConfig, GazeModel, GazeTrace};
+    use crate::placement::PowerOfTwoChoices;
+    use crate::session::{fnv1a_update, FNV_OFFSET_BASIS, GAZE_SEED_SALT};
+    use pvc_color::SyntheticDiscriminationModel;
+    use pvc_core::BatchEncoder;
+    use pvc_fovea::DisplayGeometry;
+    use pvc_scenes::{SceneConfig, SceneRenderer};
 
     fn tiny_dims() -> Dimensions {
         Dimensions::new(32, 32)
@@ -443,12 +338,26 @@ mod tests {
     }
 
     #[test]
+    fn placement_policy_does_not_change_encoded_streams() {
+        let static_run = service_with(3, 5, 4, true).run();
+        let p2c_run =
+            service_with(3, 5, 4, true).run_with_placement(Box::new(PowerOfTwoChoices::default()));
+        for (a, b) in static_run.sessions.iter().zip(&p2c_run.sessions) {
+            assert_eq!(a.session, b.session);
+            assert_eq!(a.stream_digest, b.stream_digest);
+            assert_eq!(a.payloads, b.payloads);
+            assert_eq!(a.cache, b.cache);
+        }
+    }
+
+    #[test]
     fn service_output_matches_a_hand_driven_batch_encoder() {
         let service = service_with(1, 1, 3, true);
         let report = service.run();
         let cfg = &service.sessions()[0];
 
-        // Re-derive the stream exactly the way run_shard documents it.
+        // Re-derive the stream exactly the way the shard pipeline
+        // documents it.
         let renderer = SceneRenderer::new(
             cfg.scene,
             SceneConfig::new(cfg.dimensions).with_seed(cfg.seed),
@@ -466,12 +375,15 @@ mod tests {
         );
         let mut digest = FNV_OFFSET_BASIS;
         let mut expected_payloads = Vec::new();
+        let mut expected_bytes_in = 0u64;
         for t in 0..cfg.frames {
             let frame = renderer.render_linear(t);
             let result = encoder.encode_frame_stream(&frame, trace.samples()[t as usize]);
             let bitstream = result.encoded.to_bitstream();
             digest = fnv1a_update(digest, &bitstream);
             expected_payloads.push(bitstream);
+            // Input accounting must round partial bytes *up*.
+            expected_bytes_in += result.our_stats().uncompressed_bits.div_ceil(8);
         }
         let session = &report.sessions[0];
         assert_eq!(session.stream_digest, digest);
@@ -480,6 +392,7 @@ mod tests {
             Some(expected_payloads.as_slice())
         );
         assert_eq!(session.cache, encoder.cache_stats());
+        assert_eq!(session.throughput.bytes_in, expected_bytes_in);
     }
 
     #[test]
@@ -512,8 +425,34 @@ mod tests {
         assert!(report.totals.frames_per_second() > 0.0);
         let cache = report.aggregate_cache();
         assert_eq!(cache.hits + cache.misses, 6);
-        let summary = report.utilization_summary().expect("two shards ran");
+        let summary = report.utilization_summary().expect("two shards served");
         assert!(summary.mean >= 0.0 && summary.mean <= 1.0);
+    }
+
+    #[test]
+    fn per_session_telemetry_is_nonzero() {
+        // Regression: wall_seconds was never assigned per session, so
+        // frames_per_second() and output_megabits_per_second() reported 0.
+        let report = service_with(2, 3, 2, false).run();
+        for session in &report.sessions {
+            assert!(
+                session.throughput.wall_seconds > 0.0,
+                "session {} has zero wall-clock",
+                session.session
+            );
+            assert!(session.throughput.frames_per_second() > 0.0);
+            assert!(session.throughput.output_megabits_per_second() > 0.0);
+        }
+    }
+
+    #[test]
+    fn run_reports_churn_counters() {
+        let report = service_with(2, 3, 2, false).run();
+        assert_eq!(report.churn.admitted, 3);
+        assert_eq!(report.churn.completed, 3);
+        assert_eq!(report.churn.retired, 0, "run() never retires individually");
+        assert!(report.churn.peak_concurrent >= 1);
+        assert_eq!(report.churn.in_flight(), 0);
     }
 
     #[test]
@@ -540,6 +479,11 @@ mod tests {
         assert!(report.sessions.is_empty());
         assert_eq!(report.totals.frames, 0);
         assert_eq!(report.aggregate_cache(), BatchCacheStats::default());
+        assert_eq!(
+            report.utilization_summary(),
+            None,
+            "no shard served a session"
+        );
     }
 
     #[test]
@@ -549,6 +493,22 @@ mod tests {
         assert_eq!(report.totals.frames, 4);
         let occupied: usize = report.shards.iter().map(|s| s.sessions).sum();
         assert_eq!(occupied, 2);
+        // Regression: idle shards (utilization 0.0 by construction) must
+        // not be averaged into the summary. With static placement the two
+        // sessions land on shards 0 and 1; shards 2 and 3 stay empty.
+        let summary = report.utilization_summary().expect("two shards served");
+        let served: Vec<f64> = report
+            .shards
+            .iter()
+            .filter(|shard| shard.sessions > 0)
+            .map(ShardReport::utilization)
+            .collect();
+        assert_eq!(served.len(), 2);
+        assert_eq!(summary, SampleSummary::of(&served));
+        assert!(
+            summary.min >= report.shards[2].utilization(),
+            "summary should not include the idle shards' zeros"
+        );
     }
 
     #[test]

@@ -14,6 +14,13 @@ use pvc_metrics::ThroughputReport;
 use pvc_scenes::SceneId;
 use serde::{Deserialize, Serialize};
 
+/// Salt mixed into a session's seed for gaze-trace synthesis, so scene
+/// content and gaze randomness are decorrelated. Every component that
+/// re-derives a session's trace (shard producers, hand-driven tests) must
+/// use the same salt, or the "rebuilt from config alone" determinism
+/// argument falls apart.
+pub(crate) const GAZE_SEED_SALT: u64 = 0x6A7E_5EED_0BAD_CAFE;
+
 /// Everything needed to (re)create one headset's stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionConfig {
@@ -69,8 +76,13 @@ pub struct SessionReport {
     pub scene: SceneId,
     /// Shard the session was routed to.
     pub shard: usize,
-    /// Frame/byte totals. `wall_seconds` stays 0 here — sessions share a
-    /// shard thread, so only shard- and service-level rates are meaningful.
+    /// Frame/byte totals. `wall_seconds` is the session's own elapsed
+    /// stream time — from its first frame's encode start to its last
+    /// frame's encode end — so per-session `frames_per_second()` and
+    /// `output_megabits_per_second()` are meaningful (and non-zero for any
+    /// session that encoded at least one frame). Because sessions share a
+    /// shard worker, the time includes waiting between the session's own
+    /// frames; it measures delivered stream rate, not encoder occupancy.
     pub throughput: ThroughputReport,
     /// The session's eccentricity-map cache counters.
     pub cache: BatchCacheStats,
