@@ -1,25 +1,32 @@
-//! Long-lived runtime benchmark: session churn under load-aware placement.
+//! Long-lived runtime benchmark: session churn under load-aware placement
+//! and heterogeneous workload mixes.
 //!
 //! Starts a [`StreamRuntime`], admits an initial fleet of synthetic
-//! headset sessions, then runs admission/retirement *waves*: each wave
-//! retires the oldest live sessions (graceful — they finish their frame
-//! budgets) and admits fresh replacements while the rest of the fleet
-//! keeps streaming. Reports per-session FPS for every stream, per-shard
-//! load distribution, churn counters and steady-state aggregate FPS.
+//! headset sessions (optionally a heterogeneous `--mix` of resolution
+//! tiers), then runs admission/retirement *waves*: each wave retires the
+//! oldest live sessions — gracefully by default, hard-cancelled with
+//! `--hard-cancel` — and admits fresh replacements while the rest of the
+//! fleet keeps streaming. Reports per-session FPS for every stream,
+//! per-tier FPS and pixel throughput, per-shard load distribution, churn
+//! counters and steady-state aggregate rates.
 //!
 //! `--quick` runs a small configuration suitable for CI; the knobs below
 //! override either preset.
 //!
 //! ```text
-//! cargo run --release -p pvc_bench --bin session_churn -- --quick
+//! cargo run --release -p pvc_bench --bin session_churn -- --quick --mix bimodal
 //! cargo run --release -p pvc_bench --bin session_churn -- \
-//!     --sessions 16 --frames 30 --shards 8 --waves 4 --churn 4 --placement p2c
+//!     --sessions 16 --frames 30 --shards 8 --waves 4 --churn 4 \
+//!     --mix heavy-tail --placement least-loaded --hard-cancel 1
 //! ```
 
 use pvc_bench::assert_session_rates;
-use pvc_bench::cli::{exit_with_usage, placement_option, ArgSpec, CliError, ParsedArgs};
+use pvc_bench::cli::{
+    exit_with_usage, mix_option, placement_option, ArgSpec, CliError, ParsedArgs,
+};
 use pvc_frame::Dimensions;
-use pvc_stream::{ServiceConfig, SessionConfig, SessionReport, StreamRuntime};
+use pvc_metrics::TierAggregates;
+use pvc_stream::{ServiceConfig, SessionConfig, SessionReport, StreamRuntime, WorkloadMix};
 use std::collections::VecDeque;
 
 const SPEC: ArgSpec = ArgSpec {
@@ -34,12 +41,16 @@ const SPEC: ArgSpec = ArgSpec {
         "--waves",
         "--churn",
         "--placement",
+        "--mix",
+        "--hard-cancel",
     ],
 };
 
 const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
                      [--queue-depth N] [--width PX] [--height PX] \
-                     [--waves N] [--churn N] [--placement static|p2c]";
+                     [--waves N] [--churn N] \
+                     [--placement static|p2c|least-loaded] \
+                     [--mix uniform|bimodal|heavy-tail] [--hard-cancel N]";
 
 /// The workload, after applying the preset and any explicit overrides.
 struct RunConfig {
@@ -50,6 +61,9 @@ struct RunConfig {
     dimensions: Dimensions,
     waves: usize,
     churn: usize,
+    mix: WorkloadMix,
+    /// Of each wave's retirements, how many are hard-cancels.
+    hard_cancels: usize,
 }
 
 fn run_config(parsed: &ParsedArgs) -> Result<RunConfig, CliError> {
@@ -64,6 +78,8 @@ fn run_config(parsed: &ParsedArgs) -> Result<RunConfig, CliError> {
             dimensions: Dimensions::new(96, 96),
             waves: 2,
             churn: 2,
+            mix: WorkloadMix::Uniform,
+            hard_cancels: 0,
         }
     } else {
         RunConfig {
@@ -74,6 +90,8 @@ fn run_config(parsed: &ParsedArgs) -> Result<RunConfig, CliError> {
             dimensions: Dimensions::new(256, 256),
             waves: 3,
             churn: 4,
+            mix: WorkloadMix::Uniform,
+            hard_cancels: 0,
         }
     };
     if let Some(sessions) = parsed.positive_usize("--sessions")? {
@@ -100,6 +118,10 @@ fn run_config(parsed: &ParsedArgs) -> Result<RunConfig, CliError> {
     if let Some(churn) = parsed.positive_usize("--churn")? {
         config.churn = churn.min(config.sessions);
     }
+    config.mix = mix_option(parsed, config.mix.name())?;
+    if let Some(cancels) = parsed.non_negative_usize("--hard-cancel")? {
+        config.hard_cancels = cancels.min(config.churn);
+    }
     Ok(config)
 }
 
@@ -114,17 +136,20 @@ fn main() {
         placement_option(&parsed, "p2c").unwrap_or_else(|err| exit_with_usage(&err, USAGE));
 
     println!(
-        "session_churn: {} initial sessions x {} frames at {}x{}, {} shards \
-         (queue depth {}, {} placement), {} waves retiring {} sessions each\n",
+        "session_churn: {} initial sessions x {} base frames at {}x{} base, {} mix, \
+         {} shards (queue depth {}, {} placement), {} waves retiring {} sessions each \
+         ({} hard-cancelled)\n",
         config.sessions,
         config.frames,
         config.dimensions.width,
         config.dimensions.height,
+        config.mix.name(),
         config.shards,
         config.queue_depth,
         placement.name(),
         config.waves,
         config.churn,
+        config.hard_cancels,
     );
 
     let mut runtime = StreamRuntime::start(
@@ -136,7 +161,12 @@ fn main() {
 
     let mut next_index = 0usize;
     let mut admit = |runtime: &mut StreamRuntime, live: &mut VecDeque<usize>| {
-        let session = SessionConfig::synthetic(next_index, config.dimensions, config.frames);
+        let session = SessionConfig::synthetic_mixed(
+            next_index,
+            config.mix,
+            config.dimensions,
+            config.frames,
+        );
         next_index += 1;
         live.push_back(runtime.admit(session));
     };
@@ -151,22 +181,32 @@ fn main() {
     let mut retired_reports: Vec<SessionReport> = Vec::new();
     for wave in 1..=config.waves {
         let mut retired_fps = Vec::new();
-        for _ in 0..config.churn.min(live.len()) {
+        for slot in 0..config.churn.min(live.len()) {
             let id = live.pop_front().expect("live fleet is non-empty");
-            let report = runtime.retire(id);
+            // The first `hard_cancels` retirements of each wave model a
+            // user yanking the headset: remaining frames are dropped.
+            let report = if slot < config.hard_cancels {
+                runtime.retire_now(id)
+            } else {
+                runtime.retire(id)
+            };
             assert_session_rates(&report);
             retired_fps.push(format!(
-                "#{} {:.1} fps",
+                "#{} {:.1} fps{}",
                 report.session,
-                report.throughput.frames_per_second()
+                report.throughput.frames_per_second(),
+                if report.cancelled { " (cancelled)" } else { "" },
             ));
             retired_reports.push(report);
             admit(&mut runtime, &mut live);
         }
         let loads = runtime.shard_loads();
-        let spread: Vec<String> = loads.iter().map(|l| l.sessions.to_string()).collect();
+        let spread: Vec<String> = loads
+            .iter()
+            .map(|l| format!("{}:{:.2}Mpx", l.sessions, l.session_pixels as f64 / 1e6))
+            .collect();
         println!(
-            "wave {wave}: retired [{}], shard sessions [{}]",
+            "wave {wave}: retired [{}], shard sessions:pixels [{}]",
             retired_fps.join(", "),
             spread.join(" "),
         );
@@ -177,29 +217,48 @@ fn main() {
     let mut all_sessions: Vec<&SessionReport> =
         retired_reports.iter().chain(&report.sessions).collect();
     all_sessions.sort_by_key(|session| session.session);
-    println!("\nsession  scene      shard  frames     kB out    fps   hit-rate");
+    println!("\nsession  scene      tier       shard  frames     kB out    fps   hit-rate");
+    let mut tiers = TierAggregates::new();
     for session in all_sessions {
         assert_session_rates(session);
+        tiers.record(session.tier.name(), session.cancelled, &session.throughput);
         println!(
-            "{:>7}  {:<9} {:>5} {:>7} {:>10.1} {:>6.1} {:>9.0}%",
+            "{:>7}  {:<9} {:<9} {:>5} {:>7}{} {:>9.1} {:>6.1} {:>9.0}%",
             session.session,
             session.scene.name(),
+            session.tier.name(),
             session.shard,
             session.throughput.frames,
+            if session.cancelled { "!" } else { " " },
             session.throughput.bytes_out as f64 / 1e3,
             session.throughput.frames_per_second(),
             session.cache.hit_rate() * 100.0,
         );
     }
 
-    println!("\nshard  sessions  frames  utilization  queue-stalls");
+    println!("\ntier       sessions  cancelled  frames      Mpx    fps   Mpx/s");
+    for tier in tiers.entries() {
+        println!(
+            "{:<9} {:>9} {:>10} {:>7} {:>8.2} {:>6.1} {:>7.2}",
+            tier.label,
+            tier.sessions,
+            tier.cancelled,
+            tier.throughput.frames,
+            tier.throughput.pixels as f64 / 1e6,
+            tier.throughput.frames_per_second(),
+            tier.throughput.megapixels_per_second(),
+        );
+    }
+
+    println!("\nshard  sessions  frames  utilization   Mpx/s  queue-stalls");
     for shard in &report.shards {
         println!(
-            "{:>5} {:>9} {:>7} {:>11.0}% {:>13}",
+            "{:>5} {:>9} {:>7} {:>11.0}% {:>7.2} {:>13}",
             shard.shard,
             shard.sessions,
             shard.frames,
             shard.utilization() * 100.0,
+            shard.megapixels_per_second(),
             shard.queue_stalls,
         );
     }
@@ -208,10 +267,15 @@ fn main() {
     let churn = &report.churn;
     println!("\naggregate:");
     println!("  frames encoded      {}", totals.frames);
+    println!(
+        "  pixels encoded      {:.2} Mpx",
+        totals.pixels as f64 / 1e6
+    );
     println!("  wall time           {:.3} s", totals.wall_seconds);
     println!(
-        "  steady-state        {:.1} frames/s",
-        totals.frames_per_second()
+        "  steady-state        {:.1} frames/s ({:.2} Mpx/s)",
+        totals.frames_per_second(),
+        totals.megapixels_per_second(),
     );
     println!(
         "  bytes in / out      {:.2} MB / {:.2} MB ({:.1}% reduction)",
@@ -220,17 +284,33 @@ fn main() {
         totals.bandwidth_reduction_percent(),
     );
     println!(
-        "  churn               {} admitted / {} retired / {} completed (peak {} concurrent)",
-        churn.admitted, churn.retired, churn.completed, churn.peak_concurrent,
+        "  churn               {} admitted / {} retired / {} completed / {} cancelled \
+         (peak {} concurrent)",
+        churn.admitted, churn.retired, churn.completed, churn.cancelled, churn.peak_concurrent,
     );
     if let Some(utilization) = report.utilization_summary() {
         println!(
-            "  shard utilization   mean {:.0}% (min {:.0}%, max {:.0}%)",
+            "  shard utilization   mean {:.0}% (min {:.0}%, max {:.0}%, spread {:.0}pp)",
             utilization.mean * 100.0,
             utilization.min * 100.0,
             utilization.max * 100.0,
+            (utilization.max - utilization.min) * 100.0,
+        );
+    }
+    if let Some(pixel_rate) = report.pixel_throughput_summary() {
+        println!(
+            "  shard pixel rate    mean {:.2} Mpx/s (min {:.2}, max {:.2}, spread {:.2})",
+            pixel_rate.mean,
+            pixel_rate.min,
+            pixel_rate.max,
+            pixel_rate.max - pixel_rate.min,
         );
     }
     assert_eq!(churn.completed, churn.admitted, "every stream must finish");
+    assert_eq!(
+        churn.cancelled,
+        retired_reports.iter().filter(|r| r.cancelled).count() as u64,
+        "cancellation telemetry must match the reports handed out"
+    );
     assert!(totals.frames_per_second() > 0.0);
 }

@@ -2,17 +2,23 @@
 //!
 //! Spins up N synthetic headset sessions on a sharded [`StreamService`]
 //! and reports aggregate frames/sec, bytes in/out, cache hit-rates and
-//! per-shard utilization. `--quick` runs a small configuration suitable
-//! for CI; the knobs below override either preset.
+//! per-shard utilization / pixel throughput. `--mix` selects a
+//! heterogeneous population (resolution tiers with different pixel costs
+//! and frame budgets); the report then adds a per-tier table. `--quick`
+//! runs a small configuration suitable for CI; the knobs below override
+//! either preset.
 //!
 //! ```text
 //! cargo run --release -p pvc_bench --bin stream_throughput -- --quick
 //! cargo run --release -p pvc_bench --bin stream_throughput -- \
-//!     --sessions 32 --frames 60 --shards 8
+//!     --sessions 32 --frames 60 --shards 8 --mix bimodal --placement least-loaded
 //! ```
 
-use pvc_bench::cli::{exit_with_usage, placement_option, ArgSpec, CliError, ParsedArgs};
+use pvc_bench::cli::{
+    exit_with_usage, mix_option, placement_option, ArgSpec, CliError, ParsedArgs,
+};
 use pvc_frame::Dimensions;
+use pvc_metrics::TierAggregates;
 use pvc_stream::{ServiceConfig, StreamService};
 
 const SPEC: ArgSpec = ArgSpec {
@@ -25,12 +31,14 @@ const SPEC: ArgSpec = ArgSpec {
         "--width",
         "--height",
         "--placement",
+        "--mix",
     ],
 };
 
 const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
                      [--queue-depth N] [--width PX] [--height PX] \
-                     [--placement static|p2c]";
+                     [--placement static|p2c|least-loaded] \
+                     [--mix uniform|bimodal|heavy-tail]";
 
 /// The workload, after applying the preset and any explicit overrides.
 struct RunConfig {
@@ -89,13 +97,16 @@ fn main() {
     let config = run_config(&parsed).unwrap_or_else(|err| exit_with_usage(&err, USAGE));
     let placement =
         placement_option(&parsed, "static").unwrap_or_else(|err| exit_with_usage(&err, USAGE));
+    let mix = mix_option(&parsed, "uniform").unwrap_or_else(|err| exit_with_usage(&err, USAGE));
 
     println!(
-        "stream_throughput: {} sessions x {} frames at {}x{}, {} shards (queue depth {}, {} placement)\n",
+        "stream_throughput: {} sessions x {} base frames at {}x{} base, {} mix, \
+         {} shards (queue depth {}, {} placement)\n",
         config.sessions,
         config.frames,
         config.dimensions.width,
         config.dimensions.height,
+        mix.name(),
         config.shards,
         config.queue_depth,
         placement.name(),
@@ -106,16 +117,17 @@ fn main() {
             .with_shards(config.shards)
             .with_queue_depth(config.queue_depth),
     );
-    service.admit_synthetic(config.sessions, config.dimensions, config.frames);
+    service.admit_mixed(config.sessions, mix, config.dimensions, config.frames);
     let report = service.run_with_placement(placement);
 
-    println!("session  scene      frames     kB out    fps   hit-rate");
+    println!("session  scene      tier       frames     kB out    fps   hit-rate");
     for session in &report.sessions {
         pvc_bench::assert_session_rates(session);
         println!(
-            "{:>7}  {:<9} {:>7} {:>10.1} {:>6.1} {:>9.0}%",
+            "{:>7}  {:<9} {:<9} {:>7} {:>10.1} {:>6.1} {:>9.0}%",
             session.session,
             session.scene.name(),
+            session.tier.name(),
             session.throughput.frames,
             session.throughput.bytes_out as f64 / 1e3,
             session.throughput.frames_per_second(),
@@ -123,14 +135,29 @@ fn main() {
         );
     }
 
-    println!("\nshard  sessions  frames  utilization  queue-stalls");
+    let tiers: TierAggregates = report.tier_summary();
+    println!("\ntier       sessions  frames      Mpx    fps   Mpx/s");
+    for tier in tiers.entries() {
+        println!(
+            "{:<9} {:>9} {:>7} {:>8.2} {:>6.1} {:>7.2}",
+            tier.label,
+            tier.sessions,
+            tier.throughput.frames,
+            tier.throughput.pixels as f64 / 1e6,
+            tier.throughput.frames_per_second(),
+            tier.throughput.megapixels_per_second(),
+        );
+    }
+
+    println!("\nshard  sessions  frames  utilization   Mpx/s  queue-stalls");
     for shard in &report.shards {
         println!(
-            "{:>5} {:>9} {:>7} {:>11.0}% {:>13}",
+            "{:>5} {:>9} {:>7} {:>11.0}% {:>7.2} {:>13}",
             shard.shard,
             shard.sessions,
             shard.frames,
             shard.utilization() * 100.0,
+            shard.megapixels_per_second(),
             shard.queue_stalls,
         );
     }
@@ -139,10 +166,15 @@ fn main() {
     let cache = report.aggregate_cache();
     println!("\naggregate:");
     println!("  frames encoded      {}", totals.frames);
+    println!(
+        "  pixels encoded      {:.2} Mpx",
+        totals.pixels as f64 / 1e6
+    );
     println!("  wall time           {:.3} s", totals.wall_seconds);
     println!(
-        "  throughput          {:.1} frames/s",
-        totals.frames_per_second()
+        "  throughput          {:.1} frames/s ({:.2} Mpx/s)",
+        totals.frames_per_second(),
+        totals.megapixels_per_second(),
     );
     println!(
         "  bytes in / out      {:.2} MB / {:.2} MB",
@@ -162,10 +194,20 @@ fn main() {
     );
     if let Some(utilization) = report.utilization_summary() {
         println!(
-            "  shard utilization   mean {:.0}% (min {:.0}%, max {:.0}%)",
+            "  shard utilization   mean {:.0}% (min {:.0}%, max {:.0}%, spread {:.0}pp)",
             utilization.mean * 100.0,
             utilization.min * 100.0,
             utilization.max * 100.0,
+            (utilization.max - utilization.min) * 100.0,
+        );
+    }
+    if let Some(pixel_rate) = report.pixel_throughput_summary() {
+        println!(
+            "  shard pixel rate    mean {:.2} Mpx/s (min {:.2}, max {:.2}, spread {:.2})",
+            pixel_rate.mean,
+            pixel_rate.min,
+            pixel_rate.max,
+            pixel_rate.max - pixel_rate.min,
         );
     }
 }

@@ -171,11 +171,34 @@ impl ParsedArgs {
     pub fn positive_u32(&self, option: &str) -> Result<Option<u32>, CliError> {
         self.positive::<u32>(option)
     }
+
+    /// The (last) value given for `option`, parsed as a non-negative
+    /// integer — for count knobs where `0` is a meaningful "off" value
+    /// (e.g. `--hard-cancel 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::InvalidValue`] when the value is not a
+    /// non-negative integer.
+    pub fn non_negative_usize(&self, option: &str) -> Result<Option<usize>, CliError> {
+        match self.value(option) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| CliError::InvalidValue {
+                    option: option.to_string(),
+                    value: raw.to_string(),
+                }),
+        }
+    }
 }
 
 /// Parses a `--placement` option into a session→shard policy: `static`
-/// (modulo routing) or `p2c` / `power-of-two-choices` (load-aware).
-/// `default` applies when the option is absent.
+/// (modulo routing), `p2c` / `power-of-two-choices` (depth-aware), or
+/// `least-loaded` / `ll` (pixel-cost-aware — the right choice for
+/// heterogeneous `--mix` workloads). `default` applies when the option is
+/// absent.
 ///
 /// # Errors
 ///
@@ -187,11 +210,29 @@ pub fn placement_option(
     match parsed.value("--placement").unwrap_or(default) {
         "static" => Ok(Box::new(pvc_stream::Static)),
         "p2c" | "power-of-two-choices" => Ok(Box::new(pvc_stream::PowerOfTwoChoices::default())),
+        "least-loaded" | "ll" => Ok(Box::new(pvc_stream::LeastLoaded)),
         other => Err(CliError::InvalidValue {
             option: "--placement".to_string(),
             value: other.to_string(),
         }),
     }
+}
+
+/// Parses a `--mix` option into a synthetic workload mix: `uniform`
+/// (homogeneous Quest-2 fleet), `bimodal` (alternating Quest-2 /
+/// Vision-class) or `heavy-tail` (mostly Quest-2 with Quest-Pro sessions
+/// and a Vision-class whale per eight). `default` applies when the option
+/// is absent.
+///
+/// # Errors
+///
+/// Returns [`CliError::InvalidValue`] for any other mix name.
+pub fn mix_option(parsed: &ParsedArgs, default: &str) -> Result<pvc_stream::WorkloadMix, CliError> {
+    let name = parsed.value("--mix").unwrap_or(default);
+    pvc_stream::WorkloadMix::from_name(name).ok_or_else(|| CliError::InvalidValue {
+        option: "--mix".to_string(),
+        value: name.to_string(),
+    })
 }
 
 /// Edit distance between two short ASCII strings (classic two-row DP).
@@ -378,6 +419,28 @@ mod tests {
     }
 
     #[test]
+    fn non_negative_values_accept_zero_but_reject_junk() {
+        let spec = ArgSpec {
+            flags: &[],
+            options: &["--hard-cancel"],
+        };
+        let parsed = spec.parse(args(&["--hard-cancel", "0"])).unwrap();
+        assert_eq!(
+            parsed.non_negative_usize("--hard-cancel").unwrap(),
+            Some(0),
+            "zero is a meaningful 'off' value for count knobs"
+        );
+        let parsed = spec.parse(args(&["--hard-cancel", "3"])).unwrap();
+        assert_eq!(parsed.non_negative_usize("--hard-cancel").unwrap(), Some(3));
+        let parsed = spec.parse(args(&[])).unwrap();
+        assert_eq!(parsed.non_negative_usize("--hard-cancel").unwrap(), None);
+        for bad in ["abc", "-3", "1.5"] {
+            let parsed = spec.parse(args(&["--hard-cancel", bad])).unwrap();
+            assert!(parsed.non_negative_usize("--hard-cancel").is_err());
+        }
+    }
+
+    #[test]
     fn u32_values_reject_overflow_instead_of_truncating() {
         let spec = ArgSpec {
             flags: &[],
@@ -423,6 +486,16 @@ mod tests {
             placement_option(&parsed, "static").unwrap().name(),
             "power-of-two-choices"
         );
+        let parsed = spec.parse(args(&["--placement", "least-loaded"])).unwrap();
+        assert_eq!(
+            placement_option(&parsed, "static").unwrap().name(),
+            "least-loaded"
+        );
+        let parsed = spec.parse(args(&["--placement", "ll"])).unwrap();
+        assert_eq!(
+            placement_option(&parsed, "static").unwrap().name(),
+            "least-loaded"
+        );
         let parsed = spec.parse(args(&[])).unwrap();
         assert_eq!(
             placement_option(&parsed, "static").unwrap().name(),
@@ -438,6 +511,37 @@ mod tests {
             Err(CliError::InvalidValue {
                 option: "--placement".to_string(),
                 value: "rondom".to_string(),
+            })
+        );
+    }
+
+    #[test]
+    fn mix_option_maps_names_and_defaults() {
+        let spec = ArgSpec {
+            flags: &[],
+            options: &["--mix"],
+        };
+        let parsed = spec.parse(args(&["--mix", "bimodal"])).unwrap();
+        assert_eq!(
+            mix_option(&parsed, "uniform").unwrap(),
+            pvc_stream::WorkloadMix::Bimodal
+        );
+        let parsed = spec.parse(args(&["--mix", "heavy-tail"])).unwrap();
+        assert_eq!(
+            mix_option(&parsed, "uniform").unwrap(),
+            pvc_stream::WorkloadMix::HeavyTail
+        );
+        let parsed = spec.parse(args(&[])).unwrap();
+        assert_eq!(
+            mix_option(&parsed, "uniform").unwrap(),
+            pvc_stream::WorkloadMix::Uniform
+        );
+        let parsed = spec.parse(args(&["--mix", "gaussian"])).unwrap();
+        assert_eq!(
+            mix_option(&parsed, "uniform"),
+            Err(CliError::InvalidValue {
+                option: "--mix".to_string(),
+                value: "gaussian".to_string(),
             })
         );
     }

@@ -21,6 +21,11 @@ pub struct ChurnCounters {
     pub retired: u64,
     /// Sessions whose streams finished (final report produced).
     pub completed: u64,
+    /// Sessions whose streams were hard-cancelled: ended before their
+    /// configured frame budget, with a partial report. A cancelled session
+    /// still counts as `completed` (its final — partial — report was
+    /// produced), so `cancelled <= completed`.
+    pub cancelled: u64,
     /// Largest number of sessions that were in flight at the same time.
     pub peak_concurrent: u64,
 }
@@ -40,6 +45,22 @@ impl ChurnCounters {
     /// Records one explicit retirement request.
     pub fn record_retirement(&mut self) {
         self.retired += 1;
+    }
+
+    /// Records one hard-cancelled session (stream ended before its frame
+    /// budget, partial report delivered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more cancellations than completions are recorded — record
+    /// the cancellation when the (partial) final report arrives, alongside
+    /// [`Self::record_completion`].
+    pub fn record_cancellation(&mut self) {
+        assert!(
+            self.cancelled < self.completed,
+            "cancellation recorded for a session without a final report"
+        );
+        self.cancelled += 1;
     }
 
     /// Records one completed session stream.
@@ -98,9 +119,30 @@ mod tests {
     }
 
     #[test]
+    fn cancellations_ride_along_with_completions() {
+        let mut churn = ChurnCounters::default();
+        churn.record_admission();
+        churn.record_admission();
+        churn.record_retirement();
+        churn.record_completion();
+        churn.record_cancellation();
+        assert_eq!(churn.cancelled, 1);
+        assert_eq!(churn.completed, 1);
+        assert_eq!(churn.in_flight(), 1, "the other session still streams");
+    }
+
+    #[test]
     #[should_panic(expected = "never admitted")]
     fn excess_completions_panic() {
         let mut churn = ChurnCounters::default();
         churn.record_completion();
+    }
+
+    #[test]
+    #[should_panic(expected = "without a final report")]
+    fn excess_cancellations_panic() {
+        let mut churn = ChurnCounters::default();
+        churn.record_admission();
+        churn.record_cancellation();
     }
 }

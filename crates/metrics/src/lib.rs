@@ -12,7 +12,12 @@
 //! that the multi-session service sums per session, per shard and
 //! service-wide. The [`churn`] module complements it with population
 //! telemetry ([`ChurnCounters`]) for the long-lived runtime: admissions,
-//! retirements, completions and peak session concurrency.
+//! retirements, completions, hard-cancellations and peak session
+//! concurrency. When sessions are *heterogeneous* (different display
+//! resolutions and frame budgets), the [`tiers`] module groups the
+//! per-session reports under tier labels ([`TierAggregates`]) so each
+//! class of user gets its own FPS/pixel-throughput row instead of being
+//! averaged into a meaningless fleet mean.
 //!
 //! # Examples
 //!
@@ -33,9 +38,11 @@
 
 pub mod churn;
 pub mod throughput;
+pub mod tiers;
 
 pub use churn::ChurnCounters;
 pub use throughput::ThroughputReport;
+pub use tiers::{TierAggregate, TierAggregates};
 
 use pvc_frame::{FrameError, SrgbFrame};
 use serde::{Deserialize, Serialize};

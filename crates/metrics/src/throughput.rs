@@ -18,6 +18,10 @@ pub struct ThroughputReport {
     pub bytes_in: u64,
     /// Bytes leaving the encoder (compressed bitstream payload).
     pub bytes_out: u64,
+    /// Pixels encoded. Under heterogeneous session resolutions this — not
+    /// `frames` — is the comparable measure of work: one Vision-class frame
+    /// costs several Quest-2 frames.
+    pub pixels: u64,
     /// Wall-clock seconds the stream took end to end.
     pub wall_seconds: f64,
 }
@@ -30,14 +34,16 @@ impl ThroughputReport {
         self.bytes_out += bytes_out;
     }
 
-    /// Records one encoded frame whose input size is known in *bits*.
+    /// Records one encoded frame whose input size is known in *bits*,
+    /// along with its pixel count.
     ///
     /// Rounds the input size **up** to whole bytes (`div_ceil`): a 9-bit
     /// payload occupies 2 bytes on any byte-addressed transport. Flooring
     /// here would undercount `bytes_in` whenever `bits_in % 8 != 0` and
     /// silently inflate [`Self::compression_ratio`].
-    pub fn record_frame_bits(&mut self, bits_in: u64, bytes_out: u64) {
+    pub fn record_frame_bits(&mut self, bits_in: u64, bytes_out: u64, pixels: u64) {
         self.record_frame(bits_in.div_ceil(8), bytes_out);
+        self.pixels += pixels;
     }
 
     /// Adds another report's totals into this one.
@@ -49,6 +55,7 @@ impl ThroughputReport {
         self.frames += other.frames;
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
+        self.pixels += other.pixels;
         self.wall_seconds = self.wall_seconds.max(other.wall_seconds);
     }
 
@@ -66,6 +73,15 @@ impl ThroughputReport {
             return 0.0;
         }
         self.bytes_out as f64 * 8.0 / 1e6 / self.wall_seconds
+    }
+
+    /// Pixel throughput in megapixels per second (0 when no time elapsed).
+    /// The resolution-independent rate for comparing heterogeneous streams.
+    pub fn megapixels_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.pixels as f64 / 1e6 / self.wall_seconds
     }
 
     /// Effective compression ratio `bytes_in / bytes_out` (infinite when
@@ -107,13 +123,14 @@ mod tests {
         // Regression: floor division (bits / 8) dropped the partial byte,
         // undercounting bytes_in and inflating the compression ratio.
         let mut report = ThroughputReport::default();
-        report.record_frame_bits(9, 1);
+        report.record_frame_bits(9, 1, 100);
         assert_eq!(report.bytes_in, 2, "9 bits occupy 2 bytes, not 1");
-        report.record_frame_bits(16, 1);
+        report.record_frame_bits(16, 1, 100);
         assert_eq!(report.bytes_in, 4, "exact multiples stay exact");
-        report.record_frame_bits(1, 1);
+        report.record_frame_bits(1, 1, 100);
         assert_eq!(report.bytes_in, 5);
         assert_eq!(report.frames, 3);
+        assert_eq!(report.pixels, 300);
     }
 
     #[test]
@@ -122,10 +139,12 @@ mod tests {
             frames: 90,
             bytes_in: 9_000_000,
             bytes_out: 3_000_000,
+            pixels: 6_000_000,
             wall_seconds: 3.0,
         };
         assert!((report.frames_per_second() - 30.0).abs() < 1e-12);
         assert!((report.output_megabits_per_second() - 8.0).abs() < 1e-12);
+        assert!((report.megapixels_per_second() - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -134,18 +153,21 @@ mod tests {
             frames: 10,
             bytes_in: 100,
             bytes_out: 50,
+            pixels: 1000,
             wall_seconds: 2.0,
         };
         let b = ThroughputReport {
             frames: 5,
             bytes_in: 30,
             bytes_out: 10,
+            pixels: 4000,
             wall_seconds: 3.5,
         };
         a.merge(&b);
         assert_eq!(a.frames, 15);
         assert_eq!(a.bytes_in, 130);
         assert_eq!(a.bytes_out, 60);
+        assert_eq!(a.pixels, 5000);
         assert!((a.wall_seconds - 3.5).abs() < 1e-12);
     }
 
@@ -154,6 +176,7 @@ mod tests {
         let report = ThroughputReport::default();
         assert_eq!(report.frames_per_second(), 0.0);
         assert_eq!(report.output_megabits_per_second(), 0.0);
+        assert_eq!(report.megapixels_per_second(), 0.0);
         assert_eq!(report.bandwidth_reduction_percent(), 0.0);
         assert!(report.compression_ratio().is_infinite());
     }

@@ -1,0 +1,109 @@
+//! A shared, saturating load gauge for pipeline telemetry.
+//!
+//! The bounded queue's [`crate::QueueStats`] counts *items*; a scheduler
+//! placing heterogeneous work also wants to know how much the queued items
+//! *weigh* — e.g. how many pixels of rendered frames are waiting for the
+//! encoder, when different sessions render at different resolutions.
+//! [`Gauge`] is the shared counter for that: cheap atomic add/sub handles
+//! cloned across threads, with a saturating `sub` so a momentarily
+//! out-of-order decrement can never wrap the gauge to an absurd value.
+//!
+//! The protocol that keeps a gauge honest is *add before handoff*: the
+//! producing side adds the weight before (or atomically with) making the
+//! work visible to the consuming side, and the consumer subtracts after
+//! taking the work. Readers then only ever observe a value at or above
+//! the true load, never a wrapped negative.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared additive load gauge (e.g. queued pixels, committed bytes).
+///
+/// Clones observe and mutate the same underlying counter.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Adds `weight` to the gauge.
+    pub fn add(&self, weight: u64) {
+        self.0.fetch_add(weight, Ordering::Relaxed);
+    }
+
+    /// Subtracts `weight` from the gauge, saturating at zero.
+    ///
+    /// Saturation (rather than wrapping) means a racing read between a
+    /// consumer's `sub` and the matching producer `add` can at worst
+    /// under-report momentarily — it can never report a near-`u64::MAX`
+    /// load and stampede a load-aware scheduler.
+    pub fn sub(&self, weight: u64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(weight);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The current gauge value. A momentary snapshot: treat it as a load
+    /// signal, not an exact invariant.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_move_the_gauge() {
+        let gauge = Gauge::new();
+        assert_eq!(gauge.get(), 0);
+        gauge.add(1024);
+        gauge.add(512);
+        assert_eq!(gauge.get(), 1536);
+        gauge.sub(512);
+        assert_eq!(gauge.get(), 1024);
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        let gauge = Gauge::new();
+        gauge.add(10);
+        gauge.sub(25);
+        assert_eq!(gauge.get(), 0, "over-subtraction clamps, never wraps");
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let gauge = Gauge::new();
+        let observer = gauge.clone();
+        std::thread::scope(|scope| {
+            let writer = gauge.clone();
+            scope.spawn(move || {
+                for _ in 0..1000 {
+                    writer.add(3);
+                }
+            });
+            let writer = gauge.clone();
+            scope.spawn(move || {
+                for _ in 0..1000 {
+                    writer.add(7);
+                }
+            });
+        });
+        assert_eq!(observer.get(), 10_000);
+        observer.sub(10_000);
+        assert_eq!(gauge.get(), 0);
+    }
+}

@@ -4,44 +4,88 @@
 //! will own it for its whole stream. Which shard that is never affects the
 //! session's encoded bits — each session is encoded in frame order by
 //! exactly one worker from its own config — it only affects *load*: how
-//! evenly sessions and their queued frames spread across workers.
+//! evenly sessions, their queued frames and (under heterogeneous profiles)
+//! their **pixels** spread across workers.
 //!
-//! Two policies ship with the crate:
+//! Three policies ship with the crate:
 //!
 //! * [`Static`] — the modulo routing of the original batch service
 //!   (`session_id % shards`). Fully deterministic and oblivious to load;
 //!   the baseline every determinism test pins against.
 //! * [`PowerOfTwoChoices`] — samples two distinct shards with a seeded
-//!   RNG and places the session on the less loaded of the two (queue
-//!   depth plus live session count). The classic result is that this
-//!   "two choices" step drops the maximum load exponentially compared to
-//!   random placement, at the cost of reading just two load gauges.
+//!   RNG and places the session on the one with the lower *depth-based*
+//!   score (queue depth plus live session count). The classic result is
+//!   that this "two choices" step drops the maximum load exponentially
+//!   compared to random placement, at the cost of reading just two load
+//!   gauges.
+//! * [`LeastLoaded`] — scans every shard and places the session on the
+//!   one with the lowest *pixel-weighted* [`ShardLoad::cost`]. The
+//!   cost-aware policy heterogeneous workloads need (see the fairness
+//!   caveat below).
+//!
+//! # Fairness caveat: depth-based scores under mixed pixel costs
+//!
+//! [`ShardLoad::score`] counts *items* — sessions and queued frames — so
+//! any policy comparing it (notably [`PowerOfTwoChoices`]) treats a
+//! 32×32-per-frame session and a Vision-class session rendering ~3.3× the
+//! pixels as equal load. Under a bimodal mix that balance-by-count can
+//! systematically route the expensive half of the population onto one
+//! shard: session counts look even while one worker encodes several times
+//! the pixels of another. When session profiles are heterogeneous, prefer
+//! a policy that compares [`ShardLoad::cost`] (pixel-weighted), like
+//! [`LeastLoaded`]; the unit tests pin the bimodal scenario where
+//! count-balancing collapses and cost-balancing does not.
 //!
 //! Policies see only [`ShardLoad`] snapshots, so custom implementations
-//! (locality-aware, size-aware, …) plug in without touching the runtime.
+//! (locality-aware, SLA-aware, …) plug in without touching the runtime.
 
 use crate::session::SessionConfig;
 
 /// A moment-in-time load snapshot of one shard, as sampled at admission.
+///
+/// The item gauges (`sessions`, `queue_depth`) and the pixel gauges
+/// (`session_pixels`, `queued_pixels`) describe the same load in two
+/// units; [`Self::score`] and [`Self::cost`] are the respective scalar
+/// summaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardLoad {
     /// The shard index.
     pub shard: usize,
-    /// Sessions currently placed on the shard (admitted, not yet retired).
+    /// Sessions currently placed on the shard (admitted, not yet
+    /// completed).
     pub sessions: usize,
     /// Messages pending in the shard's render→encode queue — rendered
     /// frames awaiting encode, plus the session open/close markers that
     /// travel the same queue (at most two per session lifetime).
     pub queue_depth: usize,
+    /// Sum of the live sessions' per-frame pixel costs
+    /// ([`SessionConfig::pixel_cost`]) — the shard's committed encode
+    /// rate in pixels per round-robin turn. Updated synchronously at
+    /// admission, so back-to-back placements see each other.
+    pub session_pixels: u64,
+    /// Pixels of rendered frames currently sitting in the render→encode
+    /// queue — the congestion signal, in pixels.
+    pub queued_pixels: u64,
 }
 
 impl ShardLoad {
-    /// The scalar load score placement compares: queued frames plus live
-    /// sessions. Queue depth is the fast congestion signal, session count
-    /// the steady commitment signal; summing them keeps an idle-but-crowded
-    /// shard distinguishable from a busy-but-emptying one.
+    /// The depth-based load score: queued items plus live sessions. Queue
+    /// depth is the fast congestion signal, session count the steady
+    /// commitment signal; summing them keeps an idle-but-crowded shard
+    /// distinguishable from a busy-but-emptying one.
+    ///
+    /// Counts items, not work: see the [fairness caveat](self) before
+    /// comparing scores across shards serving mixed resolutions.
     pub fn score(&self) -> usize {
         self.sessions + self.queue_depth
+    }
+
+    /// The pixel-weighted load cost: committed session pixels plus queued
+    /// frame pixels. The unit-consistent analogue of [`Self::score`] for
+    /// heterogeneous profiles — a Vision-class session weighs ~3.3× a
+    /// Quest-2 one instead of counting as one item.
+    pub fn cost(&self) -> u64 {
+        self.session_pixels + self.queued_pixels
     }
 }
 
@@ -62,6 +106,9 @@ pub trait Placement: Send {
 }
 
 /// The deterministic modulo baseline: `session_id % shards`.
+///
+/// Oblivious to load in either unit; exists so determinism tests have a
+/// placement whose decisions depend on nothing but the session id.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Static;
 
@@ -75,12 +122,17 @@ impl Placement for Static {
     }
 }
 
-/// Load-aware placement: sample two distinct shards, take the emptier one.
+/// Load-aware placement: sample two distinct shards, take the emptier one
+/// by depth-based [`ShardLoad::score`].
 ///
 /// The candidate pair comes from a seeded SplitMix64 stream, so a given
 /// seed yields a reproducible *choice sequence*; the chosen shard still
 /// depends on live load, which is timing-dependent. Encoded output is
 /// placement-independent either way.
+///
+/// Because the comparison is item-count-based, this policy can misjudge
+/// heterogeneous workloads — see the [fairness caveat](self). For mixed
+/// pixel costs, [`LeastLoaded`] compares pixel-weighted cost instead.
 #[derive(Debug, Clone)]
 pub struct PowerOfTwoChoices {
     state: u64,
@@ -139,15 +191,46 @@ impl Placement for PowerOfTwoChoices {
     }
 }
 
+/// Cost-aware placement: scan every shard, take the one with the lowest
+/// pixel-weighted [`ShardLoad::cost`] (ties break toward the lower shard
+/// index, so equal-load decisions are reproducible).
+///
+/// This is the policy that makes heterogeneous mixes balance: admitting a
+/// bimodal population, the expensive sessions spread by what they *cost*,
+/// not by how many they *are*. The full scan reads one gauge per shard —
+/// O(shards) per admission, irrelevant next to the cost of streaming a
+/// session — where [`PowerOfTwoChoices`] reads two; pick the latter only
+/// when shard counts are large enough for the scan to matter and the
+/// workload is homogeneous enough for item counts to be honest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl Placement for LeastLoaded {
+    fn place(&mut self, _session_id: usize, _config: &SessionConfig, loads: &[ShardLoad]) -> usize {
+        loads
+            .iter()
+            .min_by_key(|load| (load.cost(), load.shard))
+            .expect("loads is never empty")
+            .shard
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{ResolutionTier, SessionProfile, WorkloadMix};
     use pvc_frame::Dimensions;
 
     fn config() -> SessionConfig {
         SessionConfig::synthetic(0, Dimensions::new(32, 32), 4)
     }
 
+    /// Item-count loads with zero pixel weight (the homogeneous legacy
+    /// shape).
     fn loads(scores: &[(usize, usize)]) -> Vec<ShardLoad> {
         scores
             .iter()
@@ -156,6 +239,23 @@ mod tests {
                 shard,
                 sessions,
                 queue_depth,
+                session_pixels: 0,
+                queued_pixels: 0,
+            })
+            .collect()
+    }
+
+    /// Pixel-weighted loads (sessions/queue depth left at zero).
+    fn pixel_loads(pixels: &[(u64, u64)]) -> Vec<ShardLoad> {
+        pixels
+            .iter()
+            .enumerate()
+            .map(|(shard, &(session_pixels, queued_pixels))| ShardLoad {
+                shard,
+                sessions: 0,
+                queue_depth: 0,
+                session_pixels,
+                queued_pixels,
             })
             .collect()
     }
@@ -222,13 +322,110 @@ mod tests {
             shard: 0,
             sessions: 3,
             queue_depth: 2,
+            session_pixels: 9999,
+            queued_pixels: 1,
         };
-        assert_eq!(load.score(), 5);
+        assert_eq!(load.score(), 5, "score ignores the pixel gauges");
+    }
+
+    #[test]
+    fn cost_sums_the_pixel_gauges() {
+        let load = ShardLoad {
+            shard: 0,
+            sessions: 3,
+            queue_depth: 2,
+            session_pixels: 4096,
+            queued_pixels: 1024,
+        };
+        assert_eq!(load.cost(), 5120, "cost ignores the item gauges");
+    }
+
+    #[test]
+    fn least_loaded_picks_the_cheapest_shard_and_breaks_ties_low() {
+        let mut policy = LeastLoaded;
+        let lopsided = pixel_loads(&[(4096, 0), (1024, 512), (8192, 0)]);
+        assert_eq!(policy.place(0, &config(), &lopsided), 1);
+        let tied = pixel_loads(&[(2048, 0), (0, 2048), (2048, 1)]);
+        assert_eq!(policy.place(1, &config(), &tied), 0, "tie → lower index");
+    }
+
+    /// The pin for the pixel-weighted gauge: admit a bimodal mix to two
+    /// shards, replaying each policy's decisions against synthetically
+    /// maintained loads. Session-count balancing (what a depth-based score
+    /// degenerates to here) alternates shards and collapses every
+    /// expensive session onto one shard; cost-aware placement keeps the
+    /// pixel load spread.
+    #[test]
+    fn bimodal_mix_does_not_collapse_under_cost_aware_placement() {
+        let base = Dimensions::new(96, 96);
+        let small = SessionProfile::for_tier(ResolutionTier::Quest2, base, 8);
+        let large = SessionProfile::for_tier(ResolutionTier::VisionClass, base, 8);
+        assert_eq!(WorkloadMix::Bimodal.tier_for(0), ResolutionTier::Quest2);
+
+        // Replays an admission sequence, maintaining the loads the way the
+        // runtime does (synchronously at admission), and returns each
+        // shard's committed pixels.
+        let admit_all = |policy: &mut dyn Placement| -> Vec<u64> {
+            let mut shard_loads = pixel_loads(&[(0, 0), (0, 0)]);
+            for index in 0..8 {
+                let profile = if WorkloadMix::Bimodal.tier_for(index) == ResolutionTier::Quest2 {
+                    small
+                } else {
+                    large
+                };
+                let config = config().with_profile(profile);
+                let shard = policy.place(index, &config, &shard_loads);
+                shard_loads[shard].sessions += 1;
+                shard_loads[shard].session_pixels += profile.pixel_cost();
+            }
+            shard_loads.iter().map(|l| l.session_pixels).collect()
+        };
+
+        // Session-count balancing: place on the shard with fewer sessions
+        // (ties low) — the degenerate behaviour of any item-count score
+        // when queues are empty. The bimodal alternation then routes every
+        // Vision-class session to the same shard.
+        struct CountBalancer;
+        impl Placement for CountBalancer {
+            fn place(&mut self, _id: usize, _c: &SessionConfig, loads: &[ShardLoad]) -> usize {
+                loads
+                    .iter()
+                    .min_by_key(|l| (l.sessions, l.shard))
+                    .expect("non-empty")
+                    .shard
+            }
+            fn name(&self) -> &'static str {
+                "count-balancer"
+            }
+        }
+
+        let by_count = admit_all(&mut CountBalancer);
+        let count_imbalance = by_count.iter().max().unwrap() - by_count.iter().min().unwrap();
+        assert_eq!(
+            by_count
+                .iter()
+                .filter(|&&p| p == 4 * large.pixel_cost())
+                .count(),
+            1,
+            "count balancing collapses all four Vision-class sessions onto one shard: {by_count:?}"
+        );
+
+        let by_cost = admit_all(&mut LeastLoaded);
+        let cost_imbalance = by_cost.iter().max().unwrap() - by_cost.iter().min().unwrap();
+        assert!(
+            cost_imbalance <= large.pixel_cost(),
+            "cost-aware placement must keep shards within one large session: {by_cost:?}"
+        );
+        assert!(
+            cost_imbalance * 4 < count_imbalance,
+            "cost-aware spread ({cost_imbalance}) must beat count-balancing ({count_imbalance})"
+        );
     }
 
     #[test]
     fn policies_report_their_names() {
         assert_eq!(Static.name(), "static");
         assert_eq!(PowerOfTwoChoices::default().name(), "power-of-two-choices");
+        assert_eq!(LeastLoaded.name(), "least-loaded");
     }
 }

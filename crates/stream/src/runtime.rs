@@ -31,17 +31,42 @@
 //! The producer owns each member session's renderer and gaze trace and
 //! interleaves sessions frame-major (A0 B0 A1 B1 …); the worker owns each
 //! member session's [`BatchEncoder`] and telemetry. A session's stream
-//! travels `Open → Frame×n → Close` through the queue, so the worker
-//! learns about sessions in the exact order the producer committed to.
+//! travels `Open → Frame×n → Close` through the queue (`Cancel` replaces
+//! `Close` when the session is hard-cancelled), so the worker learns about
+//! sessions in the exact order the producer committed to.
+//!
+//! # Heterogeneous sessions
+//!
+//! Sessions need not look alike: each one carries its own
+//! [`SessionProfile`](crate::SessionProfile) (resolution tier, render
+//! size, frame budget, gaze model, optional tile size), and each shard
+//! maintains **pixel gauges** next to its item counters — committed
+//! session pixels and queued frame pixels — so cost-aware placement
+//! (e.g. [`crate::LeastLoaded`]) can weigh a Vision-class session as the
+//! ~3.3× load it actually is.
+//!
+//! # Retirement: graceful vs hard-cancel
+//!
+//! [`StreamRuntime::retire`] is graceful — the session finishes its frame
+//! budget, so its stream is bit-identical to an uninterrupted run.
+//! [`StreamRuntime::retire_now`] models a user yanking the headset: the
+//! producer drops the session's not-yet-rendered frames and the final
+//! report comes back partial, flagged `cancelled`. Frames already
+//! rendered into the shard queue when the cancel lands are still encoded,
+//! so the cancelled session's own frame count is timing-dependent — but
+//! the *surviving* sessions' streams are not perturbed by a single bit
+//! (pinned by `tests/cancel_determinism.rs`).
 //!
 //! # Determinism
 //!
 //! A session's encoded stream is **bit-identical** regardless of shard
-//! count, placement policy, admission order, retirement timing or queue
-//! depth: it is encoded in frame order by exactly one worker, by an
-//! encoder built only from the session's own config. Placement and churn
-//! move *where* and *when* that happens — never *what* is produced. Only
-//! wall-clock telemetry is machine- and timing-dependent.
+//! count, placement policy, admission order, retirement timing, queue
+//! depth, or other sessions being hard-cancelled around it: it is encoded
+//! in frame order by exactly one worker, by an encoder built only from
+//! the session's own config. Placement and churn move *where* and *when*
+//! that happens — never *what* is produced. Only wall-clock telemetry is
+//! machine- and timing-dependent, and only a hard-cancelled session's own
+//! stream *length* is timing-dependent (a prefix of its solo stream).
 
 use crate::gaze::GazeTrace;
 use crate::placement::{Placement, ShardLoad, Static};
@@ -56,7 +81,7 @@ use pvc_frame::LinearFrame;
 use pvc_metrics::{ChurnCounters, ThroughputReport};
 use pvc_parallel::{
     bounded_queue, control_channel, BoundedReceiver, BoundedSender, ControlPoll, ControlReceiver,
-    ControlSender, QueueStats,
+    ControlSender, Gauge, QueueStats,
 };
 use pvc_scenes::{SceneConfig, SceneRenderer};
 use std::collections::{BTreeMap, BTreeSet};
@@ -69,6 +94,10 @@ use std::time::Instant;
 enum ShardControl {
     /// Take ownership of a session and start streaming its frames.
     Admit { id: usize, config: SessionConfig },
+    /// Hard-cancel a member session: stop rendering its remaining frames
+    /// and have the worker finalize a partial, `cancelled` report. A
+    /// no-op if the session already finished its stream.
+    Cancel { id: usize },
     /// Finish every member session's remaining frames, then exit.
     Shutdown,
 }
@@ -76,8 +105,8 @@ enum ShardControl {
 /// One message travelling through a shard's render→encode queue.
 ///
 /// A session's lifetime on the queue is `Open`, then its frames in order,
-/// then `Close` — all emitted by the single producer, so the worker sees
-/// them in exactly that order.
+/// then `Close` (or `Cancel` for a hard-cancelled session) — all emitted
+/// by the single producer, so the worker sees them in exactly that order.
 enum ShardJob {
     /// The worker should create the session's encoder and report.
     Open { id: usize, config: SessionConfig },
@@ -89,6 +118,9 @@ enum ShardJob {
     },
     /// The session's last frame has been sent; finalize its report.
     Close { id: usize },
+    /// The session was hard-cancelled; finalize its partial report with
+    /// the `cancelled` flag set. No further frames for the id follow.
+    Cancel { id: usize },
 }
 
 /// What shard workers report back to the runtime.
@@ -116,13 +148,13 @@ impl ProducerSession {
     fn admit(id: usize, config: SessionConfig) -> ProducerSession {
         let renderer = SceneRenderer::new(
             config.scene,
-            SceneConfig::new(config.dimensions).with_seed(config.seed),
+            SceneConfig::new(config.dimensions()).with_seed(config.seed),
         );
         let trace = GazeTrace::synthesize(
-            &config.gaze_model,
-            config.dimensions,
+            &config.gaze_model(),
+            config.dimensions(),
             config.seed ^ GAZE_SEED_SALT,
-            config.frames as usize,
+            config.frames() as usize,
         );
         ProducerSession {
             id,
@@ -139,6 +171,9 @@ impl ProducerSession {
 struct WorkerSession {
     encoder: BatchEncoder<SyntheticDiscriminationModel>,
     report: SessionReport,
+    /// The session's per-frame pixel cost, released from the shard's
+    /// committed-pixels gauge when the session finalizes.
+    frame_pixels: u64,
     /// Encode-start instant of the session's first frame; per-session
     /// wall-clock runs from here to the end of the last frame's encode.
     first_frame: Option<Instant>,
@@ -146,22 +181,31 @@ struct WorkerSession {
 
 impl WorkerSession {
     fn open(id: usize, shard: usize, service: &ServiceConfig, config: &SessionConfig) -> Self {
+        // The profile may override the service-wide tile size; everything
+        // else about the encoder configuration is shared.
+        let mut encoder_config = service.encoder.clone();
+        if let Some(tile_size) = config.profile.tile_size {
+            encoder_config = encoder_config.with_tile_size(tile_size);
+        }
         WorkerSession {
             encoder: BatchEncoder::new(
                 SyntheticDiscriminationModel::default(),
-                service.encoder.clone(),
-                DisplayGeometry::quest2_like(config.dimensions),
+                encoder_config,
+                DisplayGeometry::quest2_like(config.dimensions()),
             )
             .with_cache_capacity(service.gaze_cache_capacity),
             report: SessionReport {
                 session: id,
                 scene: config.scene,
+                tier: config.profile.tier,
                 shard,
+                cancelled: false,
                 throughput: ThroughputReport::default(),
                 cache: BatchCacheStats::default(),
                 stream_digest: FNV_OFFSET_BASIS,
                 payloads: service.collect_payloads.then(Vec::new),
             },
+            frame_pixels: config.pixel_cost(),
             first_frame: None,
         }
     }
@@ -175,13 +219,21 @@ struct ShardHandle {
     /// admission (so back-to-back placements see each other) and
     /// decremented by the worker when a session finalizes.
     sessions: Arc<AtomicUsize>,
+    /// Sum of the live sessions' per-frame pixel costs — the
+    /// pixel-weighted twin of `sessions`, maintained on the same schedule
+    /// (added at admission, released at finalization).
+    session_pixels: Gauge,
+    /// Pixels of rendered frames currently in the render→encode queue —
+    /// the pixel-weighted twin of the queue's depth gauge.
+    queued_pixels: Gauge,
     producer: JoinHandle<()>,
     worker: JoinHandle<()>,
 }
 
 /// A long-lived, shard-parallel streaming service with dynamic session
-/// churn and load-aware placement. See the [module docs](self) for the
-/// threading model and determinism argument.
+/// churn, heterogeneous session profiles and load-aware placement. See
+/// the [module docs](self) for the threading model and determinism
+/// argument.
 ///
 /// # Examples
 ///
@@ -310,7 +362,9 @@ impl StreamRuntime {
         self.churn
     }
 
-    /// Live load snapshots for every shard, as placement would see them.
+    /// Live load snapshots for every shard, as placement would see them:
+    /// item counters (sessions, queue depth) and their pixel-weighted
+    /// twins (committed session pixels, queued frame pixels).
     pub fn shard_loads(&self) -> Vec<ShardLoad> {
         self.shards
             .iter()
@@ -319,6 +373,8 @@ impl StreamRuntime {
                 shard,
                 sessions: handle.sessions.load(Ordering::Relaxed),
                 queue_depth: handle.queue.depth(),
+                session_pixels: handle.session_pixels.get(),
+                queued_pixels: handle.queued_pixels.get(),
             })
             .collect()
     }
@@ -345,6 +401,9 @@ impl StreamRuntime {
         );
         let handle = &self.shards[shard];
         handle.sessions.fetch_add(1, Ordering::Relaxed);
+        // Commit the pixel weight synchronously with the session count so
+        // cost-aware placement sees back-to-back admissions too.
+        handle.session_pixels.add(config.pixel_cost());
         handle
             .control
             .send(ShardControl::Admit { id, config })
@@ -368,6 +427,40 @@ impl StreamRuntime {
     ///
     /// Panics if the id was never admitted or was already retired.
     pub fn retire(&mut self, session: usize) -> SessionReport {
+        self.begin_retirement(session);
+        self.await_completion(session)
+    }
+
+    /// Hard-cancels a session: tells its shard to drop the session's
+    /// not-yet-rendered frames, blocks until the partial report arrives,
+    /// and returns it flagged [`cancelled`](SessionReport::cancelled).
+    /// Other sessions keep streaming throughout, and their encoded
+    /// streams are not perturbed by a single bit (pinned by
+    /// `tests/cancel_determinism.rs`).
+    ///
+    /// The cancelled stream is a *prefix* of the session's uninterrupted
+    /// stream: frames already rendered into the shard queue when the
+    /// cancel lands are still encoded, so how long the prefix is depends
+    /// on timing. A session that already finished its frame budget is
+    /// returned complete, with `cancelled` false — cancelling it was a
+    /// no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never admitted or was already retired.
+    pub fn retire_now(&mut self, session: usize) -> SessionReport {
+        self.begin_retirement(session);
+        let shard = self.assignments[&session];
+        self.shards[shard]
+            .control
+            .send(ShardControl::Cancel { id: session })
+            .expect("shard producer exited while the runtime is alive");
+        self.await_completion(session)
+    }
+
+    /// Shared bookkeeping of [`Self::retire`] / [`Self::retire_now`]:
+    /// validates the id, marks it retired, counts the retirement.
+    fn begin_retirement(&mut self, session: usize) {
         assert!(
             self.assignments.contains_key(&session),
             "session {session} was never admitted"
@@ -377,6 +470,10 @@ impl StreamRuntime {
             "session {session} was already retired"
         );
         self.churn.record_retirement();
+    }
+
+    /// Blocks until `session`'s final report arrives and hands it over.
+    fn await_completion(&mut self, session: usize) -> SessionReport {
         loop {
             self.pump_events();
             if let Some(report) = self.completed.remove(&session) {
@@ -479,6 +576,9 @@ impl StreamRuntime {
         match event {
             RuntimeEvent::SessionDone(report) => {
                 self.churn.record_completion();
+                if report.cancelled {
+                    self.churn.record_cancellation();
+                }
                 self.totals.merge(&report.throughput);
                 self.completed.insert(report.session, report);
             }
@@ -500,34 +600,80 @@ fn spawn_shard(
     let (control_tx, control_rx) = control_channel();
     let (job_tx, job_rx, queue) = bounded_queue(config.queue_depth);
     let sessions = Arc::new(AtomicUsize::new(0));
+    let session_pixels = Gauge::new();
+    let queued_pixels = Gauge::new();
     let producer = std::thread::Builder::new()
         .name(format!("pvc-shard{shard}-render"))
-        .spawn(move || run_producer(control_rx, job_tx))
+        .spawn({
+            let queued_pixels = queued_pixels.clone();
+            move || run_producer(control_rx, job_tx, queued_pixels)
+        })
         .expect("spawning shard producer thread");
     let worker = std::thread::Builder::new()
         .name(format!("pvc-shard{shard}-encode"))
         .spawn({
             let config = config.clone();
             let queue = queue.clone();
-            let sessions = Arc::clone(&sessions);
-            move || run_worker(shard, config, job_rx, queue, sessions, events)
+            let gauges = WorkerGauges {
+                sessions: Arc::clone(&sessions),
+                session_pixels: session_pixels.clone(),
+                queued_pixels: queued_pixels.clone(),
+            };
+            move || run_worker(shard, config, job_rx, queue, gauges, events)
         })
         .expect("spawning shard worker thread");
     ShardHandle {
         control: control_tx,
         queue,
         sessions,
+        session_pixels,
+        queued_pixels,
         producer,
         worker,
     }
+}
+
+/// Hard-cancels `id` on the producer side: stops rendering its remaining
+/// frames and tells the worker to finalize a partial, `cancelled` report.
+/// A no-op when the session is not (or no longer) a member — its `Close`
+/// has already been sent and its report will arrive complete.
+///
+/// Returns `Err` when the worker is gone (queue closed) and the producer
+/// should stop.
+fn cancel_session(
+    active: &mut Vec<ProducerSession>,
+    id: usize,
+    jobs: &BoundedSender<ShardJob>,
+) -> Result<(), ()> {
+    let Some(position) = active.iter().position(|session| session.id == id) else {
+        return Ok(());
+    };
+    let session = active.remove(position);
+    if !session.opened {
+        // The worker still owes the runtime a report for this session;
+        // open it so the Cancel below finalizes an empty, cancelled one.
+        let open = ShardJob::Open {
+            id,
+            config: session.config.clone(),
+        };
+        if jobs.send(open).is_err() {
+            return Err(());
+        }
+    }
+    jobs.send(ShardJob::Cancel { id }).map_err(|_| ())
 }
 
 /// The producer loop: absorbs control commands (blocking while idle,
 /// polling while busy) and renders member sessions' frames round-robin
 /// into the bounded queue. Frame-major interleaving (A0 B0 A1 B1 …) is
 /// fair across sessions while preserving per-session frame order — which
-/// is all determinism needs.
-fn run_producer(control: ControlReceiver<ShardControl>, jobs: BoundedSender<ShardJob>) {
+/// is all determinism needs. `queued_pixels` is raised before each frame
+/// send (add-before-handoff, see [`Gauge`]) and released by the worker.
+fn run_producer(
+    control: ControlReceiver<ShardControl>,
+    jobs: BoundedSender<ShardJob>,
+    queued_pixels: Gauge,
+) {
     let mut active: Vec<ProducerSession> = Vec::new();
     let mut draining = false;
     loop {
@@ -537,6 +683,9 @@ fn run_producer(control: ControlReceiver<ShardControl>, jobs: BoundedSender<Shar
                 Some(ShardControl::Admit { id, config }) => {
                     active.push(ProducerSession::admit(id, config));
                 }
+                // No member can match a Cancel while idle: the session
+                // already closed and its report is (or will be) complete.
+                Some(ShardControl::Cancel { .. }) => {}
                 Some(ShardControl::Shutdown) | None => draining = true,
             }
         }
@@ -545,6 +694,11 @@ fn run_producer(control: ControlReceiver<ShardControl>, jobs: BoundedSender<Shar
             match control.poll() {
                 ControlPoll::Message(ShardControl::Admit { id, config }) => {
                     active.push(ProducerSession::admit(id, config));
+                }
+                ControlPoll::Message(ShardControl::Cancel { id }) => {
+                    if cancel_session(&mut active, id, &jobs).is_err() {
+                        return;
+                    }
                 }
                 ControlPoll::Message(ShardControl::Shutdown) | ControlPoll::Closed => {
                     draining = true;
@@ -576,19 +730,24 @@ fn run_producer(control: ControlReceiver<ShardControl>, jobs: BoundedSender<Shar
                     }
                     session.opened = true;
                 }
-                if session.next < session.config.frames {
+                if session.next < session.config.frames() {
                     let t = session.next;
                     let job = ShardJob::Frame {
                         id: session.id,
                         frame: session.renderer.render_linear(t),
                         gaze: session.trace.samples()[t as usize],
                     };
+                    // Add-before-handoff keeps the gauge non-negative: the
+                    // worker's release always follows this add.
+                    let pixels = session.config.pixel_cost();
+                    queued_pixels.add(pixels);
                     if jobs.send(job).is_err() {
+                        queued_pixels.sub(pixels);
                         return;
                     }
                     session.next += 1;
                 }
-                session.next >= session.config.frames
+                session.next >= session.config.frames()
             };
             if finished {
                 // `remove` (not swap_remove) keeps the round-robin order of
@@ -604,15 +763,24 @@ fn run_producer(control: ControlReceiver<ShardControl>, jobs: BoundedSender<Shar
     }
 }
 
+/// The shard-load gauges the worker releases as sessions and frames pass
+/// through it; the admission side raises them.
+struct WorkerGauges {
+    sessions: Arc<AtomicUsize>,
+    session_pixels: Gauge,
+    queued_pixels: Gauge,
+}
+
 /// The worker loop: drains the frame queue in arrival order, encoding each
 /// frame with its session's own encoder, and finalizes session reports on
-/// `Close`. Exits when the producer drops its sender and the queue drains.
+/// `Close` (complete) or `Cancel` (partial, flagged cancelled). Exits when
+/// the producer drops its sender and the queue drains.
 fn run_worker(
     shard: usize,
     config: ServiceConfig,
     jobs: BoundedReceiver<ShardJob>,
     queue: QueueStats,
-    live_sessions: Arc<AtomicUsize>,
+    gauges: WorkerGauges,
     events: mpsc::Sender<RuntimeEvent>,
 ) {
     let wall_start = Instant::now();
@@ -635,6 +803,8 @@ fn run_worker(
                 let session = sessions
                     .get_mut(&id)
                     .expect("frame for a session that was never opened");
+                // The frame left the queue: release its pixel weight.
+                gauges.queued_pixels.sub(session.frame_pixels);
                 let encode_start = Instant::now();
                 let first_frame = *session.first_frame.get_or_insert(encode_start);
                 let result = session.encoder.encode_frame_stream(&frame, gaze);
@@ -644,6 +814,7 @@ fn run_worker(
                 report.throughput.record_frame_bits(
                     result.our_stats().uncompressed_bits,
                     bitstream.len() as u64,
+                    session.frame_pixels,
                 );
                 // Per-session wall-clock: first frame's encode start to the
                 // latest frame's encode end. Refreshed every frame so the
@@ -658,14 +829,21 @@ fn run_worker(
                 let session = sessions
                     .remove(&id)
                     .expect("close for a session that was never opened");
-                finalize(session, &mut shard_report, &live_sessions, &events);
+                finalize(session, &mut shard_report, &gauges, &events);
+            }
+            ShardJob::Cancel { id } => {
+                let mut session = sessions
+                    .remove(&id)
+                    .expect("cancel for a session that was never opened");
+                session.report.cancelled = true;
+                finalize(session, &mut shard_report, &gauges, &events);
             }
         }
     }
     // The producer only exits without closing every session while
     // unwinding; finalize leftovers so retirees are not stranded.
     for (_, session) in std::mem::take(&mut sessions) {
-        finalize(session, &mut shard_report, &live_sessions, &events);
+        finalize(session, &mut shard_report, &gauges, &events);
     }
     shard_report.busy_seconds = busy_seconds;
     shard_report.wall_seconds = wall_start.elapsed().as_secs_f64();
@@ -673,16 +851,19 @@ fn run_worker(
     events.send(RuntimeEvent::ShardDone(shard_report)).ok();
 }
 
-/// Seals a session's report and hands it back to the runtime.
+/// Seals a session's report, releases its shard-load gauges, and hands it
+/// back to the runtime.
 fn finalize(
     mut session: WorkerSession,
     shard_report: &mut ShardReport,
-    live_sessions: &AtomicUsize,
+    gauges: &WorkerGauges,
     events: &mpsc::Sender<RuntimeEvent>,
 ) {
     session.report.cache = session.encoder.cache_stats();
     shard_report.frames += session.report.throughput.frames;
-    live_sessions.fetch_sub(1, Ordering::Relaxed);
+    shard_report.pixels += session.report.throughput.pixels;
+    gauges.sessions.fetch_sub(1, Ordering::Relaxed);
+    gauges.session_pixels.sub(session.frame_pixels);
     events.send(RuntimeEvent::SessionDone(session.report)).ok();
 }
 
@@ -815,14 +996,119 @@ mod tests {
         let loads = runtime.shard_loads();
         assert_eq!(loads.len(), 2);
         assert_eq!(loads[0].sessions, 1, "admission registers immediately");
-        assert_eq!(loads[1].sessions, 0);
-        runtime.drain();
         assert_eq!(
-            runtime.shard_loads()[0].sessions,
-            0,
-            "completion deregisters"
+            loads[0].session_pixels,
+            32 * 32,
+            "the pixel gauge rises with the session count"
         );
+        assert_eq!(loads[1].sessions, 0);
+        assert_eq!(loads[1].session_pixels, 0);
+        runtime.drain();
+        let after = runtime.shard_loads();
+        assert_eq!(after[0].sessions, 0, "completion deregisters");
+        assert_eq!(after[0].session_pixels, 0, "pixels release with it");
+        assert_eq!(after[0].queued_pixels, 0, "the queue drained");
         runtime.shutdown();
+    }
+
+    #[test]
+    fn hard_cancel_returns_a_partial_cancelled_report() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        // A budget far beyond what could stream before the cancel lands.
+        let id = runtime.admit(SessionConfig::synthetic(0, dims(), 100_000));
+        let report = runtime.retire_now(id);
+        assert!(report.cancelled, "the stream must have been cut short");
+        assert!(
+            report.throughput.frames < 100_000,
+            "cancel must drop the remaining frame budget"
+        );
+        // The runtime keeps serving after a cancel.
+        let survivor = runtime.admit(SessionConfig::synthetic(1, dims(), 3));
+        let survivor_report = runtime.retire(survivor);
+        assert_eq!(survivor_report.throughput.frames, 3);
+        assert!(!survivor_report.cancelled);
+        let service_report = runtime.shutdown();
+        assert_eq!(service_report.churn.admitted, 2);
+        assert_eq!(service_report.churn.retired, 2);
+        assert_eq!(service_report.churn.completed, 2);
+        assert_eq!(service_report.churn.cancelled, 1);
+    }
+
+    #[test]
+    fn hard_cancel_of_a_finished_stream_returns_the_complete_report() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        let id = runtime.admit(SessionConfig::synthetic(0, dims(), 2));
+        runtime.drain();
+        let report = runtime.retire_now(id);
+        assert!(!report.cancelled, "a finished stream has nothing to cancel");
+        assert_eq!(report.throughput.frames, 2);
+        let service_report = runtime.shutdown();
+        assert_eq!(service_report.churn.cancelled, 0);
+        assert_eq!(service_report.churn.retired, 1);
+    }
+
+    #[test]
+    fn hard_cancel_releases_the_shard_load_gauges() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        let id = runtime.admit(SessionConfig::synthetic(0, dims(), 100_000));
+        assert_eq!(runtime.shard_loads()[0].session_pixels, 32 * 32);
+        let _ = runtime.retire_now(id);
+        let load = runtime.shard_loads()[0];
+        assert_eq!(load.sessions, 0);
+        assert_eq!(load.session_pixels, 0, "cancel releases committed pixels");
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn heterogeneous_profiles_stream_side_by_side() {
+        use crate::session::{ResolutionTier, SessionProfile};
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default().with_shards(2));
+        let base = dims();
+        let ids: Vec<usize> = ResolutionTier::ALL
+            .iter()
+            .enumerate()
+            .map(|(index, &tier)| {
+                runtime.admit(
+                    SessionConfig::synthetic(index, base, 4)
+                        .with_profile(SessionProfile::for_tier(tier, base, 4)),
+                )
+            })
+            .collect();
+        runtime.drain();
+        let report = runtime.shutdown();
+        assert_eq!(report.sessions.len(), 3);
+        for (id, session) in ids.iter().zip(&report.sessions) {
+            assert_eq!(session.session, *id);
+        }
+        let by_tier: Vec<(&'static str, u64, u64)> = report
+            .sessions
+            .iter()
+            .map(|s| (s.tier.name(), s.throughput.frames, s.throughput.pixels))
+            .collect();
+        assert_eq!(by_tier[0].0, "quest2");
+        assert_eq!(by_tier[0].1, 4);
+        assert_eq!(by_tier[1].0, "quest-pro");
+        assert_eq!(by_tier[1].1, 5, "90 Hz budget");
+        assert_eq!(by_tier[2].0, "vision");
+        assert_eq!(by_tier[2].1, 5, "96 Hz budget");
+        // Pixel telemetry reflects each tier's actual cost, not a shared
+        // frame size.
+        for session in &report.sessions {
+            assert_eq!(
+                session.throughput.pixels,
+                session.throughput.frames
+                    * u64::try_from(
+                        ResolutionTier::ALL[session.session]
+                            .scale(base)
+                            .pixel_count()
+                    )
+                    .unwrap()
+            );
+        }
+        assert_eq!(
+            report.totals.pixels,
+            report.sessions.iter().map(|s| s.throughput.pixels).sum()
+        );
     }
 
     #[test]

@@ -30,10 +30,10 @@
 
 use crate::placement::{Placement, Static};
 use crate::runtime::StreamRuntime;
-use crate::session::{SessionConfig, SessionReport};
+use crate::session::{SessionConfig, SessionReport, WorkloadMix};
 use pvc_core::{BatchCacheStats, EncoderConfig, DEFAULT_GAZE_CACHE_CAPACITY};
 use pvc_frame::Dimensions;
-use pvc_metrics::{ChurnCounters, SampleSummary, ThroughputReport};
+use pvc_metrics::{ChurnCounters, SampleSummary, ThroughputReport, TierAggregates};
 use serde::{Deserialize, Serialize};
 
 /// Service-wide configuration.
@@ -122,6 +122,10 @@ pub struct ShardReport {
     pub sessions: usize,
     /// Frames this shard encoded.
     pub frames: u64,
+    /// Pixels this shard encoded. Under heterogeneous session profiles
+    /// this — not `frames` — is the comparable per-shard work measure: a
+    /// Vision-class frame costs ~3.3× a Quest-2 frame.
+    pub pixels: u64,
     /// Seconds the worker spent inside the encoder.
     pub busy_seconds: f64,
     /// Wall-clock seconds from shard start to worker exit.
@@ -137,6 +141,15 @@ impl ShardReport {
             return 0.0;
         }
         (self.busy_seconds / self.wall_seconds).clamp(0.0, 1.0)
+    }
+
+    /// The shard's pixel throughput in megapixels per second (0 when no
+    /// wall-clock elapsed).
+    pub fn megapixels_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.pixels as f64 / 1e6 / self.wall_seconds
     }
 }
 
@@ -177,16 +190,50 @@ impl ServiceReport {
     /// construction; including them would drag the mean down whenever
     /// `shards > sessions` and misreport how busy the serving shards were.
     pub fn utilization_summary(&self) -> Option<SampleSummary> {
-        let utilizations: Vec<f64> = self
+        self.serving_shard_summary(ShardReport::utilization)
+    }
+
+    /// Mean/spread of per-shard **pixel throughput** (megapixels per
+    /// second) over the shards that actually served sessions, or `None`
+    /// when no shard did.
+    ///
+    /// This is the spread that stays meaningful when session profiles are
+    /// heterogeneous: two shards can run at the same *utilization* while
+    /// one pushes several times the pixels of the other. A placement
+    /// policy balancing pixel cost should narrow this spread; one
+    /// balancing session counts need not.
+    pub fn pixel_throughput_summary(&self) -> Option<SampleSummary> {
+        self.serving_shard_summary(ShardReport::megapixels_per_second)
+    }
+
+    /// Summarizes `metric` over the shards that served at least one
+    /// session (idle shards sit at 0 by construction and would drag any
+    /// mean down whenever `shards > sessions`).
+    fn serving_shard_summary(&self, metric: impl Fn(&ShardReport) -> f64) -> Option<SampleSummary> {
+        let values: Vec<f64> = self
             .shards
             .iter()
             .filter(|shard| shard.sessions > 0)
-            .map(ShardReport::utilization)
+            .map(metric)
             .collect();
-        if utilizations.is_empty() {
+        if values.is_empty() {
             return None;
         }
-        Some(SampleSummary::of(&utilizations))
+        Some(SampleSummary::of(&values))
+    }
+
+    /// Per-tier totals over the sessions in this report, grouped by
+    /// [`ResolutionTier::name`](crate::ResolutionTier::name). Sessions
+    /// whose reports were handed out by `StreamRuntime::retire` /
+    /// `retire_now` are not represented — record their reports into a
+    /// [`TierAggregates`] of your own for fleet-wide tables (the
+    /// `session_churn` binary does exactly that).
+    pub fn tier_summary(&self) -> TierAggregates {
+        let mut tiers = TierAggregates::new();
+        for session in &self.sessions {
+            tiers.record(session.tier.name(), session.cancelled, &session.throughput);
+        }
+        tiers
     }
 }
 
@@ -249,6 +296,27 @@ impl StreamService {
         for index in first..first + count {
             self.sessions
                 .push(SessionConfig::synthetic(index, dimensions, frames));
+        }
+        first..self.sessions.len()
+    }
+
+    /// Admits `count` synthetic sessions drawn from a heterogeneous
+    /// [`WorkloadMix`] (see [`SessionConfig::synthetic_mixed`]) and
+    /// returns the range of their ids. `dimensions`/`frames` are the
+    /// Quest-2-equivalent base render size and 72 Hz-equivalent frame
+    /// budget each tier scales from.
+    pub fn admit_mixed(
+        &mut self,
+        count: usize,
+        mix: WorkloadMix,
+        dimensions: Dimensions,
+        frames: u32,
+    ) -> std::ops::Range<usize> {
+        let first = self.sessions.len();
+        for index in first..first + count {
+            self.sessions.push(SessionConfig::synthetic_mixed(
+                index, mix, dimensions, frames,
+            ));
         }
         first..self.sessions.len()
     }
@@ -360,23 +428,23 @@ mod tests {
         // documents it.
         let renderer = SceneRenderer::new(
             cfg.scene,
-            SceneConfig::new(cfg.dimensions).with_seed(cfg.seed),
+            SceneConfig::new(cfg.dimensions()).with_seed(cfg.seed),
         );
         let trace = GazeTrace::synthesize(
-            &cfg.gaze_model,
-            cfg.dimensions,
+            &cfg.gaze_model(),
+            cfg.dimensions(),
             cfg.seed ^ GAZE_SEED_SALT,
-            cfg.frames as usize,
+            cfg.frames() as usize,
         );
         let mut encoder = BatchEncoder::new(
             SyntheticDiscriminationModel::default(),
             EncoderConfig::default(),
-            DisplayGeometry::quest2_like(cfg.dimensions),
+            DisplayGeometry::quest2_like(cfg.dimensions()),
         );
         let mut digest = FNV_OFFSET_BASIS;
         let mut expected_payloads = Vec::new();
         let mut expected_bytes_in = 0u64;
-        for t in 0..cfg.frames {
+        for t in 0..cfg.frames() {
             let frame = renderer.render_linear(t);
             let result = encoder.encode_frame_stream(&frame, trace.samples()[t as usize]);
             let bitstream = result.encoded.to_bitstream();
@@ -451,8 +519,43 @@ mod tests {
         assert_eq!(report.churn.admitted, 3);
         assert_eq!(report.churn.completed, 3);
         assert_eq!(report.churn.retired, 0, "run() never retires individually");
+        assert_eq!(report.churn.cancelled, 0, "run() never hard-cancels");
         assert!(report.churn.peak_concurrent >= 1);
         assert_eq!(report.churn.in_flight(), 0);
+    }
+
+    #[test]
+    fn mixed_workloads_report_per_tier_and_pixel_telemetry() {
+        use crate::session::{ResolutionTier, WorkloadMix};
+        let mut service = StreamService::new(ServiceConfig::default().with_shards(2));
+        service.admit_mixed(4, WorkloadMix::Bimodal, tiny_dims(), 2);
+        let report = service.run();
+        assert_eq!(report.sessions.len(), 4);
+
+        let tiers = report.tier_summary();
+        assert_eq!(tiers.len(), 2, "bimodal spans two tiers");
+        let quest2 = &tiers.entries()[0];
+        assert_eq!(quest2.label, ResolutionTier::Quest2.name());
+        assert_eq!(quest2.sessions, 2);
+        assert_eq!(quest2.cancelled, 0);
+        let vision = &tiers.entries()[1];
+        assert_eq!(vision.label, ResolutionTier::VisionClass.name());
+        assert_eq!(vision.sessions, 2);
+        assert!(
+            vision.throughput.pixels > 3 * quest2.throughput.pixels,
+            "per-tier pixel totals must reflect the cost gap"
+        );
+
+        // Per-shard pixel telemetry adds up and yields a spread summary.
+        assert_eq!(
+            report.shards.iter().map(|s| s.pixels).sum::<u64>(),
+            report.totals.pixels
+        );
+        let summary = report
+            .pixel_throughput_summary()
+            .expect("both shards served");
+        assert!(summary.mean > 0.0);
+        assert!(summary.max >= summary.min);
     }
 
     #[test]

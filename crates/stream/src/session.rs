@@ -1,11 +1,20 @@
-//! Session descriptions and per-session results.
+//! Session descriptions, heterogeneous display profiles, workload mixes
+//! and per-session results.
 //!
-//! A *session* is one headset's stream: a display geometry, a scene being
-//! rendered for it, a synthesized gaze trace, and a frame budget. Sessions
-//! are described declaratively ([`SessionConfig`]) so the service can
-//! re-create a session's renderer, trace and encoder inside whichever
-//! shard the session lands on — which is what makes the encoded output
-//! independent of the shard count.
+//! A *session* is one headset's stream. It is described declaratively by a
+//! [`SessionConfig`] — *what content* (scene + seed) rendered under *which
+//! display profile* ([`SessionProfile`]: resolution tier, per-eye render
+//! size, frame budget, gaze model, optional encoder tile size) — so the
+//! service can re-create a session's renderer, trace and encoder inside
+//! whichever shard the session lands on. That is what makes the encoded
+//! output a pure function of `(scene, seed, profile)`, independent of
+//! shard count, placement policy and churn/cancel timing.
+//!
+//! Profiles are what make the serving workload *heterogeneous*: a single
+//! runtime concurrently serves Quest-2-class sessions next to Vision-class
+//! ones whose frames cost ~3.3× the pixels. [`WorkloadMix`] provides the
+//! standard synthetic mixes (uniform / bimodal / heavy-tail) the stream
+//! benchmarks use to exercise cost-aware placement.
 
 use crate::gaze::GazeModel;
 use pvc_core::BatchCacheStats;
@@ -21,42 +30,294 @@ use serde::{Deserialize, Serialize};
 /// argument falls apart.
 pub(crate) const GAZE_SEED_SALT: u64 = 0x6A7E_5EED_0BAD_CAFE;
 
-/// Everything needed to (re)create one headset's stream.
+/// A headset display class, used both as the scaling basis for
+/// heterogeneous render sizes and as the telemetry label per-tier
+/// reporting groups sessions under.
+///
+/// The per-eye panel sizes and refresh rates are the real devices'
+/// (Quest 2: 1832×1920 @ 72 Hz, Quest-Pro-class: 1800×1920 @ 90 Hz,
+/// Vision-class: 3660×3200 @ 96 Hz). Benchmarks rarely render at native
+/// size; [`ResolutionTier::scale`] maps a Quest-2-equivalent base size to
+/// this tier's proportionally scaled size so a scaled-down mix keeps the
+/// real *relative* pixel costs (a Vision-class frame ≈ 3.3× a Quest-2
+/// frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResolutionTier {
+    /// Quest-2 class: 1832×1920 per eye, 72 Hz. The baseline tier.
+    Quest2,
+    /// Quest-Pro class: 1800×1920 per eye, 90 Hz.
+    QuestPro,
+    /// Vision-class: 3660×3200 per eye, 96 Hz — ~3.3× the pixels per
+    /// frame of the baseline tier.
+    VisionClass,
+}
+
+impl ResolutionTier {
+    /// Every tier, from cheapest to most expensive per frame.
+    pub const ALL: [ResolutionTier; 3] = [
+        ResolutionTier::Quest2,
+        ResolutionTier::QuestPro,
+        ResolutionTier::VisionClass,
+    ];
+
+    /// The tier's native per-eye panel resolution.
+    pub fn per_eye(self) -> Dimensions {
+        match self {
+            ResolutionTier::Quest2 => Dimensions::new(1832, 1920),
+            ResolutionTier::QuestPro => Dimensions::new(1800, 1920),
+            ResolutionTier::VisionClass => Dimensions::new(3660, 3200),
+        }
+    }
+
+    /// The tier's display refresh rate in Hz; scales the frame budget a
+    /// fixed-duration session needs.
+    pub fn refresh_hz(self) -> u32 {
+        match self {
+            ResolutionTier::Quest2 => 72,
+            ResolutionTier::QuestPro => 90,
+            ResolutionTier::VisionClass => 96,
+        }
+    }
+
+    /// Short telemetry/CLI label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResolutionTier::Quest2 => "quest2",
+            ResolutionTier::QuestPro => "quest-pro",
+            ResolutionTier::VisionClass => "vision",
+        }
+    }
+
+    /// Scales a Quest-2-equivalent base render size to this tier,
+    /// preserving the tiers' native per-axis ratios (each axis at least
+    /// 1 px). `scale(base)` on [`ResolutionTier::Quest2`] is the identity.
+    pub fn scale(self, base: Dimensions) -> Dimensions {
+        let reference = ResolutionTier::Quest2.per_eye();
+        let native = self.per_eye();
+        let scale_axis = |value: u32, from: u32, to: u32| -> u32 {
+            ((u64::from(value) * u64::from(to)) / u64::from(from)).max(1) as u32
+        };
+        Dimensions::new(
+            scale_axis(base.width, reference.width, native.width),
+            scale_axis(base.height, reference.height, native.height),
+        )
+    }
+
+    /// Scales a 72 Hz-equivalent frame budget to this tier's refresh rate
+    /// (at least 1 frame): a session streaming for the same wall-clock
+    /// duration needs proportionally more frames on a faster display.
+    pub fn frame_budget(self, base_frames: u32) -> u32 {
+        ((u64::from(base_frames) * u64::from(self.refresh_hz())) / 72).max(1) as u32
+    }
+
+    /// The encoder tile size this tier overrides, if any. Vision-class
+    /// displays use 8×8 tiles (double the paper's 4×4 default): at ~2× the
+    /// linear resolution, an 8 px tile covers the same visual angle the
+    /// baseline tier's 4 px tile does.
+    pub fn tile_size(self) -> Option<u32> {
+        match self {
+            ResolutionTier::Quest2 | ResolutionTier::QuestPro => None,
+            ResolutionTier::VisionClass => Some(8),
+        }
+    }
+}
+
+/// The per-session display profile: everything about *how* a session
+/// renders and streams, independent of *what* it shows (scene + seed).
+///
+/// The profile is part of the determinism contract: a session's encoded
+/// stream is a pure function of `(scene, seed, profile)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionProfile {
+    /// The display class, used for tier-scaled sizing and as the label
+    /// per-tier telemetry groups this session under.
+    pub tier: ResolutionTier,
+    /// Per-eye render resolution; also the rendered frame size. May be a
+    /// scaled-down stand-in for the tier's native size (benchmarks) or the
+    /// native size itself.
+    pub dimensions: Dimensions,
+    /// Frame budget: how many frames the session streams to completion
+    /// (hard-cancel can end it earlier).
+    pub frames: u32,
+    /// How this session's gaze moves.
+    pub gaze_model: GazeModel,
+    /// Per-session encoder tile size; `None` uses the service-wide
+    /// encoder configuration unchanged.
+    pub tile_size: Option<u32>,
+}
+
+impl SessionProfile {
+    /// A profile rendering at exactly `dimensions` for `frames` frames,
+    /// labelled as the baseline [`ResolutionTier::Quest2`] tier, with the
+    /// default fixation/saccade gaze model for the display size and no
+    /// tile-size override. The homogeneous-workload building block.
+    pub fn custom(dimensions: Dimensions, frames: u32) -> SessionProfile {
+        SessionProfile {
+            tier: ResolutionTier::Quest2,
+            dimensions,
+            frames,
+            gaze_model: GazeModel::default_for(dimensions),
+            tile_size: None,
+        }
+    }
+
+    /// A profile for `tier`, sized and budgeted relative to a
+    /// Quest-2-equivalent base: render size [`ResolutionTier::scale`]d
+    /// from `base`, frame budget [`ResolutionTier::frame_budget`]-scaled
+    /// from `base_frames` (72 Hz-equivalent), the tier's default tile
+    /// size, and the default gaze model for the scaled display.
+    pub fn for_tier(tier: ResolutionTier, base: Dimensions, base_frames: u32) -> SessionProfile {
+        let dimensions = tier.scale(base);
+        SessionProfile {
+            tier,
+            dimensions,
+            frames: tier.frame_budget(base_frames),
+            gaze_model: GazeModel::default_for(dimensions),
+            tile_size: tier.tile_size(),
+        }
+    }
+
+    /// Returns the profile with a different gaze model.
+    pub fn with_gaze_model(mut self, gaze_model: GazeModel) -> SessionProfile {
+        self.gaze_model = gaze_model;
+        self
+    }
+
+    /// Returns the profile with a different frame budget.
+    pub fn with_frames(mut self, frames: u32) -> SessionProfile {
+        self.frames = frames;
+        self
+    }
+
+    /// Returns the profile with a per-session encoder tile size (`None`
+    /// restores the service-wide default).
+    pub fn with_tile_size(mut self, tile_size: Option<u32>) -> SessionProfile {
+        self.tile_size = tile_size;
+        self
+    }
+
+    /// The profile's per-frame pixel cost — the weight cost-aware
+    /// placement balances across shards.
+    pub fn pixel_cost(&self) -> u64 {
+        self.dimensions.pixel_count() as u64
+    }
+}
+
+/// A synthetic population mix over the resolution tiers.
+///
+/// The mix decides which [`ResolutionTier`] the `index`-th synthetic
+/// session gets; everything else about the session still comes from
+/// [`SessionConfig::synthetic_mixed`]. Uniform is the homogeneous
+/// baseline; bimodal and heavy-tail are the shapes under which
+/// session-count-balancing placement visibly mis-routes pixel load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadMix {
+    /// Every session is Quest-2 class (the homogeneous baseline).
+    Uniform,
+    /// Alternating Quest-2 / Vision-class sessions: half the fleet costs
+    /// ~3.3× the other half per frame.
+    Bimodal,
+    /// Mostly Quest-2, a quarter Quest-Pro, one Vision-class whale per
+    /// eight sessions.
+    HeavyTail,
+}
+
+impl WorkloadMix {
+    /// Every mix, in CLI-listing order.
+    pub const ALL: [WorkloadMix; 3] = [
+        WorkloadMix::Uniform,
+        WorkloadMix::Bimodal,
+        WorkloadMix::HeavyTail,
+    ];
+
+    /// CLI/report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadMix::Uniform => "uniform",
+            WorkloadMix::Bimodal => "bimodal",
+            WorkloadMix::HeavyTail => "heavy-tail",
+        }
+    }
+
+    /// Parses a CLI label (`uniform` / `bimodal` / `heavy-tail`).
+    pub fn from_name(name: &str) -> Option<WorkloadMix> {
+        WorkloadMix::ALL.into_iter().find(|mix| mix.name() == name)
+    }
+
+    /// The tier the `index`-th synthetic session of this mix gets.
+    pub fn tier_for(self, index: usize) -> ResolutionTier {
+        match self {
+            WorkloadMix::Uniform => ResolutionTier::Quest2,
+            WorkloadMix::Bimodal => {
+                if index % 2 == 0 {
+                    ResolutionTier::Quest2
+                } else {
+                    ResolutionTier::VisionClass
+                }
+            }
+            WorkloadMix::HeavyTail => match index % 8 {
+                0 => ResolutionTier::VisionClass,
+                1 | 2 => ResolutionTier::QuestPro,
+                _ => ResolutionTier::Quest2,
+            },
+        }
+    }
+}
+
+/// Everything needed to (re)create one headset's stream: *what* is shown
+/// (scene + seed) and *how* it renders and streams (the profile).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionConfig {
     /// The scene rendered for this headset.
     pub scene: SceneId,
-    /// Per-eye display resolution; also the rendered frame size.
-    pub dimensions: Dimensions,
-    /// Number of frames the session streams.
-    pub frames: u32,
     /// Seed for both the scene's animation content and the gaze trace.
     pub seed: u64,
-    /// How this session's gaze moves.
-    pub gaze_model: GazeModel,
+    /// The display/streaming profile.
+    pub profile: SessionProfile,
 }
 
 impl SessionConfig {
-    /// A synthetic session for load generation: scene dealt round-robin
-    /// from the catalogue by `index`, a seed derived from `index`, and the
-    /// default fixation/saccade gaze model for the display size.
-    pub fn synthetic(index: usize, dimensions: Dimensions, frames: u32) -> SessionConfig {
+    /// Creates a session from its three determinism-relevant parts.
+    pub fn new(scene: SceneId, seed: u64, profile: SessionProfile) -> SessionConfig {
         SessionConfig {
-            scene: SceneId::by_index(index),
-            dimensions,
-            frames,
-            // SplitMix64-style dispersion so neighbouring indices get
-            // unrelated scene/gaze randomness.
-            seed: (index as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(0x5EED_CAFE),
-            gaze_model: GazeModel::default_for(dimensions),
+            scene,
+            seed,
+            profile,
         }
+    }
+
+    /// A synthetic session for load generation: scene dealt round-robin
+    /// from the catalogue by `index`, a seed derived from `index`, and a
+    /// homogeneous [`SessionProfile::custom`] profile at `dimensions`.
+    pub fn synthetic(index: usize, dimensions: Dimensions, frames: u32) -> SessionConfig {
+        SessionConfig::new(
+            SceneId::by_index(index),
+            synthetic_seed(index),
+            SessionProfile::custom(dimensions, frames),
+        )
+    }
+
+    /// A synthetic session drawn from a [`WorkloadMix`]: like
+    /// [`Self::synthetic`], but the profile is
+    /// [`SessionProfile::for_tier`] for the tier the mix deals to
+    /// `index`, with `base`/`base_frames` as the Quest-2-equivalent
+    /// render size and 72 Hz-equivalent frame budget.
+    pub fn synthetic_mixed(
+        index: usize,
+        mix: WorkloadMix,
+        base: Dimensions,
+        base_frames: u32,
+    ) -> SessionConfig {
+        SessionConfig::new(
+            SceneId::by_index(index),
+            synthetic_seed(index),
+            SessionProfile::for_tier(mix.tier_for(index), base, base_frames),
+        )
     }
 
     /// Returns the session with a different gaze model.
     pub fn with_gaze_model(mut self, gaze_model: GazeModel) -> SessionConfig {
-        self.gaze_model = gaze_model;
+        self.profile.gaze_model = gaze_model;
         self
     }
 
@@ -65,6 +326,41 @@ impl SessionConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns the session with a different profile.
+    pub fn with_profile(mut self, profile: SessionProfile) -> SessionConfig {
+        self.profile = profile;
+        self
+    }
+
+    /// Per-eye render resolution (from the profile).
+    pub fn dimensions(&self) -> Dimensions {
+        self.profile.dimensions
+    }
+
+    /// Frame budget (from the profile).
+    pub fn frames(&self) -> u32 {
+        self.profile.frames
+    }
+
+    /// Gaze model (from the profile).
+    pub fn gaze_model(&self) -> GazeModel {
+        self.profile.gaze_model
+    }
+
+    /// Per-frame pixel cost (from the profile) — what cost-aware placement
+    /// weighs this session by.
+    pub fn pixel_cost(&self) -> u64 {
+        self.profile.pixel_cost()
+    }
+}
+
+/// SplitMix64-style dispersion so neighbouring indices get unrelated
+/// scene/gaze randomness.
+fn synthetic_seed(index: usize) -> u64 {
+    (index as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x5EED_CAFE)
 }
 
 /// What one session's stream produced, as observed by the service.
@@ -74,11 +370,18 @@ pub struct SessionReport {
     pub session: usize,
     /// The scene the session streamed.
     pub scene: SceneId,
+    /// The session's resolution tier (per-tier telemetry groups by this).
+    pub tier: ResolutionTier,
     /// Shard the session was routed to.
     pub shard: usize,
-    /// Frame/byte totals. `wall_seconds` is the session's own elapsed
-    /// stream time — from its first frame's encode start to its last
-    /// frame's encode end — so per-session `frames_per_second()` and
+    /// True when the stream was hard-cancelled
+    /// ([`crate::StreamRuntime::retire_now`]): the session ended before
+    /// its frame budget and `throughput` covers only the frames actually
+    /// encoded.
+    pub cancelled: bool,
+    /// Frame/byte/pixel totals. `wall_seconds` is the session's own
+    /// elapsed stream time — from its first frame's encode start to its
+    /// last frame's encode end — so per-session `frames_per_second()` and
     /// `output_megabits_per_second()` are meaningful (and non-zero for any
     /// session that encoded at least one frame). Because sessions share a
     /// shard worker, the time includes waiting between the session's own
@@ -122,6 +425,10 @@ mod tests {
         assert_eq!(g.scene, a.scene, "index 6 wraps back to the first scene");
         assert_ne!(a.seed, g.seed, "same scene, different content");
         assert_ne!(a.seed, b.seed);
+        assert_eq!(a.profile.tier, ResolutionTier::Quest2);
+        assert_eq!(a.dimensions(), dims);
+        assert_eq!(a.frames(), 10);
+        assert_eq!(a.pixel_cost(), 64 * 64);
     }
 
     #[test]
@@ -131,7 +438,110 @@ mod tests {
             .with_seed(77)
             .with_gaze_model(GazeModel::pursuit(2.0));
         assert_eq!(s.seed, 77);
-        assert_eq!(s.gaze_model, GazeModel::pursuit(2.0));
+        assert_eq!(s.gaze_model(), GazeModel::pursuit(2.0));
+        let p = SessionProfile::custom(dims, 5)
+            .with_frames(9)
+            .with_tile_size(Some(8));
+        let s = s.with_profile(p);
+        assert_eq!(s.frames(), 9);
+        assert_eq!(s.profile.tile_size, Some(8));
+    }
+
+    #[test]
+    fn tier_scaling_preserves_relative_pixel_cost() {
+        let base = Dimensions::new(96, 96);
+        let quest2 = ResolutionTier::Quest2.scale(base);
+        assert_eq!(quest2, base, "the baseline tier is the identity");
+        let vision = ResolutionTier::VisionClass.scale(base);
+        let ratio = (vision.pixel_count() as f64) / (base.pixel_count() as f64);
+        let native_ratio = ResolutionTier::VisionClass.per_eye().pixel_count() as f64
+            / ResolutionTier::Quest2.per_eye().pixel_count() as f64;
+        assert!(
+            (ratio - native_ratio).abs() / native_ratio < 0.05,
+            "scaled pixel ratio {ratio:.2} should track the native {native_ratio:.2}"
+        );
+        // Tiny bases never collapse to zero-size frames.
+        let tiny = ResolutionTier::QuestPro.scale(Dimensions::new(1, 1));
+        assert!(tiny.width >= 1 && tiny.height >= 1);
+    }
+
+    #[test]
+    fn frame_budgets_scale_with_refresh_rate() {
+        assert_eq!(ResolutionTier::Quest2.frame_budget(12), 12);
+        assert_eq!(ResolutionTier::QuestPro.frame_budget(12), 15, "90/72 Hz");
+        assert_eq!(ResolutionTier::VisionClass.frame_budget(12), 16, "96/72 Hz");
+        assert_eq!(
+            ResolutionTier::Quest2.frame_budget(0),
+            1,
+            "budgets are at least one frame"
+        );
+    }
+
+    #[test]
+    fn for_tier_profiles_carry_tier_defaults() {
+        let base = Dimensions::new(96, 96);
+        let vision = SessionProfile::for_tier(ResolutionTier::VisionClass, base, 12);
+        assert_eq!(vision.tile_size, Some(8));
+        assert_eq!(vision.frames, 16);
+        assert_eq!(
+            vision.gaze_model,
+            GazeModel::default_for(vision.dimensions),
+            "gaze magnitudes follow the scaled display, not the base"
+        );
+        let quest2 = SessionProfile::for_tier(ResolutionTier::Quest2, base, 12);
+        assert_eq!(quest2.tile_size, None);
+        assert!(vision.pixel_cost() > 3 * quest2.pixel_cost());
+    }
+
+    #[test]
+    fn mixes_deal_the_documented_tier_sequences() {
+        assert!((0..16).all(|i| WorkloadMix::Uniform.tier_for(i) == ResolutionTier::Quest2));
+        let bimodal: Vec<ResolutionTier> =
+            (0..4).map(|i| WorkloadMix::Bimodal.tier_for(i)).collect();
+        assert_eq!(
+            bimodal,
+            [
+                ResolutionTier::Quest2,
+                ResolutionTier::VisionClass,
+                ResolutionTier::Quest2,
+                ResolutionTier::VisionClass,
+            ]
+        );
+        let heavy: Vec<ResolutionTier> =
+            (0..8).map(|i| WorkloadMix::HeavyTail.tier_for(i)).collect();
+        assert_eq!(heavy[0], ResolutionTier::VisionClass, "one whale per eight");
+        assert_eq!(heavy[1], ResolutionTier::QuestPro);
+        assert_eq!(heavy[2], ResolutionTier::QuestPro);
+        assert!(heavy[3..].iter().all(|&t| t == ResolutionTier::Quest2));
+        // A heavy-tail population of eight spans all three tiers.
+        assert_eq!(
+            (0..8)
+                .map(|i| WorkloadMix::HeavyTail.tier_for(i).name())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn mix_names_round_trip() {
+        for mix in WorkloadMix::ALL {
+            assert_eq!(WorkloadMix::from_name(mix.name()), Some(mix));
+        }
+        assert_eq!(WorkloadMix::from_name("gaussian"), None);
+    }
+
+    #[test]
+    fn synthetic_mixed_sessions_share_seeds_with_uniform_ones() {
+        // The mix only moves the profile: scene and seed stay a function
+        // of the index, so mixed and uniform rosters are comparable.
+        let base = Dimensions::new(96, 96);
+        let uniform = SessionConfig::synthetic(5, base, 10);
+        let mixed = SessionConfig::synthetic_mixed(5, WorkloadMix::Bimodal, base, 10);
+        assert_eq!(uniform.scene, mixed.scene);
+        assert_eq!(uniform.seed, mixed.seed);
+        assert_eq!(mixed.profile.tier, ResolutionTier::VisionClass);
+        assert!(mixed.pixel_cost() > 3 * uniform.pixel_cost());
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //! * [`core`] — the perceptual color adjustment algorithm and frame encoder,
 //! * [`hw`] — the CAU hardware, DRAM energy and power-saving models,
 //! * [`metrics`] — PSNR, error statistics and throughput telemetry,
-//! * [`stream`] — the multi-session streaming service with gaze-trace
-//!   synthesis and sharded scheduling,
+//! * [`stream`] — the multi-session streaming runtime with gaze-trace
+//!   synthesis, heterogeneous session profiles (resolution tiers,
+//!   per-session frame budgets), cost-aware placement and hard-cancel
+//!   retirement,
 //! * [`study`] — the simulated psychophysical user study.
 //!
 //! # Quickstart
@@ -70,8 +72,11 @@ pub mod prelude {
     pub use pvc_fovea::{DisplayGeometry, EccentricityMap, FoveaConfig, GazePoint, StereoGeometry};
     pub use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, TileGrid};
     pub use pvc_hw::{CauModel, DramConfig, PowerModel, RefreshRate};
-    pub use pvc_metrics::{QualityReport, ThroughputReport};
+    pub use pvc_metrics::{QualityReport, ThroughputReport, TierAggregates};
     pub use pvc_scenes::{SceneConfig, SceneId, SceneRenderer};
-    pub use pvc_stream::{GazeModel, GazeTrace, ServiceConfig, SessionConfig, StreamService};
+    pub use pvc_stream::{
+        GazeModel, GazeTrace, LeastLoaded, PowerOfTwoChoices, ResolutionTier, ServiceConfig,
+        SessionConfig, SessionProfile, StreamRuntime, StreamService, WorkloadMix,
+    };
     pub use pvc_study::{SceneTrial, StudyConfig, UserStudy};
 }
