@@ -96,6 +96,22 @@ impl BitWriter {
         self.bits_written
     }
 
+    /// The packed bytes written so far (the final byte is zero-padded).
+    ///
+    /// Together with [`Self::clear`] this lets one writer serve a whole
+    /// stream of frames: clear, write, read the bytes, repeat — no
+    /// per-frame buffer allocation.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Empties the writer for reuse, keeping the byte buffer's capacity.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.bit_pos = 0;
+        self.bits_written = 0;
+    }
+
     /// Finishes the stream and returns the packed bytes (the final byte is
     /// zero-padded).
     pub fn finish(self) -> Vec<u8> {
@@ -203,6 +219,24 @@ mod tests {
             BitstreamError::UnexpectedEnd { requested: 8, .. }
         ));
         assert!(err.to_string().contains("unexpected end"));
+    }
+
+    #[test]
+    fn cleared_writer_produces_identical_bytes_without_reallocating() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xABCD, 16);
+        w.write_bits(0b101, 3);
+        let first = w.as_bytes().to_vec();
+        assert_eq!(w.finish(), first);
+
+        let mut reused = BitWriter::new();
+        for _ in 0..3 {
+            reused.clear();
+            reused.write_bits(0xABCD, 16);
+            reused.write_bits(0b101, 3);
+            assert_eq!(reused.as_bytes(), first.as_slice());
+            assert_eq!(reused.bits_written(), 19);
+        }
     }
 
     #[test]

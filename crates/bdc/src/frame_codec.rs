@@ -70,12 +70,12 @@ impl BdEncoder {
     /// (1 = sequential). Tiles are independent and emitted in tile order,
     /// so the encoded frame is bit-identical for every thread count.
     ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
+    /// A thread count of 0 is normalized to 1 (sequential). This is the
+    /// single normalization point for the knob: callers no longer need
+    /// scattered `.max(1)` guards around struct-literal or deserialized
+    /// configurations.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be non-zero");
-        self.threads = threads;
+        self.threads = threads.max(1);
         self
     }
 
@@ -93,15 +93,81 @@ impl BdEncoder {
     pub fn encode_frame(&self, frame: &SrgbFrame) -> BdEncodedFrame {
         let grid = TileGrid::new(frame.dimensions(), self.config.tile_size);
         let tile_rects: Vec<_> = grid.tiles().collect();
-        let tiles: Vec<TileEncoding> =
-            pvc_parallel::parallel_map(&tile_rects, self.threads, |&tile| {
-                encode_tile(&frame.tile_pixels(tile))
-            });
+        // One tile-pixel gather buffer per worker, not one per tile.
+        let tiles: Vec<TileEncoding> = pvc_parallel::parallel_map_init(
+            &tile_rects,
+            self.threads,
+            Vec::new,
+            |gather: &mut Vec<Srgb8>, &tile| {
+                frame.tile_pixels_into(tile, gather);
+                encode_tile(gather)
+            },
+        );
         BdEncodedFrame {
             dimensions: frame.dimensions(),
             tile_size: self.config.tile_size,
             tiles,
         }
+    }
+
+    /// Stream-mode encode: packs the frame's complete bitstream —
+    /// bit-identical to `self.encode_frame(frame).to_bitstream()` —
+    /// directly into the caller-provided `writer` (cleared first), without
+    /// materializing a [`BdEncodedFrame`] or any per-tile vectors.
+    ///
+    /// `gather` is the caller's reusable tile-pixel buffer; once both have
+    /// warmed up to the frame's tile size and bitstream length, the encode
+    /// performs no allocation at all. This is the per-frame hot path of a
+    /// streaming session, where the per-tile `TileEncoding` structure (a
+    /// `Vec` of deltas per channel per tile — hundreds of thousands of
+    /// heap round-trips per Vision-class frame) is pure overhead: the
+    /// session ships bytes, not tile structs.
+    ///
+    /// With more than one worker thread, tile encodings are produced in
+    /// parallel first (bit packing is inherently sequential) and then
+    /// serialized; the bytes are identical, the allocation-free property
+    /// only holds for the sequential path.
+    ///
+    /// Returns the same statistics `encode_frame(frame).stats()` would.
+    pub fn encode_frame_into(
+        &self,
+        frame: &SrgbFrame,
+        writer: &mut BitWriter,
+        gather: &mut Vec<Srgb8>,
+    ) -> CompressionStats {
+        if self.threads > 1 {
+            let encoded = self.encode_frame(frame);
+            writer.clear();
+            encoded.write_bitstream(writer);
+            return encoded.stats();
+        }
+        let grid = TileGrid::new(frame.dimensions(), self.config.tile_size);
+        writer.clear();
+        writer.write_bits(frame.dimensions().width, 16);
+        writer.write_bits(frame.dimensions().height, 16);
+        writer.write_bits(self.config.tile_size, 16);
+        let mut breakdown = SizeBreakdown::ZERO;
+        for tile in grid.tiles() {
+            frame.tile_pixels_into(tile, gather);
+            for channel in 0..3 {
+                let (min, max) = crate::tile_codec::channel_range(gather, channel);
+                let delta_bits = crate::tile_codec::bits_for_range(max - min);
+                writer.write_bits(u32::from(min), crate::tile_codec::BASE_BITS as u32);
+                writer.write_bits(
+                    u32::from(delta_bits),
+                    crate::tile_codec::METADATA_BITS as u32,
+                );
+                for p in gather.iter() {
+                    writer.write_bits(u32::from(p.channel(channel) - min), u32::from(delta_bits));
+                }
+                breakdown += SizeBreakdown {
+                    base_bits: crate::tile_codec::BASE_BITS,
+                    metadata_bits: crate::tile_codec::METADATA_BITS,
+                    delta_bits: u64::from(delta_bits) * gather.len() as u64,
+                };
+            }
+        }
+        CompressionStats::from_breakdown(frame.dimensions().pixel_count(), breakdown)
     }
 }
 
@@ -157,6 +223,13 @@ impl BdEncodedFrame {
     /// deltas (delta_bits each)`.
     pub fn to_bitstream(&self) -> Vec<u8> {
         let mut w = BitWriter::new();
+        self.write_bitstream(&mut w);
+        w.finish()
+    }
+
+    /// Appends the frame's bitstream (header plus tiles, the layout of
+    /// [`Self::to_bitstream`]) to a caller-provided writer.
+    pub fn write_bitstream(&self, w: &mut BitWriter) {
         w.write_bits(self.dimensions.width, 16);
         w.write_bits(self.dimensions.height, 16);
         w.write_bits(self.tile_size, 16);
@@ -169,7 +242,6 @@ impl BdEncodedFrame {
                 }
             }
         }
-        w.finish()
     }
 
     /// Parses a bitstream produced by [`Self::to_bitstream`].
@@ -364,9 +436,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_threads_panics() {
-        let _ = BdEncoder::default().with_threads(0);
+    fn zero_threads_normalizes_to_sequential() {
+        // The single normalization point for the knob: a struct-literal or
+        // deserialized 0 means sequential, not a panic.
+        assert_eq!(BdEncoder::default().with_threads(0).threads(), 1);
+        assert_eq!(BdEncoder::default().with_threads(3).threads(), 3);
+    }
+
+    #[test]
+    fn encode_frame_into_matches_the_materialized_path() {
+        let frames = [
+            random_frame(24, 16, 5),
+            smooth_frame(61, 47),
+            random_frame(13, 9, 21),
+        ];
+        let mut writer = crate::BitWriter::new();
+        let mut gather = Vec::new();
+        for frame in &frames {
+            for tile_size in [4, 7] {
+                let encoder = BdEncoder::new(BdConfig::with_tile_size(tile_size));
+                let encoded = encoder.encode_frame(frame);
+                let stats = encoder.encode_frame_into(frame, &mut writer, &mut gather);
+                assert_eq!(writer.as_bytes(), encoded.to_bitstream().as_slice());
+                assert_eq!(stats, encoded.stats());
+            }
+        }
+    }
+
+    #[test]
+    fn encode_frame_into_is_thread_count_invariant() {
+        let frame = random_frame(40, 28, 77);
+        let mut writer = crate::BitWriter::new();
+        let mut gather = Vec::new();
+        let sequential_stats =
+            BdEncoder::new(BdConfig::default()).encode_frame_into(&frame, &mut writer, &mut gather);
+        let sequential_bytes = writer.as_bytes().to_vec();
+        for threads in [2, 4] {
+            let stats = BdEncoder::new(BdConfig::default())
+                .with_threads(threads)
+                .encode_frame_into(&frame, &mut writer, &mut gather);
+            assert_eq!(writer.as_bytes(), sequential_bytes.as_slice());
+            assert_eq!(stats, sequential_stats);
+        }
     }
 
     #[test]

@@ -94,20 +94,34 @@ impl TileEncoding {
 pub fn encode_tile(pixels: &[Srgb8]) -> TileEncoding {
     assert!(!pixels.is_empty(), "cannot encode an empty tile");
     let channels = std::array::from_fn(|c| {
-        let values: Vec<u8> = pixels.iter().map(|p| p.channel(c)).collect();
-        let min = *values.iter().min().expect("non-empty");
-        let max = *values.iter().max().expect("non-empty");
-        let delta_bits = bits_for_range(max - min);
+        let (min, max) = channel_range(pixels, c);
         ChannelEncoding {
             base: min,
-            delta_bits,
-            deltas: values.iter().map(|&v| v - min).collect(),
+            delta_bits: bits_for_range(max - min),
+            deltas: pixels.iter().map(|p| p.channel(c) - min).collect(),
         }
     });
     TileEncoding {
         channels,
         pixel_count: pixels.len(),
     }
+}
+
+/// The `(min, max)` code values of one channel over a tile.
+///
+/// # Panics
+///
+/// Panics if `pixels` is empty.
+pub(crate) fn channel_range(pixels: &[Srgb8], channel: usize) -> (u8, u8) {
+    assert!(!pixels.is_empty(), "cannot encode an empty tile");
+    let mut min = u8::MAX;
+    let mut max = u8::MIN;
+    for p in pixels {
+        let v = p.channel(channel);
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
 }
 
 /// Decodes a tile back into sRGB pixels. BD is numerically lossless, so this

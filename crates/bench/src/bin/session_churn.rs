@@ -24,6 +24,7 @@ use pvc_bench::assert_session_rates;
 use pvc_bench::cli::{
     exit_with_usage, mix_option, placement_option, ArgSpec, CliError, ParsedArgs,
 };
+use pvc_bench::json::{self, Json};
 use pvc_frame::Dimensions;
 use pvc_metrics::TierAggregates;
 use pvc_stream::{ServiceConfig, SessionConfig, SessionReport, StreamRuntime, WorkloadMix};
@@ -43,6 +44,7 @@ const SPEC: ArgSpec = ArgSpec {
         "--placement",
         "--mix",
         "--hard-cancel",
+        "--json",
     ],
 };
 
@@ -50,7 +52,8 @@ const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
                      [--queue-depth N] [--width PX] [--height PX] \
                      [--waves N] [--churn N] \
                      [--placement static|p2c|least-loaded] \
-                     [--mix uniform|bimodal|heavy-tail] [--hard-cancel N]";
+                     [--mix uniform|bimodal|heavy-tail] [--hard-cancel N] \
+                     [--json PATH]";
 
 /// The workload, after applying the preset and any explicit overrides.
 struct RunConfig {
@@ -212,6 +215,7 @@ fn main() {
         );
     }
 
+    let placement_name = runtime.placement_name();
     let report = runtime.shutdown();
 
     let mut all_sessions: Vec<&SessionReport> =
@@ -219,7 +223,7 @@ fn main() {
     all_sessions.sort_by_key(|session| session.session);
     println!("\nsession  scene      tier       shard  frames     kB out    fps   hit-rate");
     let mut tiers = TierAggregates::new();
-    for session in all_sessions {
+    for session in &all_sessions {
         assert_session_rates(session);
         tiers.record(session.tier.name(), session.cancelled, &session.throughput);
         println!(
@@ -313,4 +317,41 @@ fn main() {
         "cancellation telemetry must match the reports handed out"
     );
     assert!(totals.frames_per_second() > 0.0);
+
+    if let Some(path) = parsed.value("--json") {
+        // Unlike the service report, the JSON covers the whole fleet:
+        // retire()/retire_now() handed those reports over for good.
+        let document = json::service_report_json(
+            "session_churn",
+            vec![
+                ("sessions".to_string(), config.sessions.into()),
+                ("frames".to_string(), u64::from(config.frames).into()),
+                ("shards".to_string(), config.shards.into()),
+                ("queue_depth".to_string(), config.queue_depth.into()),
+                (
+                    "width".to_string(),
+                    u64::from(config.dimensions.width).into(),
+                ),
+                (
+                    "height".to_string(),
+                    u64::from(config.dimensions.height).into(),
+                ),
+                ("waves".to_string(), config.waves.into()),
+                ("churn".to_string(), config.churn.into()),
+                ("hard_cancels".to_string(), config.hard_cancels.into()),
+                ("placement".to_string(), placement_name.into()),
+                ("mix".to_string(), config.mix.name().into()),
+                ("quick".to_string(), Json::Bool(parsed.has("--quick"))),
+            ],
+            &all_sessions,
+            &report,
+        );
+        match json::write_json(std::path::Path::new(path), &document) {
+            Ok(()) => println!("\n(json written to {path})"),
+            Err(err) => {
+                eprintln!("error: could not write json to {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -17,9 +17,10 @@
 use pvc_bench::cli::{
     exit_with_usage, mix_option, placement_option, ArgSpec, CliError, ParsedArgs,
 };
+use pvc_bench::json::{self, Json};
 use pvc_frame::Dimensions;
 use pvc_metrics::TierAggregates;
-use pvc_stream::{ServiceConfig, StreamService};
+use pvc_stream::{ServiceConfig, SessionReport, StreamService};
 
 const SPEC: ArgSpec = ArgSpec {
     flags: &["--quick"],
@@ -32,13 +33,14 @@ const SPEC: ArgSpec = ArgSpec {
         "--height",
         "--placement",
         "--mix",
+        "--json",
     ],
 };
 
 const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
                      [--queue-depth N] [--width PX] [--height PX] \
                      [--placement static|p2c|least-loaded] \
-                     [--mix uniform|bimodal|heavy-tail]";
+                     [--mix uniform|bimodal|heavy-tail] [--json PATH]";
 
 /// The workload, after applying the preset and any explicit overrides.
 struct RunConfig {
@@ -118,6 +120,7 @@ fn main() {
             .with_queue_depth(config.queue_depth),
     );
     service.admit_mixed(config.sessions, mix, config.dimensions, config.frames);
+    let placement_name = placement.name();
     let report = service.run_with_placement(placement);
 
     println!("session  scene      tier       frames     kB out    fps   hit-rate");
@@ -209,5 +212,38 @@ fn main() {
             pixel_rate.max,
             pixel_rate.max - pixel_rate.min,
         );
+    }
+
+    if let Some(path) = parsed.value("--json") {
+        let sessions: Vec<&SessionReport> = report.sessions.iter().collect();
+        let document = json::service_report_json(
+            "stream_throughput",
+            vec![
+                ("sessions".to_string(), config.sessions.into()),
+                ("frames".to_string(), u64::from(config.frames).into()),
+                ("shards".to_string(), config.shards.into()),
+                ("queue_depth".to_string(), config.queue_depth.into()),
+                (
+                    "width".to_string(),
+                    u64::from(config.dimensions.width).into(),
+                ),
+                (
+                    "height".to_string(),
+                    u64::from(config.dimensions.height).into(),
+                ),
+                ("placement".to_string(), placement_name.into()),
+                ("mix".to_string(), mix.name().into()),
+                ("quick".to_string(), Json::Bool(parsed.has("--quick"))),
+            ],
+            &sessions,
+            &report,
+        );
+        match json::write_json(std::path::Path::new(path), &document) {
+            Ok(()) => println!("\n(json written to {path})"),
+            Err(err) => {
+                eprintln!("error: could not write json to {path}: {err}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -28,6 +28,7 @@
 pub mod cli;
 pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod report;
 
 pub use figures::{

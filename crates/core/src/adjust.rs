@@ -161,16 +161,78 @@ fn clamp_step_to_gamut(origin: Vec3, direction: Vec3, t: f64) -> f64 {
     limit * sign
 }
 
-/// Adjusts one tile along a single axis.
+/// Reusable buffers for per-tile adjustment: the tile's gathered pixels
+/// and ellipsoids (filled by the caller) plus the per-axis working buffers
+/// (extrema, candidate and best-so-far pixel sets) the adjustment cycles
+/// through internally.
 ///
-/// # Panics
-///
-/// Panics if `pixels` and `ellipsoids` have different lengths or are empty.
-pub fn adjust_tile_along_axis(
+/// One scratch serves an unbounded stream of tiles: every buffer is
+/// cleared, never shrunk, so after the first few tiles the hot loop of
+/// [`adjust_tile_with`] performs no allocation at all. Per-frame encoding
+/// threads one scratch per *worker* through the tile fan-out (see
+/// `pvc_parallel::parallel_chunk_map_init`), and streaming sessions keep
+/// one alive for their whole lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct AdjustScratch {
+    /// The tile's pixels, gathered by the caller (row-major).
+    pub pixels: Vec<LinearRgb>,
+    /// One discrimination ellipsoid per pixel, built by the caller.
+    pub ellipsoids: Vec<DiscriminationEllipsoid>,
+    extrema: Vec<AxisExtrema>,
+    candidate: Vec<LinearRgb>,
+    best: Vec<LinearRgb>,
+}
+
+impl AdjustScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        AdjustScratch::default()
+    }
+
+    /// The winning adjusted pixels of the most recent
+    /// [`adjust_tile_with`] call.
+    pub fn best(&self) -> &[LinearRgb] {
+        &self.best
+    }
+
+    /// Clears and refills `ellipsoids` with `f` applied to each gathered
+    /// pixel.
+    pub fn build_ellipsoids(&mut self, f: impl FnMut(LinearRgb) -> DiscriminationEllipsoid) {
+        self.ellipsoids.clear();
+        self.ellipsoids.extend(self.pixels.iter().copied().map(f));
+    }
+}
+
+/// The metadata of a scratch-based tile adjustment ([`adjust_tile_with`]);
+/// the winning pixels themselves stay in the scratch's
+/// [`best`](AdjustScratch::best) buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileAdjustOutcome {
+    /// The winning axis.
+    pub axis: RgbAxis,
+    /// Which geometric case the winning attempt fell into.
+    pub case: AdjustmentCase,
+    /// The winning attempt's HL plane value.
+    pub hl: f64,
+    /// The winning attempt's LH plane value.
+    pub lh: f64,
+    /// Δ bit cost of the original (unadjusted) tile.
+    pub original_cost: u64,
+    /// Δ bit cost of the pixels left in the scratch's `best` buffer.
+    pub adjusted_cost: u64,
+}
+
+/// Adjusts one tile along a single axis, writing the adjusted pixels into
+/// a caller-provided buffer (cleared first) and returning the case and
+/// plane values. The scratch-path core shared by [`adjust_tile_along_axis`]
+/// and [`adjust_tile_with`].
+fn axis_adjust_into(
     pixels: &[LinearRgb],
     ellipsoids: &[DiscriminationEllipsoid],
     axis: RgbAxis,
-) -> AxisAdjustment {
+    extrema: &mut Vec<AxisExtrema>,
+    out: &mut Vec<LinearRgb>,
+) -> (AdjustmentCase, f64, f64) {
     assert_eq!(
         pixels.len(),
         ellipsoids.len(),
@@ -179,10 +241,8 @@ pub fn adjust_tile_along_axis(
     assert!(!pixels.is_empty(), "cannot adjust an empty tile");
 
     // Phase 1: per-pixel extrema (the Compute Extrema blocks of the CAU).
-    let extrema: Vec<AxisExtrema> = ellipsoids
-        .iter()
-        .map(|e| e.extrema_along_axis(axis))
-        .collect();
+    extrema.clear();
+    extrema.extend(ellipsoids.iter().map(|e| e.extrema_along_axis(axis)));
 
     // Phase 2: HL / LH reduction (the Compute Planes blocks).
     let hl = extrema
@@ -195,34 +255,50 @@ pub fn adjust_tile_along_axis(
         .fold(f64::INFINITY, f64::min);
 
     // Phase 3: color shifts (the Color Shift blocks).
-    let (case, adjusted) = if hl <= lh {
+    out.clear();
+    let case = if hl <= lh {
         // Case 2: collapse every color onto the average plane.
         let plane = 0.5 * (hl + lh);
-        let adjusted = pixels
-            .iter()
-            .zip(&extrema)
-            .map(|(&p, ext)| move_along_extrema(p, ext, axis, plane))
-            .collect();
-        (AdjustmentCase::CommonPlane, adjusted)
+        out.extend(
+            pixels
+                .iter()
+                .zip(extrema.iter())
+                .map(|(&p, ext)| move_along_extrema(p, ext, axis, plane)),
+        );
+        AdjustmentCase::CommonPlane
     } else {
         // Case 1: clamp the axis values into [LH, HL].
-        let adjusted = pixels
-            .iter()
-            .zip(&extrema)
-            .map(|(&p, ext)| {
-                let value = p.channel(axis.index());
-                if value > hl {
-                    move_along_extrema(p, ext, axis, hl)
-                } else if value < lh {
-                    move_along_extrema(p, ext, axis, lh)
-                } else {
-                    p
-                }
-            })
-            .collect();
-        (AdjustmentCase::NoCommonPlane, adjusted)
+        out.extend(pixels.iter().zip(extrema.iter()).map(|(&p, ext)| {
+            let value = p.channel(axis.index());
+            if value > hl {
+                move_along_extrema(p, ext, axis, hl)
+            } else if value < lh {
+                move_along_extrema(p, ext, axis, lh)
+            } else {
+                p
+            }
+        }));
+        AdjustmentCase::NoCommonPlane
     };
+    (case, hl, lh)
+}
 
+/// Adjusts one tile along a single axis.
+///
+/// Allocates the result buffers per call; hot loops should prefer
+/// [`adjust_tile_with`] with a reused [`AdjustScratch`].
+///
+/// # Panics
+///
+/// Panics if `pixels` and `ellipsoids` have different lengths or are empty.
+pub fn adjust_tile_along_axis(
+    pixels: &[LinearRgb],
+    ellipsoids: &[DiscriminationEllipsoid],
+    axis: RgbAxis,
+) -> AxisAdjustment {
+    let mut extrema = Vec::new();
+    let mut adjusted = Vec::new();
+    let (case, hl, lh) = axis_adjust_into(pixels, ellipsoids, axis, &mut extrema, &mut adjusted);
     AxisAdjustment {
         axis,
         case,
@@ -232,8 +308,66 @@ pub fn adjust_tile_along_axis(
     }
 }
 
+/// Adjusts the tile held in `scratch` (its `pixels` / `ellipsoids`
+/// buffers) by trying every candidate axis and keeping the attempt with
+/// the smallest Δ bit cost. The winning pixels land in
+/// [`AdjustScratch::best`]; only metadata is returned.
+///
+/// Bit-identical to [`adjust_tile`] on the same inputs — the scratch only
+/// changes where the intermediate buffers live, never a single computed
+/// value. Ties between axes resolve to the first axis tried, matching
+/// `Iterator::min_by_key`.
+///
+/// # Panics
+///
+/// Panics if `axes` is empty, or if the scratch's `pixels` and
+/// `ellipsoids` have different lengths or are empty.
+pub fn adjust_tile_with(scratch: &mut AdjustScratch, axes: &[RgbAxis]) -> TileAdjustOutcome {
+    assert!(
+        !axes.is_empty(),
+        "at least one optimization axis is required"
+    );
+    let AdjustScratch {
+        pixels,
+        ellipsoids,
+        extrema,
+        candidate,
+        best,
+    } = scratch;
+    let original_cost = delta_bit_cost(pixels);
+    let mut chosen: Option<TileAdjustOutcome> = None;
+    for &axis in axes {
+        let (case, hl, lh) = axis_adjust_into(pixels, ellipsoids, axis, extrema, candidate);
+        let adjusted_cost = delta_bit_cost(candidate);
+        // Strict `<` keeps the first minimal axis, like min_by_key.
+        if chosen.map_or(true, |c| adjusted_cost < c.adjusted_cost) {
+            std::mem::swap(candidate, best);
+            chosen = Some(TileAdjustOutcome {
+                axis,
+                case,
+                hl,
+                lh,
+                original_cost,
+                adjusted_cost,
+            });
+        }
+    }
+    let mut outcome = chosen.expect("axes is non-empty");
+    // Never regress: if the adjustment does not help (e.g. everything was
+    // clamped by the gamut), keep the original pixels.
+    if outcome.adjusted_cost >= original_cost {
+        best.clear();
+        best.extend_from_slice(pixels);
+        outcome.adjusted_cost = original_cost;
+    }
+    outcome
+}
+
 /// Adjusts one tile by trying every candidate axis and keeping the attempt
 /// with the smallest Δ bit cost (Fig. 7: "pick the one with smaller Δ").
+///
+/// Allocates fresh buffers per call; hot loops should prefer
+/// [`adjust_tile_with`] with a reused [`AdjustScratch`].
 ///
 /// # Panics
 ///
@@ -244,34 +378,19 @@ pub fn adjust_tile(
     ellipsoids: &[DiscriminationEllipsoid],
     axes: &[RgbAxis],
 ) -> TileAdjustment {
-    assert!(
-        !axes.is_empty(),
-        "at least one optimization axis is required"
-    );
-    let original_cost = delta_bit_cost(pixels);
-    let chosen = axes
-        .iter()
-        .map(|&axis| adjust_tile_along_axis(pixels, ellipsoids, axis))
-        .min_by_key(AxisAdjustment::delta_bit_cost)
-        .expect("axes is non-empty");
-    // Never regress: if the adjustment does not help (e.g. everything was
-    // clamped by the gamut), keep the original pixels.
-    if chosen.delta_bit_cost() >= original_cost {
-        TileAdjustment {
-            chosen: AxisAdjustment {
-                axis: chosen.axis,
-                case: chosen.case,
-                adjusted: pixels.to_vec(),
-                hl: chosen.hl,
-                lh: chosen.lh,
-            },
-            original_cost,
-        }
-    } else {
-        TileAdjustment {
-            chosen,
-            original_cost,
-        }
+    let mut scratch = AdjustScratch::new();
+    scratch.pixels.extend_from_slice(pixels);
+    scratch.ellipsoids.extend_from_slice(ellipsoids);
+    let outcome = adjust_tile_with(&mut scratch, axes);
+    TileAdjustment {
+        chosen: AxisAdjustment {
+            axis: outcome.axis,
+            case: outcome.case,
+            adjusted: std::mem::take(&mut scratch.best),
+            hl: outcome.hl,
+            lh: outcome.lh,
+        },
+        original_cost: outcome.original_cost,
     }
 }
 
@@ -413,6 +532,52 @@ mod tests {
             let result = adjust_tile(&pixels, &ellipsoids, &RgbAxis::OPTIMIZED);
             assert!(result.chosen.delta_bit_cost() <= result.original_cost);
         }
+    }
+
+    #[test]
+    fn scratch_adjustment_is_bit_identical_to_the_allocating_path() {
+        let mut scratch = AdjustScratch::new();
+        for (pixels, ecc) in [
+            (similar_tile(), 25.0),
+            (diverse_tile(), 10.0),
+            (similar_tile(), 2.0),
+            (vec![LinearRgb::new(0.3, 0.4, 0.5)], 15.0),
+        ] {
+            let ellipsoids = ellipsoids_for(&pixels, ecc);
+            let expected = adjust_tile(&pixels, &ellipsoids, &RgbAxis::OPTIMIZED);
+            // The scratch arrives dirty from the previous tile on purpose.
+            scratch.pixels.clear();
+            scratch.pixels.extend_from_slice(&pixels);
+            scratch.build_ellipsoids(|p| SyntheticDiscriminationModel::default().ellipsoid(p, ecc));
+            let outcome = adjust_tile_with(&mut scratch, &RgbAxis::OPTIMIZED);
+            assert_eq!(scratch.best(), expected.adjusted_pixels());
+            assert_eq!(outcome.axis, expected.chosen.axis);
+            assert_eq!(outcome.case, expected.chosen.case);
+            assert_eq!(outcome.hl, expected.chosen.hl);
+            assert_eq!(outcome.lh, expected.chosen.lh);
+            assert_eq!(outcome.original_cost, expected.original_cost);
+            assert_eq!(outcome.adjusted_cost, expected.chosen.delta_bit_cost());
+        }
+    }
+
+    #[test]
+    fn scratch_no_regress_keeps_the_original_pixels() {
+        // Near-zero ellipsoids leave no room to improve: the scratch path
+        // must fall back to the original pixels, exactly like adjust_tile.
+        let pixels = diverse_tile();
+        let model = SyntheticDiscriminationModel::default();
+        let mut scratch = AdjustScratch::new();
+        scratch.pixels.extend_from_slice(&pixels);
+        scratch.build_ellipsoids(|p| model.ellipsoid(p, 0.01));
+        let outcome = adjust_tile_with(&mut scratch, &RgbAxis::OPTIMIZED);
+        let ellipsoids = ellipsoids_for(&pixels, 0.01);
+        let expected = adjust_tile(&pixels, &ellipsoids, &RgbAxis::OPTIMIZED);
+        assert_eq!(scratch.best(), expected.adjusted_pixels());
+        assert_eq!(outcome.adjusted_cost, expected.chosen.delta_bit_cost());
+        assert!(
+            outcome.adjusted_cost <= outcome.original_cost,
+            "the no-regress guard must hold"
+        );
     }
 
     #[test]

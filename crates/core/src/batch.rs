@@ -16,7 +16,9 @@
 //! stream is bit-identical to calling the one-shot encoder per frame.
 
 use crate::config::EncoderConfig;
-use crate::encoder::{PerceptualEncodeResult, PerceptualEncoder, StreamEncodeResult};
+use crate::encoder::{
+    PerceptualEncodeResult, PerceptualEncoder, StreamEncodeResult, StreamFrameStats, StreamScratch,
+};
 use pvc_color::DiscriminationModel;
 use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
 use pvc_frame::{LinearFrame, TileGrid};
@@ -176,6 +178,36 @@ impl<M: DiscriminationModel + Sync> BatchEncoder<M> {
         );
         let map = self.map_for(gaze);
         self.encoder.encode_frame_stream_with_map(frame, &map)
+    }
+
+    /// Stream-mode encode through caller-provided scratch: like
+    /// [`Self::encode_frame_stream`], but the BD bitstream is packed
+    /// straight into `out` (bit-identical to the `encoded.to_bitstream()`
+    /// of the other paths) and every intermediate lives in `scratch`.
+    ///
+    /// On a cache-hitting gaze this is the allocation-free serving path: a
+    /// session that keeps one [`StreamScratch`] and one output buffer
+    /// across its stream allocates nothing per steady-state frame (pinned
+    /// by the `alloc_regression` tier-2 test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame and display dimensions differ.
+    pub fn encode_frame_stream_into(
+        &mut self,
+        frame: &LinearFrame,
+        gaze: GazePoint,
+        scratch: &mut StreamScratch,
+        out: &mut Vec<u8>,
+    ) -> StreamFrameStats {
+        assert_eq!(
+            frame.dimensions(),
+            self.display.dimensions(),
+            "frame and display dimensions must match"
+        );
+        let map = self.map_for(gaze);
+        self.encoder
+            .encode_frame_stream_with_map_into(frame, &map, scratch, out)
     }
 
     /// Encodes a whole gaze-stream, returning one result per frame.
@@ -369,6 +401,31 @@ mod tests {
         // Both paths drive the same cache.
         assert_eq!(stream.cache_stats(), full.cache_stats());
         assert_eq!(stream.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn scratch_session_stream_matches_the_allocating_session_stream() {
+        let dims = Dimensions::new(96, 64);
+        let mut allocating = session(dims);
+        let mut scratch_session = session(dims);
+        let mut scratch = StreamScratch::new();
+        let mut bitstream = Vec::new();
+        let gazes = [
+            GazePoint::center_of(dims),
+            GazePoint::new(10.0, 12.0),
+            GazePoint::center_of(dims),
+        ];
+        for (frame, gaze) in frames(dims, 3).iter().zip(gazes) {
+            let expected = allocating.encode_frame_stream(frame, gaze);
+            let stats =
+                scratch_session.encode_frame_stream_into(frame, gaze, &mut scratch, &mut bitstream);
+            assert_eq!(bitstream, expected.encoded.to_bitstream());
+            assert_eq!(stats.adjustment, expected.stats);
+            assert_eq!(stats.compression, expected.our_stats());
+        }
+        // Both paths drive the same gaze cache.
+        assert_eq!(scratch_session.cache_stats(), allocating.cache_stats());
+        assert_eq!(scratch_session.cache_stats().hits, 1);
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub struct EncoderConfig {
     /// smaller Δ cost wins. The paper uses Blue and Red.
     pub axes: Vec<RgbAxis>,
     /// Number of worker threads for frame encoding (1 = sequential).
+    ///
+    /// A struct-literal (or deserialized) 0 is normalized to 1 at encoder
+    /// construction — `PerceptualEncoder::new` and `BdEncoder::with_threads`
+    /// are the single normalization points; no call site needs a `.max(1)`
+    /// guard.
     pub threads: usize,
 }
 

@@ -1,12 +1,12 @@
 //! The full-frame perceptual encoder.
 
-use crate::adjust::{adjust_tile, AdjustmentCase};
+use crate::adjust::{adjust_tile_with, AdjustScratch, AdjustmentCase};
 use crate::config::EncoderConfig;
 use crate::stats::AdjustmentStats;
-use pvc_bdc::{BdConfig, BdEncodedFrame, BdEncoder, CompressionStats};
-use pvc_color::{DiscriminationModel, LinearRgb};
+use pvc_bdc::{BdConfig, BdEncodedFrame, BdEncoder, BitWriter, CompressionStats};
+use pvc_color::{DiscriminationModel, LinearRgb, Srgb8};
 use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
-use pvc_frame::{LinearFrame, SrgbFrame, TileGrid, TileRect};
+use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, TileGrid, TileRect};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
@@ -35,12 +35,21 @@ enum TileOutcome {
 pub struct PerceptualEncoder<M> {
     model: M,
     config: EncoderConfig,
+    /// The BD back-end, built once at construction rather than per frame.
+    bd: BdEncoder,
 }
 
 impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
     /// Creates an encoder from a discrimination model and a configuration.
-    pub fn new(model: M, config: EncoderConfig) -> Self {
-        PerceptualEncoder { model, config }
+    ///
+    /// `config.threads` is normalized here, in one place: the public field
+    /// permits 0 via a struct literal (or deserialization), which means
+    /// sequential — the encoder never needs a thread-count guard again.
+    pub fn new(model: M, mut config: EncoderConfig) -> Self {
+        config.threads = config.threads.max(1);
+        let bd =
+            BdEncoder::new(BdConfig::with_tile_size(config.tile_size)).with_threads(config.threads);
+        PerceptualEncoder { model, config, bd }
     }
 
     /// The encoder configuration.
@@ -99,6 +108,36 @@ impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
         frame: &LinearFrame,
         eccentricity: &EccentricityMap,
     ) -> (LinearFrame, AdjustmentStats) {
+        let mut adjusted = LinearFrame::filled(Dimensions::new(1, 1), LinearRgb::BLACK);
+        let mut scratch = AdjustScratch::new();
+        let stats =
+            self.adjust_frame_with_map_into(frame, eccentricity, &mut scratch, &mut adjusted);
+        (adjusted, stats)
+    }
+
+    /// Like [`Self::adjust_frame_with_map`], but writes the adjusted frame
+    /// into a caller-provided buffer and runs the per-tile machinery out
+    /// of a caller-provided [`AdjustScratch`] — the steady-state
+    /// allocation-free form of the adjustment.
+    ///
+    /// Bit-identical to `adjust_frame_with_map` on the same inputs. With
+    /// `threads <= 1` every tile is adjusted in place through the scratch
+    /// (no allocation once the buffers are warm); the parallel path gets
+    /// one scratch per worker via
+    /// [`pvc_parallel::parallel_chunk_map_init`] and only allocates the
+    /// per-tile result pixels it has to send across threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map does not match the frame and encoder
+    /// configuration.
+    pub fn adjust_frame_with_map_into(
+        &self,
+        frame: &LinearFrame,
+        eccentricity: &EccentricityMap,
+        scratch: &mut AdjustScratch,
+        out: &mut LinearFrame,
+    ) -> AdjustmentStats {
         let grid = TileGrid::new(frame.dimensions(), self.config.tile_size);
         assert_eq!(
             eccentricity.tile_size(),
@@ -110,47 +149,82 @@ impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
             (grid.tiles_x(), grid.tiles_y()),
             "eccentricity map must cover the frame's tile grid"
         );
-        let tiles: Vec<TileRect> = grid.tiles().collect();
+        out.clone_from(frame);
+        let mut stats = AdjustmentStats {
+            total_tiles: grid.tile_count(),
+            ..Default::default()
+        };
 
-        let outcomes =
-            pvc_parallel::parallel_chunk_map(&tiles, self.config.threads, |tile_batch| {
+        if self.config.threads <= 1 {
+            // Sequential: adjust straight through the caller's scratch and
+            // write each winning tile into `out` — no per-tile allocation.
+            for tile in grid.tiles() {
+                if eccentricity.is_foveal_tile(tile) {
+                    stats.foveal_tiles += 1;
+                    continue;
+                }
+                let case = self.adjust_tile_into_scratch(frame, eccentricity, tile, scratch);
+                stats.record_case(case);
+                out.write_tile(tile, scratch.best());
+            }
+            return stats;
+        }
+
+        // Parallel: one scratch per worker; only the winning pixels of
+        // each adjusted tile cross the thread boundary.
+        let tiles: Vec<TileRect> = grid.tiles().collect();
+        let outcomes = pvc_parallel::parallel_chunk_map_init(
+            &tiles,
+            self.config.threads,
+            AdjustScratch::new,
+            |worker_scratch, tile_batch| {
                 tile_batch
                     .iter()
                     .map(|&tile| {
                         if eccentricity.is_foveal_tile(tile) {
                             return TileOutcome::Foveal;
                         }
-                        let pixels = frame.tile_pixels(tile);
-                        let ecc = eccentricity.tile_eccentricity(tile);
-                        let ellipsoids: Vec<_> = pixels
-                            .iter()
-                            .map(|&p| self.model.ellipsoid(p, ecc))
-                            .collect();
-                        let adjustment = adjust_tile(&pixels, &ellipsoids, &self.config.axes);
+                        let case = self.adjust_tile_into_scratch(
+                            frame,
+                            eccentricity,
+                            tile,
+                            worker_scratch,
+                        );
                         TileOutcome::Adjusted {
                             tile,
-                            case: adjustment.chosen.case,
-                            pixels: adjustment.chosen.adjusted,
+                            case,
+                            pixels: worker_scratch.best().to_vec(),
                         }
                     })
                     .collect()
-            });
-
-        let mut adjusted = frame.clone();
-        let mut stats = AdjustmentStats {
-            total_tiles: tiles.len(),
-            ..Default::default()
-        };
+            },
+        );
         for outcome in outcomes {
             match outcome {
                 TileOutcome::Foveal => stats.foveal_tiles += 1,
                 TileOutcome::Adjusted { tile, pixels, case } => {
                     stats.record_case(case);
-                    adjusted.write_tile(tile, &pixels);
+                    out.write_tile(tile, &pixels);
                 }
             }
         }
-        (adjusted, stats)
+        stats
+    }
+
+    /// Gathers one (non-foveal) tile into the scratch, builds its
+    /// ellipsoids and adjusts it; the winning pixels land in
+    /// `scratch.best()`.
+    fn adjust_tile_into_scratch(
+        &self,
+        frame: &LinearFrame,
+        eccentricity: &EccentricityMap,
+        tile: TileRect,
+        scratch: &mut AdjustScratch,
+    ) -> AdjustmentCase {
+        frame.tile_pixels_into(tile, &mut scratch.pixels);
+        let ecc = eccentricity.tile_eccentricity(tile);
+        scratch.build_ellipsoids(|p| self.model.ellipsoid(p, ecc));
+        adjust_tile_with(scratch, &self.config.axes).case
     }
 
     /// Runs the complete pipeline of Fig. 7: adjust colors, gamma-encode to
@@ -225,11 +299,45 @@ impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
         self.bd_encode_stream(adjusted_linear, stats)
     }
 
-    fn bd_encoder(&self) -> BdEncoder {
-        BdEncoder::new(BdConfig::with_tile_size(self.config.tile_size))
-            // The public `threads` field allows 0 (struct literal bypasses the
-            // with_threads assert); treat it as sequential like adjust_frame does.
-            .with_threads(self.config.threads.max(1))
+    /// Stream-mode encode through caller-provided scratch: adjusts the
+    /// frame, gamma-encodes it and packs the BD bitstream straight into
+    /// `out` — bit-identical to
+    /// [`Self::encode_frame_stream_with_map`]'s `encoded.to_bitstream()`
+    /// — returning only the per-frame statistics.
+    ///
+    /// Every intermediate (adjusted frame, sRGB frame, tile buffers, bit
+    /// packing) lives in `scratch`, so once the buffers are warm a
+    /// sequential encoder performs **zero** steady-state allocation per
+    /// frame. This is the per-frame hot path of a streaming session
+    /// (`pvc_stream` shard workers call it through
+    /// `BatchEncoder::encode_frame_stream_into`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map does not match the frame and encoder configuration.
+    pub fn encode_frame_stream_with_map_into(
+        &self,
+        frame: &LinearFrame,
+        eccentricity: &EccentricityMap,
+        scratch: &mut StreamScratch,
+        out: &mut Vec<u8>,
+    ) -> StreamFrameStats {
+        let adjustment = self.adjust_frame_with_map_into(
+            frame,
+            eccentricity,
+            &mut scratch.adjust,
+            &mut scratch.adjusted,
+        );
+        scratch.adjusted.to_srgb_into(&mut scratch.srgb);
+        let compression =
+            self.bd
+                .encode_frame_into(&scratch.srgb, &mut scratch.writer, &mut scratch.gather);
+        out.clear();
+        out.extend_from_slice(scratch.writer.as_bytes());
+        StreamFrameStats {
+            adjustment,
+            compression,
+        }
     }
 
     fn bd_encode(
@@ -238,16 +346,15 @@ impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
         adjusted_linear: LinearFrame,
         stats: AdjustmentStats,
     ) -> PerceptualEncodeResult {
-        let bd = self.bd_encoder();
         let original = frame.to_srgb();
         let adjusted = adjusted_linear.to_srgb();
-        let encoded = bd.encode_frame(&adjusted);
+        let encoded = self.bd.encode_frame(&adjusted);
         PerceptualEncodeResult {
             original,
             adjusted,
             encoded,
             baseline: OnceLock::new(),
-            bd_threads: self.config.threads.max(1),
+            bd_threads: self.config.threads,
             stats,
         }
     }
@@ -258,13 +365,64 @@ impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
         stats: AdjustmentStats,
     ) -> StreamEncodeResult {
         let adjusted = adjusted_linear.to_srgb();
-        let encoded = self.bd_encoder().encode_frame(&adjusted);
+        let encoded = self.bd.encode_frame(&adjusted);
         StreamEncodeResult {
             adjusted,
             encoded,
             stats,
         }
     }
+}
+
+/// Reusable per-session state for the scratch stream-encode path
+/// ([`PerceptualEncoder::encode_frame_stream_with_map_into`] /
+/// `BatchEncoder::encode_frame_stream_into`): the tile adjustment
+/// buffers, the adjusted frame in both color spaces, the BD tile gather
+/// buffer and the bitstream writer.
+///
+/// Buffers grow to the session's frame size on the first frame and are
+/// reused verbatim afterwards, so session lifetime — not frame count —
+/// bounds the allocations. One scratch may serve sessions of different
+/// frame sizes back to back (a shard worker does exactly that); buffers
+/// simply warm up to the largest size seen.
+#[derive(Debug, Clone)]
+pub struct StreamScratch {
+    adjust: AdjustScratch,
+    adjusted: LinearFrame,
+    srgb: SrgbFrame,
+    writer: BitWriter,
+    gather: Vec<Srgb8>,
+}
+
+impl Default for StreamScratch {
+    fn default() -> Self {
+        StreamScratch {
+            adjust: AdjustScratch::new(),
+            // Placeholder frames; the first encode resizes them.
+            adjusted: LinearFrame::filled(Dimensions::new(1, 1), LinearRgb::BLACK),
+            srgb: SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default()),
+            writer: BitWriter::new(),
+            gather: Vec::new(),
+        }
+    }
+}
+
+impl StreamScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        StreamScratch::default()
+    }
+}
+
+/// Per-frame telemetry of the scratch stream-encode path: everything a
+/// serving pipeline records about a frame, with the payload bytes
+/// delivered separately through the caller's output buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamFrameStats {
+    /// Per-tile adjustment statistics (the paper's case distribution).
+    pub adjustment: AdjustmentStats,
+    /// Compression statistics of the emitted BD bitstream.
+    pub compression: CompressionStats,
 }
 
 /// Everything produced by one invocation of the perceptual encoder.
@@ -318,8 +476,10 @@ impl PerceptualEncodeResult {
     /// lifetime of the result.
     pub fn baseline(&self) -> &BdEncodedFrame {
         self.baseline.get_or_init(|| {
+            // A deserialized result has bd_threads 0 (serde skip), which
+            // with_threads normalizes to sequential.
             BdEncoder::new(BdConfig::with_tile_size(self.encoded.tile_size()))
-                .with_threads(self.bd_threads.max(1))
+                .with_threads(self.bd_threads)
                 .encode_frame(&self.original)
         })
     }
@@ -542,6 +702,50 @@ mod tests {
                 full.our_stats().compressed_bits
             );
         }
+    }
+
+    #[test]
+    fn scratch_stream_encode_is_bit_identical_to_the_allocating_path() {
+        let mut scratch = StreamScratch::new();
+        let mut bitstream = Vec::new();
+        // One scratch across scenes and gazes, arriving dirty each time.
+        for (scene, gaze) in [
+            (SceneId::Office, GazePoint::new(40.0, 30.0)),
+            (SceneId::Skyline, GazePoint::new(-5.0, 200.0)),
+            (SceneId::Dumbo, GazePoint::new(64.0, 48.0)),
+        ] {
+            let frame = test_frame(scene);
+            let display = DisplayGeometry::quest2_like(frame.dimensions());
+            let enc = encoder();
+            let expected = enc.encode_frame_stream(&frame, &display, gaze);
+            let grid = TileGrid::new(frame.dimensions(), enc.config().tile_size);
+            let map = EccentricityMap::per_tile(&display, &grid, gaze, enc.config().fovea);
+            let stats =
+                enc.encode_frame_stream_with_map_into(&frame, &map, &mut scratch, &mut bitstream);
+            assert_eq!(bitstream, expected.encoded.to_bitstream());
+            assert_eq!(stats.adjustment, expected.stats);
+            assert_eq!(stats.compression, expected.our_stats());
+        }
+    }
+
+    #[test]
+    fn scratch_stream_encode_matches_across_thread_counts() {
+        let frame = test_frame(SceneId::Monkey);
+        let display = DisplayGeometry::quest2_like(frame.dimensions());
+        let gaze = GazePoint::center_of(frame.dimensions());
+        let mut reference = Vec::new();
+        let mut parallel = Vec::new();
+        for (threads, out) in [(1usize, &mut reference), (4, &mut parallel)] {
+            let enc = PerceptualEncoder::new(
+                SyntheticDiscriminationModel::default(),
+                EncoderConfig::default().with_threads(threads),
+            );
+            let grid = TileGrid::new(frame.dimensions(), enc.config().tile_size);
+            let map = EccentricityMap::per_tile(&display, &grid, gaze, enc.config().fovea);
+            let mut scratch = StreamScratch::new();
+            enc.encode_frame_stream_with_map_into(&frame, &map, &mut scratch, out);
+        }
+        assert_eq!(reference, parallel);
     }
 
     #[test]

@@ -61,10 +61,13 @@ pub mod stats;
 
 pub use ablation::{run_ablation, AblationResult, AblationVariant};
 pub use adjust::{
-    adjust_tile, adjust_tile_along_axis, AdjustmentCase, AxisAdjustment, TileAdjustment,
+    adjust_tile, adjust_tile_along_axis, adjust_tile_with, AdjustScratch, AdjustmentCase,
+    AxisAdjustment, TileAdjustOutcome, TileAdjustment,
 };
 pub use batch::{BatchCacheStats, BatchEncoder, DEFAULT_GAZE_CACHE_CAPACITY};
 pub use config::EncoderConfig;
-pub use encoder::{PerceptualEncodeResult, PerceptualEncoder, StreamEncodeResult};
+pub use encoder::{
+    PerceptualEncodeResult, PerceptualEncoder, StreamEncodeResult, StreamFrameStats, StreamScratch,
+};
 pub use solver::IterativeSolver;
 pub use stats::AdjustmentStats;

@@ -189,17 +189,51 @@ macro_rules! impl_frame_common {
 
             /// Extracts the pixels of a tile in row-major order.
             ///
+            /// Allocates a fresh buffer per call; hot loops should prefer
+            /// [`Self::tile_pixels_into`] with a reused buffer.
+            ///
             /// # Panics
             ///
             /// Panics if the tile extends outside the frame.
             pub fn tile_pixels(&self, tile: TileRect) -> Vec<$pixel> {
-                let mut out = Vec::with_capacity((tile.width * tile.height) as usize);
-                for dy in 0..tile.height {
-                    for dx in 0..tile.width {
-                        out.push(self.pixel(tile.x + dx, tile.y + dy));
-                    }
-                }
+                let mut out = Vec::new();
+                self.tile_pixels_into(tile, &mut out);
                 out
+            }
+
+            /// Extracts the pixels of a tile in row-major order into a
+            /// caller-provided buffer, clearing it first.
+            ///
+            /// The buffer's capacity is reused across calls, so a tile loop
+            /// that recycles one buffer performs no steady-state allocation
+            /// — the hot-path twin of [`Self::tile_pixels`]. The contents
+            /// are exactly what `tile_pixels` returns, including clipped
+            /// edge tiles.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the tile extends outside the frame.
+            pub fn tile_pixels_into(&self, tile: TileRect, out: &mut Vec<$pixel>) {
+                assert!(
+                    tile.x + tile.width <= self.dimensions.width
+                        && tile.y + tile.height <= self.dimensions.height,
+                    "tile extends outside the frame"
+                );
+                out.clear();
+                out.reserve(tile.pixel_count());
+                let width = self.dimensions.width as usize;
+                for dy in 0..tile.height as usize {
+                    let row_start = (tile.y as usize + dy) * width + tile.x as usize;
+                    out.extend_from_slice(&self.pixels[row_start..row_start + tile.width as usize]);
+                }
+            }
+
+            /// Resets the frame to the given dimensions with every pixel set
+            /// to `fill`, reusing the existing pixel buffer's capacity.
+            pub fn reset(&mut self, dimensions: Dimensions, fill: $pixel) {
+                self.dimensions = dimensions;
+                self.pixels.clear();
+                self.pixels.resize(dimensions.pixel_count(), fill);
             }
 
             /// Writes a tile's pixels (row-major, as produced by
@@ -227,10 +261,27 @@ macro_rules! impl_frame_common {
 }
 
 /// A frame stored in the 8-bit sRGB encoding (what the framebuffer holds).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SrgbFrame {
     dimensions: Dimensions,
     pixels: Vec<Srgb8>,
+}
+
+/// `clone_from` reuses the destination's pixel buffer (no allocation once
+/// its capacity covers the source), so per-frame outputs can be recycled
+/// across a stream.
+impl Clone for SrgbFrame {
+    fn clone(&self) -> Self {
+        SrgbFrame {
+            dimensions: self.dimensions,
+            pixels: self.pixels.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.dimensions = source.dimensions;
+        self.pixels.clone_from(&source.pixels);
+    }
 }
 
 impl_frame_common!(SrgbFrame, Srgb8, "sRGB pixel");
@@ -252,10 +303,27 @@ impl SrgbFrame {
 }
 
 /// A frame stored in linear RGB (the space where color adjustment happens).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct LinearFrame {
     dimensions: Dimensions,
     pixels: Vec<LinearRgb>,
+}
+
+/// `clone_from` reuses the destination's pixel buffer (no allocation once
+/// its capacity covers the source), so the encoder's adjusted-frame
+/// scratch can be recycled across a stream.
+impl Clone for LinearFrame {
+    fn clone(&self) -> Self {
+        LinearFrame {
+            dimensions: self.dimensions,
+            pixels: self.pixels.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.dimensions = source.dimensions;
+        self.pixels.clone_from(&source.pixels);
+    }
 }
 
 impl_frame_common!(LinearFrame, LinearRgb, "linear RGB pixel");
@@ -267,6 +335,15 @@ impl LinearFrame {
             dimensions: self.dimensions,
             pixels: self.pixels.iter().map(|p| p.to_srgb8()).collect(),
         }
+    }
+
+    /// Gamma-encodes into a caller-provided sRGB frame, reusing its pixel
+    /// buffer. Produces exactly [`Self::to_srgb`]'s result without the
+    /// per-frame allocation.
+    pub fn to_srgb_into(&self, out: &mut SrgbFrame) {
+        out.dimensions = self.dimensions;
+        out.pixels.clear();
+        out.pixels.extend(self.pixels.iter().map(|p| p.to_srgb8()));
     }
 
     /// Clamps every pixel into the `[0, 1]` gamut.
@@ -361,6 +438,81 @@ mod tests {
         }
         let roundtrip = f.to_linear().to_srgb();
         assert_eq!(roundtrip, f);
+    }
+
+    #[test]
+    fn tile_pixels_into_matches_tile_pixels_and_reuses_capacity() {
+        let d = Dimensions::new(13, 9);
+        let mut f = SrgbFrame::filled(d, Srgb8::default());
+        for (i, p) in f.pixels_mut().iter_mut().enumerate() {
+            *p = Srgb8::new((i % 251) as u8, (i % 13) as u8, (i % 7) as u8);
+        }
+        let grid = TileGrid::new(d, 4);
+        let mut buffer = Vec::new();
+        for tile in grid.tiles() {
+            f.tile_pixels_into(tile, &mut buffer);
+            assert_eq!(buffer, f.tile_pixels(tile));
+        }
+        // The buffer has seen the largest tile; further extractions must
+        // not grow it.
+        let capacity = buffer.capacity();
+        for tile in grid.tiles() {
+            f.tile_pixels_into(tile, &mut buffer);
+        }
+        assert_eq!(buffer.capacity(), capacity);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile extends outside the frame")]
+    fn tile_pixels_into_rejects_out_of_bounds_tiles() {
+        let f = SrgbFrame::filled(Dimensions::new(8, 8), Srgb8::default());
+        let mut buffer = Vec::new();
+        f.tile_pixels_into(
+            TileRect {
+                x: 6,
+                y: 0,
+                width: 4,
+                height: 4,
+            },
+            &mut buffer,
+        );
+    }
+
+    #[test]
+    fn clone_from_reuses_the_pixel_buffer() {
+        let big = LinearFrame::filled(Dimensions::new(16, 16), LinearRgb::new(0.1, 0.2, 0.3));
+        let small = LinearFrame::filled(Dimensions::new(4, 4), LinearRgb::new(0.9, 0.8, 0.7));
+        let mut target = big.clone();
+        let capacity = target.pixels.capacity();
+        target.clone_from(&small);
+        assert_eq!(target, small);
+        assert_eq!(target.dimensions(), small.dimensions());
+        // Shrinking keeps the old capacity; growing back needs none either.
+        assert_eq!(target.pixels.capacity(), capacity);
+        target.clone_from(&big);
+        assert_eq!(target, big);
+        assert_eq!(target.pixels.capacity(), capacity);
+    }
+
+    #[test]
+    fn reset_resizes_and_fills() {
+        let mut f = SrgbFrame::filled(Dimensions::new(2, 2), Srgb8::new(1, 2, 3));
+        f.reset(Dimensions::new(3, 2), Srgb8::new(9, 9, 9));
+        assert_eq!(f.dimensions(), Dimensions::new(3, 2));
+        assert!(f.pixels().iter().all(|&p| p == Srgb8::new(9, 9, 9)));
+    }
+
+    #[test]
+    fn to_srgb_into_matches_to_srgb() {
+        let d = Dimensions::new(5, 3);
+        let mut f = LinearFrame::filled(d, LinearRgb::BLACK);
+        for (i, p) in f.pixels_mut().iter_mut().enumerate() {
+            let t = i as f64 / 14.0;
+            *p = LinearRgb::new(t, 1.0 - t, 0.5 * t);
+        }
+        let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+        f.to_srgb_into(&mut out);
+        assert_eq!(out, f.to_srgb());
     }
 
     #[test]

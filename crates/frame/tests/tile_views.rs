@@ -1,0 +1,88 @@
+//! Property tests pinning the borrowed tile views to the allocating API.
+//!
+//! The zero-allocation encode path reads tiles through
+//! `tile_pixels_into` and recycles frames through `clone_from` /
+//! `to_srgb_into`; each of those must be observationally identical to the
+//! allocating original across arbitrary dimensions and tile sizes —
+//! including the clipped edge tiles of non-multiple frames.
+
+use proptest::prelude::*;
+use pvc_color::{LinearRgb, Srgb8};
+use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, TileGrid};
+
+fn arb_srgb_frame() -> impl Strategy<Value = SrgbFrame> {
+    (1u32..40, 1u32..40, any::<u64>()).prop_map(|(width, height, seed)| {
+        let dims = Dimensions::new(width, height);
+        // A cheap deterministic pixel pattern; content just has to vary.
+        let pixels = (0..dims.pixel_count())
+            .map(|i| {
+                let v = (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(i as u64 * 0x85EB);
+                Srgb8::new((v >> 16) as u8, (v >> 8) as u8, v as u8)
+            })
+            .collect();
+        SrgbFrame::from_pixels(dims, pixels).expect("sized correctly")
+    })
+}
+
+fn arb_linear_frame() -> impl Strategy<Value = LinearFrame> {
+    (1u32..24, 1u32..24, any::<u64>()).prop_map(|(width, height, seed)| {
+        let dims = Dimensions::new(width, height);
+        let pixels = (0..dims.pixel_count())
+            .map(|i| {
+                let v = seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D);
+                let unit = |shift: u32| ((v >> shift) & 0xFFFF) as f64 / 65535.0;
+                LinearRgb::new(unit(0), unit(16), unit(32))
+            })
+            .collect();
+        LinearFrame::from_pixels(dims, pixels).expect("sized correctly")
+    })
+}
+
+proptest! {
+    #[test]
+    fn borrowed_tile_views_match_tile_pixels(
+        frame in arb_srgb_frame(),
+        tile_size in 1u32..9,
+    ) {
+        let grid = TileGrid::new(frame.dimensions(), tile_size);
+        let mut buffer = Vec::new();
+        for tile in grid.tiles() {
+            frame.tile_pixels_into(tile, &mut buffer);
+            prop_assert_eq!(&buffer, &frame.tile_pixels(tile));
+            prop_assert_eq!(buffer.len(), tile.pixel_count());
+        }
+    }
+
+    #[test]
+    fn borrowed_tile_views_match_on_linear_frames(
+        frame in arb_linear_frame(),
+        tile_size in 1u32..9,
+    ) {
+        let grid = TileGrid::new(frame.dimensions(), tile_size);
+        let mut buffer = Vec::new();
+        for tile in grid.tiles() {
+            frame.tile_pixels_into(tile, &mut buffer);
+            prop_assert_eq!(&buffer, &frame.tile_pixels(tile));
+        }
+    }
+
+    #[test]
+    fn clone_from_matches_clone_across_size_changes(
+        first in arb_linear_frame(),
+        second in arb_linear_frame(),
+    ) {
+        let mut recycled = first.clone();
+        recycled.clone_from(&second);
+        prop_assert_eq!(&recycled, &second);
+        prop_assert_eq!(recycled.dimensions(), second.dimensions());
+    }
+
+    #[test]
+    fn to_srgb_into_matches_to_srgb(frame in arb_linear_frame()) {
+        let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+        frame.to_srgb_into(&mut out);
+        prop_assert_eq!(out, frame.to_srgb());
+    }
+}

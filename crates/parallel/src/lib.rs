@@ -70,15 +70,61 @@ where
     U: Send,
     F: Fn(&[T]) -> Vec<U> + Sync,
 {
+    parallel_chunk_map_init(items, threads, || (), |(), chunk| f(chunk))
+}
+
+/// Like [`parallel_map`], but each worker thread first builds private
+/// state with `init` and reuses it across every item of its chunk.
+///
+/// This is the scratch-buffer fan-out: per-tile adjustment wants one
+/// `AdjustScratch`-style set of reusable buffers *per thread*, not per
+/// tile. `init` runs once per worker (once total on the sequential path),
+/// so the number of state constructions is bounded by `threads`, never by
+/// `items.len()`.
+///
+/// # Panics
+///
+/// Propagates a panic from `init` or `f` (the scope joins all workers
+/// first).
+pub fn parallel_map_init<T, U, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    parallel_chunk_map_init(items, threads, init, |state, chunk| {
+        chunk.iter().map(|item| f(state, item)).collect()
+    })
+}
+
+/// The per-worker-state primitive behind [`parallel_map_init`] (and, with
+/// unit state, [`parallel_chunk_map`]): each worker builds one `S` with
+/// `init`, then maps `f` over contiguous chunks of `items`, concatenating
+/// the per-chunk outputs in input order.
+///
+/// # Panics
+///
+/// Propagates a panic from `init` or `f` (the scope joins all workers
+/// first).
+pub fn parallel_chunk_map_init<T, U, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[T]) -> Vec<U> + Sync,
+{
     if threads <= 1 || items.len() < threads * MIN_ITEMS_PER_THREAD {
-        return f(items);
+        return f(&mut init(), items);
     }
     let chunk_len = items.len().div_ceil(threads);
     let mut results: Vec<Vec<U>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
+        let init = &init;
+        let f = &f;
         let handles: Vec<_> = items
             .chunks(chunk_len)
-            .map(|chunk| scope.spawn(|| f(chunk)))
+            .map(|chunk| scope.spawn(move || f(&mut init(), chunk)))
             .collect();
         for handle in handles {
             results.push(handle.join().expect("parallel worker panicked"));
@@ -156,6 +202,60 @@ mod tests {
             acc
         });
         assert_eq!(out, (1..=777).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_builds_state_once_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u64> = (0..500).collect();
+        let inits = AtomicUsize::new(0);
+        let out = parallel_map_init(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::new()
+            },
+            |scratch, &x| {
+                // The scratch is genuinely reused: grow it once, then reuse
+                // the capacity for every later item of the chunk.
+                scratch.clear();
+                scratch.extend_from_slice(&[x, x + 1]);
+                scratch.iter().sum::<u64>()
+            },
+        );
+        assert_eq!(out, (0..500).map(|x| 2 * x + 1).collect::<Vec<_>>());
+        let constructed = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&constructed),
+            "one state per worker, got {constructed}"
+        );
+    }
+
+    #[test]
+    fn map_init_matches_plain_map_for_every_thread_count() {
+        let items: Vec<u32> = (0..333).collect();
+        let expected = parallel_map(&items, 1, |&x| x.wrapping_mul(2654435761));
+        for threads in [1, 2, 3, 8] {
+            let got =
+                parallel_map_init(&items, threads, || 0u32, |_, &x| x.wrapping_mul(2654435761));
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn map_init_runs_inline_with_one_thread() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u8> = (0..100).collect();
+        let out = parallel_map_init(
+            &items,
+            1,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, &x| x,
+        );
+        assert_eq!(out, items);
+        assert_eq!(inits.load(Ordering::Relaxed), 1, "sequential: one state");
     }
 
     #[test]

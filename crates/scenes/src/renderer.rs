@@ -172,8 +172,25 @@ impl SceneRenderer {
 
     /// Renders frame `index` of the animation in linear RGB.
     pub fn render_linear(&self, index: u32) -> LinearFrame {
+        let mut frame = LinearFrame::filled(self.config.dimensions, LinearRgb::BLACK);
+        self.render_linear_into(index, &mut frame);
+        frame
+    }
+
+    /// Renders frame `index` into a caller-provided frame, resizing it to
+    /// the renderer's dimensions and overwriting every pixel.
+    ///
+    /// Bit-identical to [`Self::render_linear`]; the buffer's capacity is
+    /// reused, so a producer recycling frames through a pool renders
+    /// without per-frame allocation.
+    pub fn render_linear_into(&self, index: u32, frame: &mut LinearFrame) {
         let dims = self.config.dimensions;
-        let mut frame = LinearFrame::filled(dims, LinearRgb::BLACK);
+        // The loop below overwrites every pixel, so the fill only matters
+        // when the buffer changes size — skipping it otherwise saves a
+        // full-frame memset per recycled frame.
+        if frame.dimensions() != dims {
+            frame.reset(dims, LinearRgb::BLACK);
+        }
         let noise = FractalNoise::new(self.scene.seed() ^ self.config.seed, 4, 0.55);
         let detail = FractalNoise::new(
             (self.scene.seed() ^ self.config.seed).wrapping_mul(0x2545_F491_4F6C_DD1D),
@@ -201,7 +218,6 @@ impl SceneRenderer {
                 frame.set_pixel(x, y, color.clamped());
             }
         }
-        frame
     }
 
     /// Renders frame `index` and gamma-encodes it to 8-bit sRGB (what the
@@ -433,6 +449,20 @@ mod tests {
     fn rendering_is_deterministic() {
         let r = SceneRenderer::new(SceneId::Skyline, small_config());
         assert_eq!(r.render_srgb(3), r.render_srgb(3));
+    }
+
+    #[test]
+    fn render_into_a_recycled_buffer_matches_a_fresh_render() {
+        // The frame pool hands producers buffers of arbitrary prior size
+        // and content; rendering into them must be bit-identical to a
+        // fresh render.
+        let r = SceneRenderer::new(SceneId::Thai, small_config());
+        let mut recycled =
+            LinearFrame::filled(Dimensions::new(7, 3), LinearRgb::new(0.9, 0.1, 0.5));
+        for index in [0, 4] {
+            r.render_linear_into(index, &mut recycled);
+            assert_eq!(recycled, r.render_linear(index));
+        }
     }
 
     #[test]

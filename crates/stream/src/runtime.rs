@@ -35,6 +35,20 @@
 //! `Close` when the session is hard-cancelled), so the worker learns about
 //! sessions in the exact order the producer committed to.
 //!
+//! # Steady-state allocation
+//!
+//! The per-frame path is allocation-free once warm. Rendered frames
+//! circulate in a small pool: the worker returns each encoded frame's
+//! buffer to the producer on a *recycle channel*, and the producer renders
+//! the next frame into it ([`pvc_scenes::SceneRenderer::render_linear_into`]).
+//! The worker keeps one [`StreamScratch`] (tile adjustment buffers,
+//! adjusted frame, bitstream writer) plus one bitstream buffer alive for
+//! its whole lifetime and encodes every session's frames through it
+//! ([`BatchEncoder::encode_frame_stream_into`]), so session churn — not
+//! frame count — bounds the shard's allocations. None of this moves a
+//! single encoded bit: the `alloc_regression` test in `pvc_core` pins the
+//! zero-allocation property, the determinism tests here pin the bits.
+//!
 //! # Heterogeneous sessions
 //!
 //! Sessions need not look alike: each one carries its own
@@ -74,10 +88,10 @@ use crate::service::{ServiceConfig, ServiceReport, ShardReport};
 use crate::session::{
     fnv1a_update, SessionConfig, SessionReport, FNV_OFFSET_BASIS, GAZE_SEED_SALT,
 };
-use pvc_color::SyntheticDiscriminationModel;
-use pvc_core::{BatchCacheStats, BatchEncoder};
+use pvc_color::{LinearRgb, SyntheticDiscriminationModel};
+use pvc_core::{BatchCacheStats, BatchEncoder, StreamScratch};
 use pvc_fovea::{DisplayGeometry, GazePoint};
-use pvc_frame::LinearFrame;
+use pvc_frame::{Dimensions, LinearFrame};
 use pvc_metrics::{ChurnCounters, ThroughputReport};
 use pvc_parallel::{
     bounded_queue, control_channel, BoundedReceiver, BoundedSender, ControlPoll, ControlReceiver,
@@ -599,6 +613,13 @@ fn spawn_shard(
 ) -> ShardHandle {
     let (control_tx, control_rx) = control_channel();
     let (job_tx, job_rx, queue) = bounded_queue(config.queue_depth);
+    // Render buffers flow producer→worker inside ShardJob::Frame and come
+    // back empty-handed on this recycle channel, so session lifetime — not
+    // frame count — bounds the shard's frame allocations.
+    let (recycle_tx, recycle_rx) = mpsc::channel();
+    // Frames in the queue plus one in the producer's hands; recycled
+    // buffers beyond the cap are dropped rather than hoarded.
+    let frame_pool_cap = config.queue_depth + 1;
     let sessions = Arc::new(AtomicUsize::new(0));
     let session_pixels = Gauge::new();
     let queued_pixels = Gauge::new();
@@ -606,7 +627,15 @@ fn spawn_shard(
         .name(format!("pvc-shard{shard}-render"))
         .spawn({
             let queued_pixels = queued_pixels.clone();
-            move || run_producer(control_rx, job_tx, queued_pixels)
+            move || {
+                run_producer(
+                    control_rx,
+                    job_tx,
+                    queued_pixels,
+                    recycle_rx,
+                    frame_pool_cap,
+                )
+            }
         })
         .expect("spawning shard producer thread");
     let worker = std::thread::Builder::new()
@@ -619,7 +648,7 @@ fn spawn_shard(
                 session_pixels: session_pixels.clone(),
                 queued_pixels: queued_pixels.clone(),
             };
-            move || run_worker(shard, config, job_rx, queue, gauges, events)
+            move || run_worker(shard, config, job_rx, queue, gauges, events, recycle_tx)
         })
         .expect("spawning shard worker thread");
     ShardHandle {
@@ -669,12 +698,21 @@ fn cancel_session(
 /// fair across sessions while preserving per-session frame order — which
 /// is all determinism needs. `queued_pixels` is raised before each frame
 /// send (add-before-handoff, see [`Gauge`]) and released by the worker.
+///
+/// Render buffers come from a small pool fed by the worker's `recycle`
+/// channel (capped at `frame_pool_cap`; excess buffers are dropped), so a
+/// long-lived session renders its whole stream into a handful of
+/// recirculating frames. Rendering overwrites every pixel, so recycling
+/// cannot change a single emitted bit.
 fn run_producer(
     control: ControlReceiver<ShardControl>,
     jobs: BoundedSender<ShardJob>,
     queued_pixels: Gauge,
+    recycle: mpsc::Receiver<LinearFrame>,
+    frame_pool_cap: usize,
 ) {
     let mut active: Vec<ProducerSession> = Vec::new();
+    let mut pool: Vec<LinearFrame> = Vec::new();
     let mut draining = false;
     loop {
         // Idle: sleep on the control channel rather than spinning.
@@ -713,6 +751,12 @@ fn run_producer(
             }
             continue;
         }
+        // Reclaim whatever render buffers the worker has finished with.
+        while let Ok(frame) = recycle.try_recv() {
+            if pool.len() < frame_pool_cap {
+                pool.push(frame);
+            }
+        }
         // One frame per member session. Every send can block on the
         // bounded queue (backpressure); a send error means the worker is
         // gone (unwinding), so stop producing.
@@ -732,9 +776,13 @@ fn run_producer(
                 }
                 if session.next < session.config.frames() {
                     let t = session.next;
+                    let mut frame = pool.pop().unwrap_or_else(|| {
+                        LinearFrame::filled(Dimensions::new(1, 1), LinearRgb::BLACK)
+                    });
+                    session.renderer.render_linear_into(t, &mut frame);
                     let job = ShardJob::Frame {
                         id: session.id,
-                        frame: session.renderer.render_linear(t),
+                        frame,
                         gaze: session.trace.samples()[t as usize],
                     };
                     // Add-before-handoff keeps the gauge non-negative: the
@@ -775,6 +823,13 @@ struct WorkerGauges {
 /// frame with its session's own encoder, and finalizes session reports on
 /// `Close` (complete) or `Cancel` (partial, flagged cancelled). Exits when
 /// the producer drops its sender and the queue drains.
+///
+/// One [`StreamScratch`] and one bitstream buffer serve every session of
+/// the shard for the worker's whole lifetime: the scratch only changes
+/// *where* intermediates live (never a computed bit), so sharing it across
+/// heterogeneous sessions is safe — the buffers simply warm up to the
+/// largest frame size the shard serves. Encoded frames are handed back to
+/// the producer through `recycle` for re-rendering.
 fn run_worker(
     shard: usize,
     config: ServiceConfig,
@@ -782,6 +837,7 @@ fn run_worker(
     queue: QueueStats,
     gauges: WorkerGauges,
     events: mpsc::Sender<RuntimeEvent>,
+    recycle: mpsc::Sender<LinearFrame>,
 ) {
     let wall_start = Instant::now();
     let mut shard_report = ShardReport {
@@ -789,6 +845,8 @@ fn run_worker(
         ..ShardReport::default()
     };
     let mut sessions: BTreeMap<usize, WorkerSession> = BTreeMap::new();
+    let mut scratch = StreamScratch::new();
+    let mut bitstream: Vec<u8> = Vec::new();
     let mut busy_seconds = 0.0f64;
     for job in jobs {
         match job {
@@ -807,12 +865,20 @@ fn run_worker(
                 gauges.queued_pixels.sub(session.frame_pixels);
                 let encode_start = Instant::now();
                 let first_frame = *session.first_frame.get_or_insert(encode_start);
-                let result = session.encoder.encode_frame_stream(&frame, gaze);
-                let bitstream = result.encoded.to_bitstream();
+                let stats = session.encoder.encode_frame_stream_into(
+                    &frame,
+                    gaze,
+                    &mut scratch,
+                    &mut bitstream,
+                );
                 busy_seconds += encode_start.elapsed().as_secs_f64();
+                // The frame's pixels are encoded; hand the buffer back for
+                // re-rendering (the producer may already be gone at
+                // shutdown, which is fine — the buffer just drops).
+                recycle.send(frame).ok();
                 let report = &mut session.report;
                 report.throughput.record_frame_bits(
-                    result.our_stats().uncompressed_bits,
+                    stats.compression.uncompressed_bits,
                     bitstream.len() as u64,
                     session.frame_pixels,
                 );
@@ -822,7 +888,7 @@ fn run_worker(
                 report.throughput.wall_seconds = first_frame.elapsed().as_secs_f64();
                 report.stream_digest = fnv1a_update(report.stream_digest, &bitstream);
                 if let Some(payloads) = &mut report.payloads {
-                    payloads.push(bitstream);
+                    payloads.push(bitstream.clone());
                 }
             }
             ShardJob::Close { id } => {

@@ -66,8 +66,8 @@ pub mod prelude {
         SyntheticDiscriminationModel,
     };
     pub use pvc_core::{
-        BatchCacheStats, BatchEncoder, EncoderConfig, PerceptualEncodeResult, PerceptualEncoder,
-        StreamEncodeResult,
+        AdjustScratch, BatchCacheStats, BatchEncoder, EncoderConfig, PerceptualEncodeResult,
+        PerceptualEncoder, StreamEncodeResult, StreamFrameStats, StreamScratch,
     };
     pub use pvc_fovea::{DisplayGeometry, EccentricityMap, FoveaConfig, GazePoint, StereoGeometry};
     pub use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, TileGrid};
