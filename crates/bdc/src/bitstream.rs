@@ -21,6 +21,21 @@ pub enum BitstreamError {
         /// Description of the offending field.
         field: &'static str,
     },
+    /// The header describes a payload that cannot fit in the remaining
+    /// input (detected up front, before any allocation).
+    InsufficientInput {
+        /// Minimum number of bits the declared geometry requires.
+        required_bits: u64,
+        /// Number of bits actually remaining in the stream.
+        remaining_bits: u64,
+    },
+    /// The header declares a frame larger than the decoder's pixel budget.
+    FrameTooLarge {
+        /// Number of pixels the header declares.
+        pixels: u64,
+        /// The decoder's configured pixel budget.
+        max_pixels: u64,
+    },
 }
 
 impl std::fmt::Display for BitstreamError {
@@ -37,6 +52,23 @@ impl std::fmt::Display for BitstreamError {
             }
             BitstreamError::InvalidHeader { field } => {
                 write!(f, "invalid bitstream header field: {field}")
+            }
+            BitstreamError::InsufficientInput {
+                required_bits,
+                remaining_bits,
+            } => {
+                write!(
+                    f,
+                    "bitstream header declares a payload of at least {required_bits} bits \
+                     but only {remaining_bits} remain"
+                )
+            }
+            BitstreamError::FrameTooLarge { pixels, max_pixels } => {
+                write!(
+                    f,
+                    "bitstream header declares {pixels} pixels, \
+                     over the decoder budget of {max_pixels}"
+                )
             }
         }
     }

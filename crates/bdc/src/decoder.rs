@@ -1,0 +1,319 @@
+//! Byte-level decoding of BD bitstreams with reusable scratch.
+//!
+//! [`crate::BdEncodedFrame::from_bitstream`] materializes the full
+//! per-tile structure (a `Vec` of deltas per channel per tile) on every
+//! call. A streaming client only wants the pixels back, so [`BdDecoder`]
+//! parses the same bitstream layout and writes code values straight into a
+//! caller-owned [`SrgbFrame`] — once the frame's buffer has warmed up to
+//! the session's dimensions, the per-frame decode allocates nothing,
+//! mirroring the encoder's `encode_frame_into` discipline.
+//!
+//! Both decode entry points validate the header *before* allocating:
+//! untrusted input gets to spend memory only in proportion to the bytes it
+//! actually supplies (plus the configured [`BdDecoder::with_max_pixels`]
+//! frame budget).
+
+use crate::bitstream::{BitReader, BitstreamError};
+use crate::tile_codec::{BASE_BITS, METADATA_BITS};
+use pvc_color::Srgb8;
+use pvc_frame::{Dimensions, SrgbFrame, TileGrid};
+
+/// Default frame budget: 2^25 pixels (~33.5 Mpx), comfortably above the
+/// Vision-class native 3660×3200 (~11.7 Mpx) but small enough that a
+/// crafted 65535×65535 header (~4.3 Gpx) is rejected before any
+/// allocation.
+pub const DEFAULT_MAX_PIXELS: u64 = 1 << 25;
+
+/// Validated bitstream header: dimensions plus tile size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FrameHeader {
+    pub dimensions: Dimensions,
+    pub tile_size: u32,
+}
+
+/// Reads and validates the 48-bit frame header.
+///
+/// Rejects zero dimensions/tile size, frames over `max_pixels`, and —
+/// crucially — headers whose declared tile grid cannot possibly be backed
+/// by the remaining input: every channel of every tile costs at least
+/// `BASE_BITS + METADATA_BITS` bits, so `tile_count × 3 × 12` bits is a
+/// hard lower bound on the payload. This bounds every later allocation to
+/// a small multiple of the input length.
+pub(crate) fn read_frame_header(
+    r: &mut BitReader<'_>,
+    max_pixels: u64,
+) -> Result<FrameHeader, BitstreamError> {
+    let width = r.read_bits(16)?;
+    let height = r.read_bits(16)?;
+    let tile_size = r.read_bits(16)?;
+    if width == 0 || height == 0 {
+        return Err(BitstreamError::InvalidHeader {
+            field: "dimensions",
+        });
+    }
+    if tile_size == 0 {
+        return Err(BitstreamError::InvalidHeader { field: "tile size" });
+    }
+    let pixels = u64::from(width) * u64::from(height);
+    if pixels > max_pixels {
+        return Err(BitstreamError::FrameTooLarge { pixels, max_pixels });
+    }
+    let tile_count = u64::from(width.div_ceil(tile_size)) * u64::from(height.div_ceil(tile_size));
+    let required_bits = tile_count * 3 * (BASE_BITS + METADATA_BITS);
+    if required_bits > r.remaining_bits() {
+        return Err(BitstreamError::InsufficientInput {
+            required_bits,
+            remaining_bits: r.remaining_bits(),
+        });
+    }
+    Ok(FrameHeader {
+        dimensions: Dimensions::new(width, height),
+        tile_size,
+    })
+}
+
+/// Checks that a channel's declared delta payload fits the remaining input
+/// before any of it is read (or, in `from_bitstream`, allocated).
+pub(crate) fn check_delta_payload(
+    r: &BitReader<'_>,
+    pixel_count: usize,
+    delta_bits: u8,
+) -> Result<(), BitstreamError> {
+    let required_bits = pixel_count as u64 * u64::from(delta_bits);
+    if required_bits > r.remaining_bits() {
+        return Err(BitstreamError::InsufficientInput {
+            required_bits,
+            remaining_bits: r.remaining_bits(),
+        });
+    }
+    Ok(())
+}
+
+/// A reusable byte-level BD decoder.
+///
+/// The decoder itself is trivially copyable state (just the pixel budget);
+/// the scratch that matters — the output frame's pixel buffer — is owned
+/// by the caller and recycled across frames via
+/// [`decode_bitstream_into`](Self::decode_bitstream_into).
+///
+/// # Examples
+///
+/// ```
+/// use pvc_bdc::{BdConfig, BdDecoder, BdEncoder};
+/// use pvc_color::Srgb8;
+/// use pvc_frame::{Dimensions, SrgbFrame};
+///
+/// let frame = SrgbFrame::filled(Dimensions::new(8, 8), Srgb8::new(1, 2, 3));
+/// let bytes = BdEncoder::new(BdConfig::default())
+///     .encode_frame(&frame)
+///     .to_bitstream();
+/// let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+/// BdDecoder::new().decode_bitstream_into(&bytes, &mut out).unwrap();
+/// assert_eq!(out, frame);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BdDecoder {
+    max_pixels: u64,
+}
+
+impl Default for BdDecoder {
+    fn default() -> Self {
+        BdDecoder::new()
+    }
+}
+
+impl BdDecoder {
+    /// Creates a decoder with the default [`DEFAULT_MAX_PIXELS`] budget.
+    pub fn new() -> Self {
+        BdDecoder {
+            max_pixels: DEFAULT_MAX_PIXELS,
+        }
+    }
+
+    /// Returns a copy with an explicit per-frame pixel budget. Headers
+    /// declaring more pixels are rejected with
+    /// [`BitstreamError::FrameTooLarge`] before any allocation.
+    pub fn with_max_pixels(mut self, max_pixels: u64) -> Self {
+        self.max_pixels = max_pixels;
+        self
+    }
+
+    /// The configured per-frame pixel budget.
+    pub fn max_pixels(&self) -> u64 {
+        self.max_pixels
+    }
+
+    /// Decodes a bitstream produced by
+    /// [`crate::BdEncodedFrame::to_bitstream`] into a fresh frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BitstreamError`] if the stream is truncated, its header
+    /// is invalid, or the frame exceeds the pixel budget.
+    pub fn decode_bitstream(&self, bytes: &[u8]) -> Result<SrgbFrame, BitstreamError> {
+        let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+        self.decode_bitstream_into(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes a bitstream into a caller-owned frame, reusing its pixel
+    /// buffer.
+    ///
+    /// `out` is resized (in place, keeping capacity) to the decoded
+    /// dimensions; once it has warmed up to the session's frame size the
+    /// decode performs no allocation. On error the frame's contents are
+    /// unspecified (its dimensions may already reflect the header).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BitstreamError`] if the stream is truncated, its header
+    /// is invalid, or the frame exceeds the pixel budget.
+    pub fn decode_bitstream_into(
+        &self,
+        bytes: &[u8],
+        out: &mut SrgbFrame,
+    ) -> Result<(), BitstreamError> {
+        let mut r = BitReader::new(bytes);
+        let header = read_frame_header(&mut r, self.max_pixels)?;
+        out.reset(header.dimensions, Srgb8::default());
+        let grid = TileGrid::new(header.dimensions, header.tile_size);
+        let width = header.dimensions.width as usize;
+        let pixels = out.pixels_mut();
+        for tile in grid.tiles() {
+            for channel in 0..3u8 {
+                let base = r.read_bits(8)? as u8;
+                let delta_bits = r.read_bits(4)? as u8;
+                if delta_bits > 8 {
+                    return Err(BitstreamError::InvalidHeader {
+                        field: "delta bit length",
+                    });
+                }
+                check_delta_payload(&r, tile.pixel_count(), delta_bits)?;
+                for y in tile.y..tile.y + tile.height {
+                    let row = y as usize * width;
+                    for x in tile.x..tile.x + tile.width {
+                        let delta = r.read_bits(u32::from(delta_bits))? as u8;
+                        let value = base.wrapping_add(delta);
+                        let pixel = &mut pixels[row + x as usize];
+                        match channel {
+                            0 => pixel.r = value,
+                            1 => pixel.g = value,
+                            _ => pixel.b = value,
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BdConfig, BdEncodedFrame, BdEncoder};
+    use rand::{Rng, SeedableRng};
+
+    fn random_frame(width: u32, height: u32, seed: u64) -> SrgbFrame {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let dims = Dimensions::new(width, height);
+        let pixels = (0..dims.pixel_count())
+            .map(|_| Srgb8::new(rng.gen(), rng.gen(), rng.gen()))
+            .collect();
+        SrgbFrame::from_pixels(dims, pixels).expect("sized correctly")
+    }
+
+    #[test]
+    fn decodes_what_the_encoder_wrote() {
+        for (w, h, tile_size) in [(24, 16, 4), (13, 9, 4), (17, 23, 8), (5, 5, 7)] {
+            let frame = random_frame(w, h, u64::from(w * h));
+            let bytes = BdEncoder::new(BdConfig::with_tile_size(tile_size))
+                .encode_frame(&frame)
+                .to_bitstream();
+            let decoded = BdDecoder::new().decode_bitstream(&bytes).expect("valid");
+            assert_eq!(decoded, frame, "{w}x{h} tile {tile_size}");
+        }
+    }
+
+    #[test]
+    fn scratch_frame_is_reused_across_dimensions() {
+        let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+        let decoder = BdDecoder::new();
+        for (w, h) in [(16, 16), (8, 24), (24, 8)] {
+            let frame = random_frame(w, h, 99);
+            let bytes = BdEncoder::default().encode_frame(&frame).to_bitstream();
+            decoder
+                .decode_bitstream_into(&bytes, &mut out)
+                .expect("valid");
+            assert_eq!(out, frame);
+        }
+    }
+
+    #[test]
+    fn matches_the_materialized_decode_path() {
+        let frame = random_frame(21, 14, 3);
+        let encoded = BdEncoder::new(BdConfig::with_tile_size(4)).encode_frame(&frame);
+        let bytes = encoded.to_bitstream();
+        let via_struct = BdEncodedFrame::from_bitstream(&bytes)
+            .expect("valid")
+            .decode();
+        let via_decoder = BdDecoder::new().decode_bitstream(&bytes).expect("valid");
+        assert_eq!(via_decoder, via_struct);
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocating() {
+        // width=65535, height=65535, tile_size=1: ~4.3 Gpx from 9 bytes.
+        let mut w = crate::BitWriter::new();
+        w.write_bits(65535, 16);
+        w.write_bits(65535, 16);
+        w.write_bits(1, 16);
+        w.write_bits(0, 24);
+        let err = BdDecoder::new().decode_bitstream(&w.finish()).unwrap_err();
+        assert!(matches!(err, BitstreamError::FrameTooLarge { .. }));
+    }
+
+    #[test]
+    fn undersized_payload_is_rejected_before_allocating() {
+        // A frame within the pixel budget whose tile grid still cannot fit
+        // in the input: 1024x1024 with 1x1 tiles needs >= 36 bits per tile.
+        let mut w = crate::BitWriter::new();
+        w.write_bits(1024, 16);
+        w.write_bits(1024, 16);
+        w.write_bits(1, 16);
+        w.write_bits(0, 24);
+        let err = BdDecoder::new().decode_bitstream(&w.finish()).unwrap_err();
+        assert!(matches!(err, BitstreamError::InsufficientInput { .. }));
+    }
+
+    #[test]
+    fn pixel_budget_is_configurable() {
+        let frame = random_frame(16, 16, 1);
+        let bytes = BdEncoder::default().encode_frame(&frame).to_bitstream();
+        let tight = BdDecoder::new().with_max_pixels(100);
+        assert!(matches!(
+            tight.decode_bitstream(&bytes).unwrap_err(),
+            BitstreamError::FrameTooLarge {
+                pixels: 256,
+                max_pixels: 100
+            }
+        ));
+        let exact = BdDecoder::new().with_max_pixels(256);
+        assert_eq!(exact.decode_bitstream(&bytes).expect("fits"), frame);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let frame = random_frame(16, 16, 5);
+        let bytes = BdEncoder::default().encode_frame(&frame).to_bitstream();
+        let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+        for len in [3, 6, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                BdDecoder::new()
+                    .decode_bitstream_into(&bytes[..len], &mut out)
+                    .is_err(),
+                "truncation to {len} bytes must fail"
+            );
+        }
+    }
+}

@@ -246,24 +246,20 @@ impl BdEncodedFrame {
 
     /// Parses a bitstream produced by [`Self::to_bitstream`].
     ///
+    /// Header geometry is validated against the remaining input length
+    /// (and the [`crate::decoder::DEFAULT_MAX_PIXELS`] frame budget)
+    /// *before* any tile storage is allocated, so a crafted header cannot
+    /// make this allocate more than a small multiple of the input length.
+    ///
     /// # Errors
     ///
-    /// Returns a [`BitstreamError`] if the stream is truncated or its header
-    /// is invalid.
+    /// Returns a [`BitstreamError`] if the stream is truncated, its header
+    /// is invalid, or the declared geometry cannot fit in the input.
     pub fn from_bitstream(bytes: &[u8]) -> Result<Self, BitstreamError> {
         let mut r = BitReader::new(bytes);
-        let width = r.read_bits(16)?;
-        let height = r.read_bits(16)?;
-        let tile_size = r.read_bits(16)?;
-        if width == 0 || height == 0 {
-            return Err(BitstreamError::InvalidHeader {
-                field: "dimensions",
-            });
-        }
-        if tile_size == 0 {
-            return Err(BitstreamError::InvalidHeader { field: "tile size" });
-        }
-        let dimensions = Dimensions::new(width, height);
+        let header = crate::decoder::read_frame_header(&mut r, crate::decoder::DEFAULT_MAX_PIXELS)?;
+        let dimensions = header.dimensions;
+        let tile_size = header.tile_size;
         let grid = TileGrid::new(dimensions, tile_size);
         let mut tiles = Vec::with_capacity(grid.tile_count());
         for tile_rect in grid.tiles() {
@@ -279,6 +275,11 @@ impl BdEncodedFrame {
                         field: "delta bit length",
                     });
                 }
+                // A `delta_bits = 0` channel would consume zero input bits
+                // while pushing `pixel_count` deltas; the header validation
+                // above bounds `pixel_count` via the frame budget, and this
+                // check bounds every non-flat channel by the actual input.
+                crate::decoder::check_delta_payload(&r, pixel_count, delta_bits)?;
                 let mut deltas = Vec::with_capacity(pixel_count);
                 for _ in 0..pixel_count {
                     deltas.push(r.read_bits(u32::from(delta_bits))? as u8);
@@ -397,7 +398,10 @@ mod tests {
         let encoded = BdEncoder::new(BdConfig::default()).encode_frame(&frame);
         let bytes = encoded.to_bitstream();
         let err = BdEncodedFrame::from_bitstream(&bytes[..bytes.len() / 2]).unwrap_err();
-        assert!(matches!(err, BitstreamError::UnexpectedEnd { .. }));
+        assert!(matches!(
+            err,
+            BitstreamError::UnexpectedEnd { .. } | BitstreamError::InsufficientInput { .. }
+        ));
     }
 
     #[test]

@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod bitstream;
+pub mod decoder;
 pub mod frame_codec;
 pub mod stats;
 pub mod tile_codec;
 
 pub use bitstream::{BitReader, BitWriter, BitstreamError};
+pub use decoder::{BdDecoder, DEFAULT_MAX_PIXELS};
 pub use frame_codec::{BdConfig, BdEncodedFrame, BdEncoder};
 pub use stats::{CompressionStats, SizeBreakdown};
 pub use tile_codec::{decode_tile, encode_tile, ChannelEncoding, TileEncoding};

@@ -1,0 +1,271 @@
+//! Adversarial decoder suite: no byte string may panic the decoders or
+//! make them allocate unboundedly.
+//!
+//! The decode entry points (`BdEncodedFrame::from_bitstream` and
+//! `BdDecoder`) face *untrusted* input once a wire stream exists, so the
+//! contract is: return `Err` or a frame — never panic — and keep every
+//! allocation proportional to the input (plus the decoder's configured
+//! pixel budget, which is what bounds legitimate flat frames whose output
+//! is intrinsically much larger than their input).
+//!
+//! Allocation is asserted with a *byte-counting* global allocator whose
+//! counter is thread-local (a const-initialized `Cell<u64>` has no drop
+//! glue, so the thread-local access itself never allocates or recurses).
+//! Unlike the process-global event counter in
+//! `crates/core/tests/alloc_regression.rs`, per-thread counters stay
+//! accurate when the test harness runs these cases concurrently.
+
+use proptest::prelude::*;
+use pvc_bdc::{BdConfig, BdDecoder, BdEncodedFrame, BdEncoder, BitWriter, BitstreamError};
+use pvc_color::Srgb8;
+use pvc_frame::{Dimensions, SrgbFrame};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// Bytes allocated by this thread since it started.
+    static BYTES_ALLOCATED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The system allocator with a per-thread byte counter in front.
+struct ByteCountingAllocator;
+
+// SAFETY: delegates every operation verbatim to the system allocator; the
+// counter has no effect on the returned memory.
+unsafe impl GlobalAlloc for ByteCountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES_ALLOCATED.with(|b| b.set(b.get() + layout.size() as u64));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        BYTES_ALLOCATED.with(|b| b.set(b.get() + new_size as u64));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: ByteCountingAllocator = ByteCountingAllocator;
+
+/// Runs `f`, returning its result and the bytes it allocated.
+fn measured<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = BYTES_ALLOCATED.with(Cell::get);
+    let result = f();
+    let after = BYTES_ALLOCATED.with(Cell::get);
+    (result, after - before)
+}
+
+/// A small pixel budget for the strict byte-bound assertions: decoding
+/// into at most 64×64 pixels caps the frame scratch at ~12 KiB.
+const TIGHT_BUDGET: u64 = 64 * 64;
+
+/// Allocation allowance for a decode of `input_len` bytes under
+/// [`TIGHT_BUDGET`]: a small multiple of the input plus the budgeted
+/// frame (and `Vec` growth slack).
+fn allowance(input_len: usize) -> u64 {
+    128 * input_len as u64 + 64 * 1024
+}
+
+/// The width×height the input's header declares (0 when too short to
+/// have one), capped at the decoder budget — beyond the budget the
+/// decode dies in header validation without allocating.
+fn declared_pixels(bytes: &[u8]) -> u64 {
+    if bytes.len() < 4 {
+        return 0;
+    }
+    let width = u64::from(bytes[0]) << 8 | u64::from(bytes[1]);
+    let height = u64::from(bytes[2]) << 8 | u64::from(bytes[3]);
+    (width * height).min(pvc_bdc::DEFAULT_MAX_PIXELS)
+}
+
+fn random_frame(width: u32, height: u32, seed: u64) -> SrgbFrame {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let dims = Dimensions::new(width, height);
+    let pixels = (0..dims.pixel_count())
+        .map(|_| Srgb8::new(rng.gen(), rng.gen(), rng.gen()))
+        .collect();
+    SrgbFrame::from_pixels(dims, pixels).expect("sized correctly")
+}
+
+fn valid_stream() -> Vec<u8> {
+    BdEncoder::new(BdConfig::with_tile_size(4))
+        .encode_frame(&random_frame(16, 16, 42))
+        .to_bitstream()
+}
+
+/// Decodes `bytes` through both entry points, asserting neither panics
+/// and both stay inside the allocation allowance.
+///
+/// `from_bitstream` materializes the declared frame's per-pixel deltas,
+/// and for a *valid* flat stream (`delta_bits = 0` everywhere) that
+/// output is legitimately much larger than the input — so its bound is
+/// the input allowance plus a per-declared-pixel term (itself capped by
+/// the decoder's pixel budget). The tight-budget `BdDecoder` bound below
+/// needs no such term: the budget alone caps its only allocation.
+fn decode_both_ways(bytes: &[u8]) {
+    let (result, allocated) = measured(|| BdEncodedFrame::from_bitstream(bytes).map(drop));
+    assert!(
+        allocated <= allowance(bytes.len()) + 8 * declared_pixels(bytes),
+        "from_bitstream allocated {allocated} bytes for {} input bytes ({result:?})",
+        bytes.len()
+    );
+    let decoder = BdDecoder::new().with_max_pixels(TIGHT_BUDGET);
+    let (result, allocated) = measured(|| decoder.decode_bitstream(bytes).map(drop));
+    assert!(
+        allocated <= allowance(bytes.len()),
+        "BdDecoder allocated {allocated} bytes for {} input bytes ({result:?})",
+        bytes.len()
+    );
+}
+
+/// The original decompression bomb: a 9-byte stream whose header declares
+/// 65535×65535 (~4.3 Gpx, ~12 GiB of pixels) and whose single-tile,
+/// `delta_bits = 0` channels used to be materialized without reading a
+/// single further input bit. Both decoders must reject it after only
+/// trivial allocation.
+#[test]
+fn delta_bits_zero_bomb_is_rejected_before_allocating() {
+    let mut w = BitWriter::new();
+    w.write_bits(65535, 16);
+    w.write_bits(65535, 16);
+    w.write_bits(65535, 16); // one giant tile, so the 36-bit floor passes
+    w.write_bits(0, 24); // base + delta_bits = 0 for the first channel
+    let bytes = w.finish();
+    assert_eq!(bytes.len(), 9);
+
+    let (result, allocated) = measured(|| BdEncodedFrame::from_bitstream(&bytes).map(drop));
+    assert!(matches!(
+        result.unwrap_err(),
+        BitstreamError::FrameTooLarge { .. }
+    ));
+    assert!(
+        allocated < 4096,
+        "the bomb must die in header validation, allocated {allocated} bytes"
+    );
+
+    let (result, allocated) = measured(|| BdDecoder::new().decode_bitstream(&bytes).map(drop));
+    assert!(matches!(
+        result.unwrap_err(),
+        BitstreamError::FrameTooLarge { .. }
+    ));
+    assert!(allocated < 4096, "allocated {allocated} bytes");
+}
+
+/// The tile-count variant of the bomb: dimensions inside the pixel budget
+/// but a 1×1 tile grid whose per-tile minimum cost (36 bits) already
+/// exceeds the input. Must be rejected before the tile vector exists.
+#[test]
+fn tile_count_bomb_is_rejected_before_allocating() {
+    let mut w = BitWriter::new();
+    w.write_bits(1024, 16);
+    w.write_bits(1024, 16);
+    w.write_bits(1, 16); // 2^20 tiles × 36 bits ≫ 9 bytes of input
+    w.write_bits(0, 24);
+    let bytes = w.finish();
+
+    let (result, allocated) = measured(|| BdEncodedFrame::from_bitstream(&bytes).map(drop));
+    assert!(matches!(
+        result.unwrap_err(),
+        BitstreamError::InsufficientInput { .. }
+    ));
+    assert!(allocated < 4096, "allocated {allocated} bytes");
+}
+
+/// Every single-byte truncation of a valid stream must fail cleanly (a
+/// truncation can never land exactly on a frame boundary, because the
+/// only boundary is the full stream).
+#[test]
+fn every_truncation_of_a_valid_stream_is_rejected() {
+    let bytes = valid_stream();
+    assert!(BdEncodedFrame::from_bitstream(&bytes).is_ok());
+    for len in 0..bytes.len() {
+        let truncated = &bytes[..len];
+        let (result, allocated) = measured(|| BdEncodedFrame::from_bitstream(truncated).map(drop));
+        assert!(result.is_err(), "truncation to {len} bytes must fail");
+        assert!(
+            allocated <= allowance(len),
+            "truncation to {len} allocated {allocated} bytes"
+        );
+        let decoder = BdDecoder::new().with_max_pixels(TIGHT_BUDGET);
+        assert!(decoder.decode_bitstream(truncated).is_err());
+    }
+}
+
+/// Every single-bit flip in the 48-bit header must yield `Err` or a
+/// (garbage) frame — never a panic, never a blow-up.
+#[test]
+fn every_header_bit_flip_is_survivable() {
+    let bytes = valid_stream();
+    for bit in 0..48 {
+        let mut flipped = bytes.clone();
+        flipped[bit / 8] ^= 1 << (7 - bit % 8);
+        decode_both_ways(&flipped);
+    }
+}
+
+/// Every single-bit flip in the body likewise: a flipped `delta_bits`
+/// field or delta payload may shift every later read, but the decoders
+/// must stay panic-free and allocation-bounded.
+#[test]
+fn every_body_bit_flip_is_survivable() {
+    let bytes = valid_stream();
+    for bit in 48..bytes.len() * 8 {
+        let mut flipped = bytes.clone();
+        flipped[bit / 8] ^= 1 << (7 - bit % 8);
+        decode_both_ways(&flipped);
+    }
+}
+
+/// A decoded-then-re-encoded frame survives a round trip even when the
+/// decode input was bit-flipped into a *different but valid* stream:
+/// whatever `from_bitstream` accepts, `decode()` must handle.
+#[test]
+fn accepted_streams_always_decode() {
+    let bytes = valid_stream();
+    let mut decoded_count = 0usize;
+    for bit in 0..bytes.len() * 8 {
+        let mut flipped = bytes.clone();
+        flipped[bit / 8] ^= 1 << (7 - bit % 8);
+        if let Ok(frame) = BdEncodedFrame::from_bitstream(&flipped) {
+            let _ = frame.decode();
+            decoded_count += 1;
+        }
+    }
+    // Plenty of body flips (e.g. inside delta payloads) still parse.
+    assert!(decoded_count > 0, "some flips must still parse");
+}
+
+proptest! {
+    /// Arbitrary byte strings: `Err` or a frame, never a panic, never
+    /// more than a small multiple of the input in allocations.
+    #[test]
+    fn random_bytes_never_panic_or_blow_up(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        decode_both_ways(&bytes);
+    }
+
+    /// Arbitrary byte strings with a plausible header in front, so the
+    /// fuzz spends its time in the tile loop rather than dying on
+    /// dimension checks.
+    #[test]
+    fn random_bodies_never_panic_or_blow_up(
+        width in 1u32..48,
+        height in 1u32..48,
+        tile_size in 1u32..10,
+        body in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let mut w = BitWriter::new();
+        w.write_bits(width, 16);
+        w.write_bits(height, 16);
+        w.write_bits(tile_size, 16);
+        let mut bytes = w.finish();
+        bytes.extend_from_slice(&body);
+        decode_both_ways(&bytes);
+    }
+}

@@ -22,9 +22,10 @@
 
 use pvc_bench::assert_session_rates;
 use pvc_bench::cli::{
-    exit_with_usage, mix_option, placement_option, ArgSpec, CliError, ParsedArgs,
+    exit_with_usage, link_option, mix_option, placement_option, ArgSpec, CliError, ParsedArgs,
 };
 use pvc_bench::json::{self, Json};
+use pvc_bench::link;
 use pvc_frame::Dimensions;
 use pvc_metrics::TierAggregates;
 use pvc_stream::{ServiceConfig, SessionConfig, SessionReport, StreamRuntime, WorkloadMix};
@@ -44,6 +45,11 @@ const SPEC: ArgSpec = ArgSpec {
         "--placement",
         "--mix",
         "--hard-cancel",
+        "--link",
+        "--bandwidth-mbits",
+        "--latency-ms",
+        "--drop-prob",
+        "--link-seed",
         "--json",
     ],
 };
@@ -53,6 +59,8 @@ const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
                      [--waves N] [--churn N] \
                      [--placement static|p2c|least-loaded] \
                      [--mix uniform|bimodal|heavy-tail] [--hard-cancel N] \
+                     [--link none|lossless|capped] [--bandwidth-mbits MBITS] \
+                     [--latency-ms MS] [--drop-prob P] [--link-seed N] \
                      [--json PATH]";
 
 /// The workload, after applying the preset and any explicit overrides.
@@ -137,6 +145,7 @@ fn main() {
     // workload where modulo routing starts leaving shards lopsided.
     let placement =
         placement_option(&parsed, "p2c").unwrap_or_else(|err| exit_with_usage(&err, USAGE));
+    let link_model = link_option(&parsed).unwrap_or_else(|err| exit_with_usage(&err, USAGE));
 
     println!(
         "session_churn: {} initial sessions x {} base frames at {}x{} base, {} mix, \
@@ -158,7 +167,10 @@ fn main() {
     let mut runtime = StreamRuntime::start(
         ServiceConfig::default()
             .with_shards(config.shards)
-            .with_queue_depth(config.queue_depth),
+            .with_queue_depth(config.queue_depth)
+            // The link replay consumes each session's framed wire stream
+            // — including the partial streams of hard-cancelled sessions.
+            .with_collect_wire(link_model.is_some()),
         placement,
     );
 
@@ -318,6 +330,12 @@ fn main() {
     );
     assert!(totals.frames_per_second() > 0.0);
 
+    let replay = link_model.map(|model| {
+        let replay = link::replay_sessions(model, &all_sessions);
+        link::print_replay(&replay);
+        replay
+    });
+
     if let Some(path) = parsed.value("--json") {
         // Unlike the service report, the JSON covers the whole fleet:
         // retire()/retire_now() handed those reports over for good.
@@ -346,6 +364,10 @@ fn main() {
             &all_sessions,
             &report,
         );
+        let document = match &replay {
+            Some(replay) => json::with_field(document, "link", link::replay_json(replay)),
+            None => document,
+        };
         match json::write_json(std::path::Path::new(path), &document) {
             Ok(()) => println!("\n(json written to {path})"),
             Err(err) => {

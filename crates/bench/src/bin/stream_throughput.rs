@@ -15,9 +15,10 @@
 //! ```
 
 use pvc_bench::cli::{
-    exit_with_usage, mix_option, placement_option, ArgSpec, CliError, ParsedArgs,
+    exit_with_usage, link_option, mix_option, placement_option, ArgSpec, CliError, ParsedArgs,
 };
 use pvc_bench::json::{self, Json};
+use pvc_bench::link;
 use pvc_frame::Dimensions;
 use pvc_metrics::TierAggregates;
 use pvc_stream::{ServiceConfig, SessionReport, StreamService};
@@ -33,6 +34,11 @@ const SPEC: ArgSpec = ArgSpec {
         "--height",
         "--placement",
         "--mix",
+        "--link",
+        "--bandwidth-mbits",
+        "--latency-ms",
+        "--drop-prob",
+        "--link-seed",
         "--json",
     ],
 };
@@ -40,7 +46,10 @@ const SPEC: ArgSpec = ArgSpec {
 const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
                      [--queue-depth N] [--width PX] [--height PX] \
                      [--placement static|p2c|least-loaded] \
-                     [--mix uniform|bimodal|heavy-tail] [--json PATH]";
+                     [--mix uniform|bimodal|heavy-tail] \
+                     [--link none|lossless|capped] [--bandwidth-mbits MBITS] \
+                     [--latency-ms MS] [--drop-prob P] [--link-seed N] \
+                     [--json PATH]";
 
 /// The workload, after applying the preset and any explicit overrides.
 struct RunConfig {
@@ -100,6 +109,7 @@ fn main() {
     let placement =
         placement_option(&parsed, "static").unwrap_or_else(|err| exit_with_usage(&err, USAGE));
     let mix = mix_option(&parsed, "uniform").unwrap_or_else(|err| exit_with_usage(&err, USAGE));
+    let link_model = link_option(&parsed).unwrap_or_else(|err| exit_with_usage(&err, USAGE));
 
     println!(
         "stream_throughput: {} sessions x {} base frames at {}x{} base, {} mix, \
@@ -117,7 +127,9 @@ fn main() {
     let mut service = StreamService::new(
         ServiceConfig::default()
             .with_shards(config.shards)
-            .with_queue_depth(config.queue_depth),
+            .with_queue_depth(config.queue_depth)
+            // The link replay consumes each session's framed wire stream.
+            .with_collect_wire(link_model.is_some()),
     );
     service.admit_mixed(config.sessions, mix, config.dimensions, config.frames);
     let placement_name = placement.name();
@@ -214,6 +226,13 @@ fn main() {
         );
     }
 
+    let replay = link_model.map(|model| {
+        let sessions: Vec<&SessionReport> = report.sessions.iter().collect();
+        let replay = link::replay_sessions(model, &sessions);
+        link::print_replay(&replay);
+        replay
+    });
+
     if let Some(path) = parsed.value("--json") {
         let sessions: Vec<&SessionReport> = report.sessions.iter().collect();
         let document = json::service_report_json(
@@ -238,6 +257,10 @@ fn main() {
             &sessions,
             &report,
         );
+        let document = match &replay {
+            Some(replay) => json::with_field(document, "link", link::replay_json(replay)),
+            None => document,
+        };
         match json::write_json(std::path::Path::new(path), &document) {
             Ok(()) => println!("\n(json written to {path})"),
             Err(err) => {

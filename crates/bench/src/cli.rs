@@ -192,6 +192,47 @@ impl ParsedArgs {
                 }),
         }
     }
+
+    /// The (last) value given for `option`, parsed as a finite
+    /// non-negative float — for rate/time knobs such as `--latency-ms`
+    /// or `--drop-prob`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::InvalidValue`] when the value is not a finite
+    /// non-negative number.
+    pub fn non_negative_f64(&self, option: &str) -> Result<Option<f64>, CliError> {
+        match self.value(option) {
+            None => Ok(None),
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(value) if value.is_finite() && value >= 0.0 => Ok(Some(value)),
+                _ => Err(CliError::InvalidValue {
+                    option: option.to_string(),
+                    value: raw.to_string(),
+                }),
+            },
+        }
+    }
+
+    /// The (last) value given for `option`, parsed as a `u64` (any value,
+    /// including zero — used for seeds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::InvalidValue`] when the value is not an
+    /// unsigned integer.
+    pub fn u64_value(&self, option: &str) -> Result<Option<u64>, CliError> {
+        match self.value(option) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| CliError::InvalidValue {
+                    option: option.to_string(),
+                    value: raw.to_string(),
+                }),
+        }
+    }
 }
 
 /// Parses a `--placement` option into a session→shard policy: `static`
@@ -233,6 +274,62 @@ pub fn mix_option(parsed: &ParsedArgs, default: &str) -> Result<pvc_stream::Work
         option: "--mix".to_string(),
         value: name.to_string(),
     })
+}
+
+/// Parses the link-simulation options into a [`pvc_client::LinkModel`],
+/// or `None` when decode-side replay is off.
+///
+/// `--link none|lossless|capped` picks the preset (`none`, the default,
+/// disables the replay entirely); `--bandwidth-mbits`, `--latency-ms`,
+/// `--drop-prob` and `--link-seed` override individual parameters. Any
+/// override given without `--link` turns the replay on, starting from the
+/// lossless preset.
+///
+/// # Errors
+///
+/// Returns [`CliError::InvalidValue`] for an unknown preset name, a
+/// non-finite/negative number, or a drop probability above 1.
+pub fn link_option(parsed: &ParsedArgs) -> Result<Option<pvc_client::LinkModel>, CliError> {
+    use pvc_client::LinkModel;
+    let bandwidth = parsed.non_negative_f64("--bandwidth-mbits")?;
+    let latency = parsed.non_negative_f64("--latency-ms")?;
+    let drop = parsed.non_negative_f64("--drop-prob")?;
+    if let Some(p) = drop {
+        if p > 1.0 {
+            return Err(CliError::InvalidValue {
+                option: "--drop-prob".to_string(),
+                value: p.to_string(),
+            });
+        }
+    }
+    let seed = parsed.u64_value("--link-seed")?;
+    let has_override = bandwidth.is_some() || latency.is_some() || drop.is_some() || seed.is_some();
+    let mut link = match parsed.value("--link") {
+        Some("lossless") => LinkModel::lossless(),
+        Some("capped") => LinkModel::capped(),
+        Some("none") | None if !has_override => return Ok(None),
+        Some("none") | None => LinkModel::lossless(),
+        Some(other) => {
+            return Err(CliError::InvalidValue {
+                option: "--link".to_string(),
+                value: other.to_string(),
+            })
+        }
+    };
+    if let Some(mbits) = bandwidth {
+        // 0 would divide away every deadline; treat it as "no cap off".
+        link = link.with_bandwidth_mbits((mbits > 0.0).then_some(mbits));
+    }
+    if let Some(ms) = latency {
+        link = link.with_latency_ms(ms);
+    }
+    if let Some(p) = drop {
+        link = link.with_drop_probability(p);
+    }
+    if let Some(seed) = seed {
+        link = link.with_seed(seed);
+    }
+    Ok(Some(link))
 }
 
 /// Edit distance between two short ASCII strings (classic two-row DP).

@@ -289,6 +289,20 @@ pub fn service_report_json(
     ])
 }
 
+/// Appends a field to a [`Json::Object`] document (e.g. the optional
+/// `link` section the stream binaries add under `--link`).
+///
+/// # Panics
+///
+/// Panics when `json` is not an object.
+pub fn with_field(mut json: Json, key: &str, value: Json) -> Json {
+    match &mut json {
+        Json::Object(entries) => entries.push((key.to_string(), value)),
+        other => panic!("with_field needs an object, got {other:?}"),
+    }
+    json
+}
+
 /// Writes a rendered JSON document (with a trailing newline) to `path`,
 /// creating parent directories as needed.
 ///

@@ -29,6 +29,7 @@ pub mod cli;
 pub mod figures;
 pub mod harness;
 pub mod json;
+pub mod link;
 pub mod report;
 
 pub use figures::{

@@ -1,0 +1,287 @@
+//! The decode side of one session: wire records in, displayed frames and
+//! delivery accounting out.
+
+use crate::link::LinkModel;
+use pvc_bdc::{BdDecoder, BitstreamError};
+use pvc_color::Srgb8;
+use pvc_frame::{Dimensions, SrgbFrame};
+use pvc_metrics::{DeliveryReport, QualityReport};
+use pvc_stream::{WireError, WireReader, WireRecord, WireSessionHeader};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Errors produced while consuming a session's wire stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The wire framing was malformed.
+    Wire(WireError),
+    /// A frame payload failed to decode.
+    Decode {
+        /// Index of the offending frame.
+        frame_index: u32,
+        /// The decoder's error.
+        error: BitstreamError,
+    },
+    /// The stream did not start with a session header record.
+    MissingHeader,
+    /// A second session header appeared mid-stream.
+    DuplicateHeader,
+    /// A frame record appeared after the end record.
+    RecordAfterEnd,
+    /// Frame indices were not consecutive from zero.
+    FrameIndexMismatch {
+        /// The index the client expected next.
+        expected: u32,
+        /// The index the record carried.
+        found: u32,
+    },
+    /// A frame's decoded dimensions differ from the session header's.
+    DimensionMismatch {
+        /// Index of the offending frame.
+        frame_index: u32,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(err) => write!(f, "wire framing error: {err}"),
+            ClientError::Decode { frame_index, error } => {
+                write!(f, "frame {frame_index} failed to decode: {error}")
+            }
+            ClientError::MissingHeader => write!(f, "stream has no session header"),
+            ClientError::DuplicateHeader => write!(f, "second session header mid-stream"),
+            ClientError::RecordAfterEnd => write!(f, "record after the end record"),
+            ClientError::FrameIndexMismatch { expected, found } => {
+                write!(f, "expected frame index {expected}, found {found}")
+            }
+            ClientError::DimensionMismatch { frame_index } => {
+                write!(
+                    f,
+                    "frame {frame_index} does not match the header dimensions"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(err: WireError) -> Self {
+        ClientError::Wire(err)
+    }
+}
+
+/// What one session's client observed over its whole stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientReport {
+    /// The session header the stream opened with.
+    pub header: WireSessionHeader,
+    /// True when the worker flagged the stream as hard-cancelled.
+    pub cancelled: bool,
+    /// True when the stream carried a proper end record (a stream cut off
+    /// mid-transfer has `terminated = false`).
+    pub terminated: bool,
+    /// Per-frame delivery and displayed-quality accounting.
+    pub delivery: DeliveryReport,
+}
+
+/// A client that consumes session wire streams: parses the framing,
+/// simulates the link, decodes every frame that survives it, and accounts
+/// delivery against the tier's refresh deadline.
+///
+/// The two internal frames (`current` decode target and `displayed` panel
+/// content) are scratch, recycled across frames *and* across sessions —
+/// the per-frame decode path performs no allocation once they have warmed
+/// up, mirroring the encoder workers' scratch discipline.
+///
+/// # Examples
+///
+/// ```
+/// use pvc_client::{LinkModel, SessionClient};
+/// use pvc_frame::Dimensions;
+/// use pvc_stream::{ServiceConfig, StreamService};
+///
+/// let mut service = StreamService::new(ServiceConfig::default().with_collect_wire(true));
+/// service.admit_synthetic(1, Dimensions::new(16, 16), 2);
+/// let report = service.run();
+///
+/// let wire = report.sessions[0].wire_stream.as_ref().expect("collected");
+/// let mut client = SessionClient::new(LinkModel::lossless());
+/// let seen = client.consume(wire).expect("well-formed stream");
+/// assert_eq!(seen.delivery.frames_sent, 2);
+/// assert_eq!(seen.delivery.frames_delivered, 2);
+/// assert!(seen.delivery.psnr_db().is_infinite(), "lossless link, lossless codec");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionClient {
+    link: LinkModel,
+    decoder: BdDecoder,
+    current: SrgbFrame,
+    displayed: SrgbFrame,
+}
+
+impl SessionClient {
+    /// Creates a client that receives over `link`.
+    pub fn new(link: LinkModel) -> Self {
+        SessionClient {
+            link,
+            decoder: BdDecoder::new(),
+            current: SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default()),
+            displayed: SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default()),
+        }
+    }
+
+    /// Returns the client with a different frame decoder (e.g. a tighter
+    /// pixel budget for untrusted streams).
+    pub fn with_decoder(mut self, decoder: BdDecoder) -> Self {
+        self.decoder = decoder;
+        self
+    }
+
+    /// The client's link model.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Consumes one session's wire stream, returning the delivery report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClientError`] when the framing, a payload, or the
+    /// record sequence is malformed.
+    pub fn consume(&mut self, bytes: &[u8]) -> Result<ClientReport, ClientError> {
+        self.consume_with(bytes, |_, _| {})
+    }
+
+    /// Like [`consume`](Self::consume), invoking `on_frame` with every
+    /// frame that actually reaches the client (on time or late, not
+    /// dropped), in frame order, with its decoded pixels.
+    pub fn consume_with<F>(
+        &mut self,
+        bytes: &[u8],
+        mut on_frame: F,
+    ) -> Result<ClientReport, ClientError>
+    where
+        F: FnMut(u32, &SrgbFrame),
+    {
+        let mut reader = WireReader::new(bytes);
+        let header = match reader.next_record() {
+            Some(Ok(WireRecord::Header(header))) => header,
+            Some(Ok(_)) | None => return Err(ClientError::MissingHeader),
+            Some(Err(err)) => return Err(err.into()),
+        };
+        let dimensions = Dimensions::new(header.width, header.height);
+        let period = 1.0 / f64::from(header.tier.refresh_hz());
+        let latency = self.link.latency_seconds();
+        let mut coin = ChaCha8Rng::seed_from_u64(self.link.seed ^ header.session);
+        let mut delivery = DeliveryReport::default();
+        let mut cancelled = false;
+        let mut terminated = false;
+        let mut expected_index = 0u32;
+        // The link is a serialized pipe: a frame's transmission cannot
+        // start before the previous one's finished.
+        let mut link_free = 0.0f64;
+        let mut has_displayed = false;
+        while let Some(record) = reader.next_record() {
+            match record? {
+                WireRecord::Header(_) => return Err(ClientError::DuplicateHeader),
+                WireRecord::Frame {
+                    frame_index,
+                    payload,
+                } => {
+                    if terminated {
+                        return Err(ClientError::RecordAfterEnd);
+                    }
+                    if frame_index != expected_index {
+                        return Err(ClientError::FrameIndexMismatch {
+                            expected: expected_index,
+                            found: frame_index,
+                        });
+                    }
+                    expected_index += 1;
+                    // Decode first: the payload is also the slot's ground
+                    // truth (BD is lossless, so this *is* the worker's
+                    // adjusted frame).
+                    self.decoder
+                        .decode_bitstream_into(payload, &mut self.current)
+                        .map_err(|error| ClientError::Decode { frame_index, error })?;
+                    if self.current.dimensions() != dimensions {
+                        return Err(ClientError::DimensionMismatch { frame_index });
+                    }
+                    // Link simulation. The drop coin is flipped for every
+                    // frame so the loss pattern is independent of the
+                    // bandwidth/latency settings.
+                    let dropped = coin.gen::<f64>() < self.link.drop_probability;
+                    let send = f64::from(frame_index) * period;
+                    let deadline = send + period;
+                    let start = send.max(link_free);
+                    link_free = start
+                        + self
+                            .link
+                            .transmission_seconds(header.tier, payload.len() as u64);
+                    let arrival = link_free + latency;
+                    let payload_bytes = payload.len() as u64;
+                    if dropped {
+                        delivery.record_dropped(payload_bytes);
+                        self.account_slot(&mut delivery, has_displayed);
+                    } else if arrival <= deadline {
+                        delivery.record_delivered(payload_bytes);
+                        // The slot shows exactly its own frame: zero error
+                        // over the slot's samples.
+                        delivery.accumulate_error(0.0, 3 * dimensions.pixel_count() as u64);
+                        std::mem::swap(&mut self.current, &mut self.displayed);
+                        has_displayed = true;
+                        on_frame(frame_index, &self.displayed);
+                    } else {
+                        delivery.record_late(payload_bytes);
+                        self.account_slot(&mut delivery, has_displayed);
+                        // A late frame still reaches the panel for the
+                        // *next* slots.
+                        std::mem::swap(&mut self.current, &mut self.displayed);
+                        has_displayed = true;
+                        on_frame(frame_index, &self.displayed);
+                    }
+                }
+                WireRecord::End {
+                    frames,
+                    cancelled: end_cancelled,
+                } => {
+                    if terminated {
+                        return Err(ClientError::RecordAfterEnd);
+                    }
+                    if frames != expected_index {
+                        return Err(ClientError::FrameIndexMismatch {
+                            expected: expected_index,
+                            found: frames,
+                        });
+                    }
+                    terminated = true;
+                    cancelled = end_cancelled;
+                }
+            }
+        }
+        delivery.stream_seconds = f64::from(expected_index) * period;
+        Ok(ClientReport {
+            header,
+            cancelled,
+            terminated,
+            delivery,
+        })
+    }
+
+    /// Accounts a slot whose own frame missed it: the panel keeps showing
+    /// the previous frame (stale error) or stays blank.
+    fn account_slot(&self, delivery: &mut DeliveryReport, has_displayed: bool) {
+        if has_displayed {
+            let quality = QualityReport::compare(&self.current, &self.displayed)
+                .expect("same session, same dimensions");
+            let samples = 3 * self.current.dimensions().pixel_count() as u64;
+            delivery.accumulate_error(quality.mse * samples as f64, samples);
+        } else {
+            delivery.blank_slots += 1;
+        }
+    }
+}

@@ -17,7 +17,10 @@
 //! resolutions and frame budgets), the [`tiers`] module groups the
 //! per-session reports under tier labels ([`TierAggregates`]) so each
 //! class of user gets its own FPS/pixel-throughput row instead of being
-//! averaged into a meaningless fleet mean.
+//! averaged into a meaningless fleet mean. The [`delivery`] module is the
+//! decode side of the loop: what a client saw after link simulation —
+//! on-time/late/dropped frames, goodput and displayed-image PSNR
+//! ([`DeliveryReport`]).
 //!
 //! # Examples
 //!
@@ -37,10 +40,12 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod delivery;
 pub mod throughput;
 pub mod tiers;
 
 pub use churn::ChurnCounters;
+pub use delivery::DeliveryReport;
 pub use throughput::ThroughputReport;
 pub use tiers::{TierAggregate, TierAggregates};
 

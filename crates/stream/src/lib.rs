@@ -123,9 +123,13 @@ pub mod placement;
 pub mod runtime;
 pub mod service;
 pub mod session;
+pub mod wire;
 
 pub use gaze::{FixationSaccadeConfig, GazeModel, GazeTrace, SmoothPursuitConfig};
 pub use placement::{LeastLoaded, Placement, PowerOfTwoChoices, ShardLoad, Static};
 pub use runtime::StreamRuntime;
 pub use service::{ServiceConfig, ServiceReport, ShardReport, StreamService};
 pub use session::{ResolutionTier, SessionConfig, SessionProfile, SessionReport, WorkloadMix};
+pub use wire::{
+    FrameSink, WireError, WireReader, WireRecord, WireSessionHeader, WireSink, WIRE_VERSION,
+};

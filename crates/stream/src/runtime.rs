@@ -85,9 +85,8 @@
 use crate::gaze::GazeTrace;
 use crate::placement::{Placement, ShardLoad, Static};
 use crate::service::{ServiceConfig, ServiceReport, ShardReport};
-use crate::session::{
-    fnv1a_update, SessionConfig, SessionReport, FNV_OFFSET_BASIS, GAZE_SEED_SALT,
-};
+use crate::session::{SessionConfig, SessionReport, FNV_OFFSET_BASIS, GAZE_SEED_SALT};
+use crate::wire::{DigestSink, FrameSink, WireSessionHeader, WireSink};
 use pvc_color::{LinearRgb, SyntheticDiscriminationModel};
 use pvc_core::{BatchCacheStats, BatchEncoder, StreamScratch};
 use pvc_fovea::{DisplayGeometry, GazePoint};
@@ -181,10 +180,15 @@ impl ProducerSession {
     }
 }
 
-/// A session as the worker thread sees it: encoder plus telemetry.
+/// A session as the worker thread sees it: encoder plus telemetry plus
+/// the sinks its encoded frames are emitted through.
 struct WorkerSession {
     encoder: BatchEncoder<SyntheticDiscriminationModel>,
     report: SessionReport,
+    /// The telemetry sink (digest chain, optional payload collection).
+    digest: DigestSink,
+    /// The serving sink (framed wire stream), when collection is on.
+    wire: Option<WireSink>,
     /// The session's per-frame pixel cost, released from the shard's
     /// committed-pixels gauge when the session finalizes.
     frame_pixels: u64,
@@ -201,7 +205,15 @@ impl WorkerSession {
         if let Some(tile_size) = config.profile.tile_size {
             encoder_config = encoder_config.with_tile_size(tile_size);
         }
-        WorkerSession {
+        let header = WireSessionHeader {
+            session: id as u64,
+            tier: config.profile.tier,
+            width: config.dimensions().width,
+            height: config.dimensions().height,
+            tile_size: encoder_config.tile_size,
+            frame_budget: config.frames(),
+        };
+        let mut session = WorkerSession {
             encoder: BatchEncoder::new(
                 SyntheticDiscriminationModel::default(),
                 encoder_config,
@@ -217,11 +229,25 @@ impl WorkerSession {
                 throughput: ThroughputReport::default(),
                 cache: BatchCacheStats::default(),
                 stream_digest: FNV_OFFSET_BASIS,
-                payloads: service.collect_payloads.then(Vec::new),
+                payloads: None,
+                wire_stream: None,
             },
+            digest: DigestSink::new(service.collect_payloads),
+            wire: service.collect_wire.then(WireSink::new),
             frame_pixels: config.pixel_cost(),
             first_frame: None,
+        };
+        for sink in session.sinks() {
+            sink.start(&header);
         }
+        session
+    }
+
+    /// The session's frame sinks: telemetry first, then (when enabled)
+    /// the wire stream. Every encoded frame goes through each.
+    fn sinks(&mut self) -> impl Iterator<Item = &mut dyn FrameSink> {
+        std::iter::once(&mut self.digest as &mut dyn FrameSink)
+            .chain(self.wire.iter_mut().map(|sink| sink as &mut dyn FrameSink))
     }
 }
 
@@ -877,6 +903,9 @@ fn run_worker(
                 // shutdown, which is fine — the buffer just drops).
                 recycle.send(frame).ok();
                 let report = &mut session.report;
+                // The frame's index within the session, before the
+                // throughput counter moves past it.
+                let frame_index = report.throughput.frames as u32;
                 report.throughput.record_frame_bits(
                     stats.compression.uncompressed_bits,
                     bitstream.len() as u64,
@@ -886,9 +915,8 @@ fn run_worker(
                 // latest frame's encode end. Refreshed every frame so the
                 // final value lands on the last frame without needing one.
                 report.throughput.wall_seconds = first_frame.elapsed().as_secs_f64();
-                report.stream_digest = fnv1a_update(report.stream_digest, &bitstream);
-                if let Some(payloads) = &mut report.payloads {
-                    payloads.push(bitstream.clone());
+                for sink in session.sinks() {
+                    sink.frame(frame_index, &bitstream);
                 }
             }
             ShardJob::Close { id } => {
@@ -925,6 +953,13 @@ fn finalize(
     gauges: &WorkerGauges,
     events: &mpsc::Sender<RuntimeEvent>,
 ) {
+    let cancelled = session.report.cancelled;
+    for sink in session.sinks() {
+        sink.finish(cancelled);
+    }
+    session.report.stream_digest = session.digest.digest();
+    session.report.payloads = session.digest.take_payloads();
+    session.report.wire_stream = session.wire.take().map(WireSink::into_bytes);
     session.report.cache = session.encoder.cache_stats();
     shard_report.frames += session.report.throughput.frames;
     shard_report.pixels += session.report.throughput.pixels;

@@ -50,6 +50,11 @@ pub struct ServiceConfig {
     /// Keep every frame's encoded bitstream in the session reports.
     /// Memory-hungry; meant for tests and debugging, not serving.
     pub collect_payloads: bool,
+    /// Keep each session's framed wire stream (see [`crate::wire`]) in
+    /// the session reports, for client-side decode. Memory use is the
+    /// session's whole compressed stream; enable it when something
+    /// actually consumes the bytes (link simulation, round-trip tests).
+    pub collect_wire: bool,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +65,7 @@ impl Default for ServiceConfig {
             encoder: EncoderConfig::default(),
             gaze_cache_capacity: DEFAULT_GAZE_CACHE_CAPACITY,
             collect_payloads: false,
+            collect_wire: false,
         }
     }
 }
@@ -108,6 +114,13 @@ impl ServiceConfig {
     /// Returns the configuration with payload collection switched on/off.
     pub fn with_collect_payloads(mut self, collect: bool) -> Self {
         self.collect_payloads = collect;
+        self
+    }
+
+    /// Returns the configuration with wire-stream collection switched
+    /// on/off.
+    pub fn with_collect_wire(mut self, collect: bool) -> Self {
+        self.collect_wire = collect;
         self
     }
 }

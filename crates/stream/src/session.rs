@@ -395,6 +395,10 @@ pub struct SessionReport {
     /// The per-frame encoded bitstreams, kept only when
     /// [`crate::ServiceConfig::collect_payloads`] is set (tests, debugging).
     pub payloads: Option<Vec<Vec<u8>>>,
+    /// The session's framed byte stream (see [`crate::wire`]), kept only
+    /// when [`crate::ServiceConfig::collect_wire`] is set — this is what
+    /// a client (the `pvc_client` crate) actually receives and decodes.
+    pub wire_stream: Option<Vec<u8>>,
 }
 
 /// Seed value of the FNV-1a digest chain.

@@ -47,6 +47,7 @@
 
 pub use pvc_baselines as baselines;
 pub use pvc_bdc as bdc;
+pub use pvc_client as client;
 pub use pvc_color as color;
 pub use pvc_core as core;
 pub use pvc_fovea as fovea;
@@ -60,7 +61,8 @@ pub use pvc_study as study;
 /// The most commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use pvc_baselines::{nocom_stats, PngLikeCodec, SccCodec, SccConfig};
-    pub use pvc_bdc::{BdConfig, BdEncoder, CompressionStats};
+    pub use pvc_bdc::{BdConfig, BdDecoder, BdEncoder, CompressionStats};
+    pub use pvc_client::{ClientReport, LinkModel, SessionClient};
     pub use pvc_color::{
         DiscriminationModel, DklColor, LinearRgb, RbfDiscriminationModel, RgbAxis, Srgb8,
         SyntheticDiscriminationModel,
@@ -75,8 +77,9 @@ pub mod prelude {
     pub use pvc_metrics::{QualityReport, ThroughputReport, TierAggregates};
     pub use pvc_scenes::{SceneConfig, SceneId, SceneRenderer};
     pub use pvc_stream::{
-        GazeModel, GazeTrace, LeastLoaded, PowerOfTwoChoices, ResolutionTier, ServiceConfig,
-        SessionConfig, SessionProfile, StreamRuntime, StreamService, WorkloadMix,
+        FrameSink, GazeModel, GazeTrace, LeastLoaded, PowerOfTwoChoices, ResolutionTier,
+        ServiceConfig, SessionConfig, SessionProfile, StreamRuntime, StreamService, WireReader,
+        WireRecord, WorkloadMix,
     };
     pub use pvc_study::{SceneTrial, StudyConfig, UserStudy};
 }
