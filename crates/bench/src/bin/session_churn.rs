@@ -26,9 +26,12 @@ use pvc_bench::cli::{
 };
 use pvc_bench::json::{self, Json};
 use pvc_bench::link;
+use pvc_bench::trace_export;
 use pvc_frame::Dimensions;
 use pvc_metrics::TierAggregates;
-use pvc_stream::{ServiceConfig, SessionConfig, SessionReport, StreamRuntime, WorkloadMix};
+use pvc_stream::{
+    ServiceConfig, SessionConfig, SessionReport, StreamRuntime, TraceConfig, WorkloadMix,
+};
 use std::collections::VecDeque;
 
 const SPEC: ArgSpec = ArgSpec {
@@ -51,6 +54,7 @@ const SPEC: ArgSpec = ArgSpec {
         "--drop-prob",
         "--link-seed",
         "--json",
+        "--trace",
     ],
 };
 
@@ -61,7 +65,7 @@ const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
                      [--mix uniform|bimodal|heavy-tail] [--hard-cancel N] \
                      [--link none|lossless|capped] [--bandwidth-mbits MBITS] \
                      [--latency-ms MS] [--drop-prob P] [--link-seed N] \
-                     [--json PATH]";
+                     [--json PATH] [--trace PATH]";
 
 /// The workload, after applying the preset and any explicit overrides.
 struct RunConfig {
@@ -170,7 +174,10 @@ fn main() {
             .with_queue_depth(config.queue_depth)
             // The link replay consumes each session's framed wire stream
             // — including the partial streams of hard-cancelled sessions.
-            .with_collect_wire(link_model.is_some()),
+            .with_collect_wire(link_model.is_some())
+            // Tracing is always on — it is allocation-free on the hot
+            // path; `--trace` only controls the Chrome export.
+            .with_trace(TraceConfig::default()),
         placement,
     );
 
@@ -228,7 +235,7 @@ fn main() {
     }
 
     let placement_name = runtime.placement_name();
-    let report = runtime.shutdown();
+    let mut report = runtime.shutdown();
 
     let mut all_sessions: Vec<&SessionReport> =
         retired_reports.iter().chain(&report.sessions).collect();
@@ -331,10 +338,27 @@ fn main() {
     assert!(totals.frames_per_second() > 0.0);
 
     let replay = link_model.map(|model| {
-        let replay = link::replay_sessions(model, &all_sessions);
+        // The traced replay seals the decode side as one more trace
+        // thread, so the Chrome export shows clients next to the shards.
+        let replay = if let Some(trace) = report.trace.as_mut() {
+            let (replay, thread) = link::replay_sessions_traced(
+                model,
+                &all_sessions,
+                trace.epoch,
+                TraceConfig::default().ring_capacity,
+            );
+            trace.threads.push(thread);
+            replay
+        } else {
+            link::replay_sessions(model, &all_sessions)
+        };
         link::print_replay(&replay);
         replay
     });
+
+    if let Some(trace) = report.trace.as_ref() {
+        trace_export::print_stage_table(trace);
+    }
 
     if let Some(path) = parsed.value("--json") {
         // Unlike the service report, the JSON covers the whole fleet:
@@ -368,10 +392,28 @@ fn main() {
             Some(replay) => json::with_field(document, "link", link::replay_json(replay)),
             None => document,
         };
+        let document = match report.trace.as_ref() {
+            Some(trace) => {
+                json::with_field(document, "trace", trace_export::trace_section_json(trace))
+            }
+            None => document,
+        };
         match json::write_json(std::path::Path::new(path), &document) {
             Ok(()) => println!("\n(json written to {path})"),
             Err(err) => {
                 eprintln!("error: could not write json to {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = parsed.value("--trace") {
+        let trace = report.trace.as_ref().expect("tracing is always enabled");
+        let document = trace_export::chrome_trace_json(trace);
+        match json::write_json(std::path::Path::new(path), &document) {
+            Ok(()) => println!("(chrome trace written to {path})"),
+            Err(err) => {
+                eprintln!("error: could not write trace to {path}: {err}");
                 std::process::exit(1);
             }
         }

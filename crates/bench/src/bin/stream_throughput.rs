@@ -19,9 +19,10 @@ use pvc_bench::cli::{
 };
 use pvc_bench::json::{self, Json};
 use pvc_bench::link;
+use pvc_bench::trace_export;
 use pvc_frame::Dimensions;
 use pvc_metrics::TierAggregates;
-use pvc_stream::{ServiceConfig, SessionReport, StreamService};
+use pvc_stream::{ServiceConfig, SessionReport, StreamService, TraceConfig};
 
 const SPEC: ArgSpec = ArgSpec {
     flags: &["--quick"],
@@ -40,6 +41,7 @@ const SPEC: ArgSpec = ArgSpec {
         "--drop-prob",
         "--link-seed",
         "--json",
+        "--trace",
     ],
 };
 
@@ -49,7 +51,7 @@ const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
                      [--mix uniform|bimodal|heavy-tail] \
                      [--link none|lossless|capped] [--bandwidth-mbits MBITS] \
                      [--latency-ms MS] [--drop-prob P] [--link-seed N] \
-                     [--json PATH]";
+                     [--json PATH] [--trace PATH]";
 
 /// The workload, after applying the preset and any explicit overrides.
 struct RunConfig {
@@ -129,11 +131,14 @@ fn main() {
             .with_shards(config.shards)
             .with_queue_depth(config.queue_depth)
             // The link replay consumes each session's framed wire stream.
-            .with_collect_wire(link_model.is_some()),
+            .with_collect_wire(link_model.is_some())
+            // Tracing is always on — it is allocation-free on the hot
+            // path; `--trace` only controls the Chrome export.
+            .with_trace(TraceConfig::default()),
     );
     service.admit_mixed(config.sessions, mix, config.dimensions, config.frames);
     let placement_name = placement.name();
-    let report = service.run_with_placement(placement);
+    let mut report = service.run_with_placement(placement);
 
     println!("session  scene      tier       frames     kB out    fps   hit-rate");
     for session in &report.sessions {
@@ -228,10 +233,27 @@ fn main() {
 
     let replay = link_model.map(|model| {
         let sessions: Vec<&SessionReport> = report.sessions.iter().collect();
-        let replay = link::replay_sessions(model, &sessions);
+        // The traced replay seals the decode side as one more trace
+        // thread, so the Chrome export shows clients next to the shards.
+        let replay = if let Some(trace) = report.trace.as_mut() {
+            let (replay, thread) = link::replay_sessions_traced(
+                model,
+                &sessions,
+                trace.epoch,
+                TraceConfig::default().ring_capacity,
+            );
+            trace.threads.push(thread);
+            replay
+        } else {
+            link::replay_sessions(model, &sessions)
+        };
         link::print_replay(&replay);
         replay
     });
+
+    if let Some(trace) = report.trace.as_ref() {
+        trace_export::print_stage_table(trace);
+    }
 
     if let Some(path) = parsed.value("--json") {
         let sessions: Vec<&SessionReport> = report.sessions.iter().collect();
@@ -261,10 +283,28 @@ fn main() {
             Some(replay) => json::with_field(document, "link", link::replay_json(replay)),
             None => document,
         };
+        let document = match report.trace.as_ref() {
+            Some(trace) => {
+                json::with_field(document, "trace", trace_export::trace_section_json(trace))
+            }
+            None => document,
+        };
         match json::write_json(std::path::Path::new(path), &document) {
             Ok(()) => println!("\n(json written to {path})"),
             Err(err) => {
                 eprintln!("error: could not write json to {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = parsed.value("--trace") {
+        let trace = report.trace.as_ref().expect("tracing is always enabled");
+        let document = trace_export::chrome_trace_json(trace);
+        match json::write_json(std::path::Path::new(path), &document) {
+            Ok(()) => println!("(chrome trace written to {path})"),
+            Err(err) => {
+                eprintln!("error: could not write trace to {path}: {err}");
                 std::process::exit(1);
             }
         }

@@ -31,6 +31,7 @@ pub mod harness;
 pub mod json;
 pub mod link;
 pub mod report;
+pub mod trace_export;
 
 pub use figures::{
     fig10_bandwidth, fig11_bits_per_pixel, fig12_case_distribution, fig13_power_saving,

@@ -14,6 +14,7 @@ use crate::json::{object, Json};
 use pvc_client::{ClientReport, LinkModel, SessionClient};
 use pvc_metrics::DeliveryReport;
 use pvc_stream::SessionReport;
+use pvc_trace::{Lane, Recorder, ThreadTrace, TraceEpoch};
 
 /// The decode-side view of a whole fleet: one [`ClientReport`] per
 /// session plus per-tier and fleet-wide delivery aggregates.
@@ -37,7 +38,35 @@ pub struct LinkReplay {
 /// `with_collect_wire`) or ships a malformed stream — both are bugs, not
 /// user errors.
 pub fn replay_sessions(link: LinkModel, sessions: &[&SessionReport]) -> LinkReplay {
-    let mut client = SessionClient::new(link);
+    run_replay(SessionClient::new(link), sessions).0
+}
+
+/// Like [`replay_sessions`], with the client recording decode spans (wall
+/// time) and link-transit spans (the stream's virtual timeline) into a
+/// trace sealed as one client thread (`shard` = replay index 0). Push the
+/// returned [`ThreadTrace`] onto the run's `TraceReport` so the export
+/// shows the decode side next to the serving threads.
+///
+/// # Panics
+///
+/// Same contract as [`replay_sessions`].
+pub fn replay_sessions_traced(
+    link: LinkModel,
+    sessions: &[&SessionReport],
+    epoch: TraceEpoch,
+    ring_capacity: usize,
+) -> (LinkReplay, ThreadTrace) {
+    let client = SessionClient::new(link).with_trace(Recorder::new(epoch, ring_capacity));
+    let (replay, mut client) = run_replay(client, sessions);
+    let recorder = client.take_recorder().expect("recorder installed above");
+    (replay, recorder.into_thread(0, Lane::Client))
+}
+
+fn run_replay(
+    mut client: SessionClient,
+    sessions: &[&SessionReport],
+) -> (LinkReplay, SessionClient) {
+    let link = *client.link();
     let mut reports = Vec::with_capacity(sessions.len());
     let mut tiers: Vec<(String, usize, DeliveryReport)> = Vec::new();
     let mut totals = DeliveryReport::default();
@@ -60,12 +89,15 @@ pub fn replay_sessions(link: LinkModel, sessions: &[&SessionReport]) -> LinkRepl
         }
         reports.push(seen);
     }
-    LinkReplay {
-        link,
-        sessions: reports,
-        tiers,
-        totals,
-    }
+    (
+        LinkReplay {
+            link,
+            sessions: reports,
+            tiers,
+            totals,
+        },
+        client,
+    )
 }
 
 /// Prints the human-readable link tables: per-session delivery, per-tier
@@ -224,6 +256,29 @@ mod tests {
             "infinite PSNR renders as null"
         );
         assert!(rendered.contains(r#""bandwidth_mbits":null"#));
+    }
+
+    #[test]
+    fn traced_replay_seals_a_client_thread_and_changes_nothing() {
+        use pvc_trace::Stage;
+
+        let sessions = fleet();
+        let refs: Vec<&SessionReport> = sessions.iter().collect();
+        let plain = replay_sessions(LinkModel::lossless(), &refs);
+        let (replay, thread) =
+            replay_sessions_traced(LinkModel::lossless(), &refs, TraceEpoch::now(), 64);
+        assert_eq!(replay.totals, plain.totals, "tracing is observation only");
+        assert_eq!(thread.lane, Lane::Client);
+        assert_eq!(thread.shard, 0);
+        assert_eq!(thread.dropped, 0);
+        // Every consumed frame records one decode and one transit span.
+        let frames = replay.totals.frames_sent;
+        assert_eq!(thread.stages.stage_merged(Stage::Decode).count(), frames);
+        assert_eq!(
+            thread.stages.stage_merged(Stage::LinkTransit).count(),
+            frames
+        );
+        assert_eq!(thread.events.len() as u64, 2 * frames);
     }
 
     #[test]

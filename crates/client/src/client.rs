@@ -7,9 +7,11 @@ use pvc_color::Srgb8;
 use pvc_frame::{Dimensions, SrgbFrame};
 use pvc_metrics::{DeliveryReport, QualityReport};
 use pvc_stream::{WireError, WireReader, WireRecord, WireSessionHeader};
+use pvc_trace::{Recorder, Stage};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Errors produced while consuming a session's wire stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,6 +123,9 @@ pub struct SessionClient {
     decoder: BdDecoder,
     current: SrgbFrame,
     displayed: SrgbFrame,
+    /// When present, decode spans (wall time) and link-transit spans
+    /// (simulated stream time) are recorded per consumed frame.
+    recorder: Option<Recorder>,
 }
 
 impl SessionClient {
@@ -131,6 +136,7 @@ impl SessionClient {
             decoder: BdDecoder::new(),
             current: SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default()),
             displayed: SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default()),
+            recorder: None,
         }
     }
 
@@ -139,6 +145,26 @@ impl SessionClient {
     pub fn with_decoder(mut self, decoder: BdDecoder) -> Self {
         self.decoder = decoder;
         self
+    }
+
+    /// Returns the client with per-frame tracing: each consumed frame
+    /// records a decode span (wall time) and a link-transit span.
+    ///
+    /// The link is simulated, so its transit span lives in the *stream's*
+    /// own virtual timeline (seconds since the stream started, as
+    /// nanoseconds) rather than wall time — useful for seeing pipe
+    /// serialization and deadline misses, not for comparing against the
+    /// serving threads' wall-clock spans.
+    pub fn with_trace(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Takes the recorder back (e.g. to seal it into a
+    /// [`pvc_trace::ThreadTrace`] after replaying a batch of streams),
+    /// leaving tracing disabled.
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
     }
 
     /// The client's link model.
@@ -205,9 +231,19 @@ impl SessionClient {
                     // Decode first: the payload is also the slot's ground
                     // truth (BD is lossless, so this *is* the worker's
                     // adjusted frame).
+                    let decode_start = Instant::now();
                     self.decoder
                         .decode_bitstream_into(payload, &mut self.current)
                         .map_err(|error| ClientError::Decode { frame_index, error })?;
+                    if let Some(recorder) = self.recorder.as_mut() {
+                        recorder.span(
+                            Stage::Decode,
+                            header.tier.class_index(),
+                            header.session,
+                            frame_index,
+                            decode_start,
+                        );
+                    }
                     if self.current.dimensions() != dimensions {
                         return Err(ClientError::DimensionMismatch { frame_index });
                     }
@@ -223,6 +259,20 @@ impl SessionClient {
                             .link
                             .transmission_seconds(header.tier, payload.len() as u64);
                     let arrival = link_free + latency;
+                    if let Some(recorder) = self.recorder.as_mut() {
+                        // Virtual stream time, not wall time: the span
+                        // covers transmission-start → arrival on the
+                        // simulated pipe, so serialized backlog shows up
+                        // as spans stacking past their frame slots.
+                        recorder.span_nanos(
+                            Stage::LinkTransit,
+                            header.tier.class_index(),
+                            header.session,
+                            frame_index,
+                            (start * 1e9) as u64,
+                            ((arrival - start).max(0.0) * 1e9) as u64,
+                        );
+                    }
                     let payload_bytes = payload.len() as u64;
                     if dropped {
                         delivery.record_dropped(payload_bytes);

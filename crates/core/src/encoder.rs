@@ -9,6 +9,7 @@ use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
 use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, TileGrid, TileRect};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// What one worker decided about one tile. Collected in tile order so the
 /// fold below is deterministic regardless of the thread count.
@@ -322,18 +323,29 @@ impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
         scratch: &mut StreamScratch,
         out: &mut Vec<u8>,
     ) -> StreamFrameStats {
+        let started = Instant::now();
         let adjustment = self.adjust_frame_with_map_into(
             frame,
             eccentricity,
             &mut scratch.adjust,
             &mut scratch.adjusted,
         );
+        let after_adjust = Instant::now();
         scratch.adjusted.to_srgb_into(&mut scratch.srgb);
+        let after_gamma = Instant::now();
         let compression =
             self.bd
                 .encode_frame_into(&scratch.srgb, &mut scratch.writer, &mut scratch.gather);
         out.clear();
         out.extend_from_slice(scratch.writer.as_bytes());
+        // Reading the clock is a vDSO call, not an allocation, so the
+        // sub-stage timing rides along without disturbing the zero-alloc
+        // pin on this path.
+        scratch.timing = StageNanos {
+            adjust: after_adjust.duration_since(started).as_nanos() as u64,
+            gamma: after_gamma.duration_since(after_adjust).as_nanos() as u64,
+            bd_encode: after_gamma.elapsed().as_nanos() as u64,
+        };
         StreamFrameStats {
             adjustment,
             compression,
@@ -392,6 +404,7 @@ pub struct StreamScratch {
     srgb: SrgbFrame,
     writer: BitWriter,
     gather: Vec<Srgb8>,
+    timing: StageNanos,
 }
 
 impl Default for StreamScratch {
@@ -403,6 +416,7 @@ impl Default for StreamScratch {
             srgb: SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default()),
             writer: BitWriter::new(),
             gather: Vec::new(),
+            timing: StageNanos::default(),
         }
     }
 }
@@ -412,6 +426,28 @@ impl StreamScratch {
     pub fn new() -> Self {
         StreamScratch::default()
     }
+
+    /// Wall-clock breakdown of the most recent
+    /// [`PerceptualEncoder::encode_frame_stream_with_map_into`] call
+    /// through this scratch (all zeros before the first encode). Lives on
+    /// the scratch rather than in [`StreamFrameStats`] so the stats stay a
+    /// pure function of the pixels — tests compare them across runs.
+    pub fn last_timing(&self) -> StageNanos {
+        self.timing
+    }
+}
+
+/// Wall-clock nanoseconds spent in each sub-stage of one scratch
+/// stream-encode: the per-frame breakdown a tracing worker turns into
+/// adjust / gamma / BD-encode spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Eccentricity-guided tile adjustment.
+    pub adjust: u64,
+    /// Linear → sRGB gamma conversion.
+    pub gamma: u64,
+    /// BD entropy encode plus the copy into the caller's output buffer.
+    pub bd_encode: u64,
 }
 
 /// Per-frame telemetry of the scratch stream-encode path: everything a

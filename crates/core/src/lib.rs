@@ -67,7 +67,8 @@ pub use adjust::{
 pub use batch::{BatchCacheStats, BatchEncoder, DEFAULT_GAZE_CACHE_CAPACITY};
 pub use config::EncoderConfig;
 pub use encoder::{
-    PerceptualEncodeResult, PerceptualEncoder, StreamEncodeResult, StreamFrameStats, StreamScratch,
+    PerceptualEncodeResult, PerceptualEncoder, StageNanos, StreamEncodeResult, StreamFrameStats,
+    StreamScratch,
 };
 pub use solver::IterativeSolver;
 pub use stats::AdjustmentStats;

@@ -16,8 +16,10 @@ use pvc_core::{BatchEncoder, EncoderConfig, StreamScratch};
 use pvc_fovea::{DisplayGeometry, GazePoint};
 use pvc_frame::Dimensions;
 use pvc_scenes::{SceneConfig, SceneId, SceneRenderer};
+use pvc_trace::{Marker, Recorder, Stage, TraceEpoch};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Allocation / reallocation events since process start.
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
@@ -63,6 +65,13 @@ fn steady_state_stream_frames_do_not_allocate() {
     let mut scratch = StreamScratch::new();
     let mut bitstream = Vec::new();
 
+    // Tracing stays ON through the measured pass: the pin also covers the
+    // pvc_trace recording path. The tiny ring capacity (4) forces the
+    // overwrite-oldest wrap branch, the one that runs in steady state.
+    let epoch = TraceEpoch::now();
+    let mut recorder = Recorder::new(epoch, 4);
+    recorder.mark(Marker::Admit, 0, 1);
+
     // Warm-up: builds the eccentricity maps and grows every scratch buffer
     // to its steady-state size.
     let mut warmup_bytes = 0usize;
@@ -74,13 +83,22 @@ fn steady_state_stream_frames_do_not_allocate() {
     }
     assert!(warmup_bytes > 0, "the warm-up must produce real bitstreams");
 
-    // Measured steady state: the exact same frame/gaze schedule again.
+    // Measured steady state: the exact same frame/gaze schedule again,
+    // now recording the same spans a tracing shard worker records.
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let mut measured_bytes = 0usize;
+    let mut frame_index = 0u32;
     for frame in &frames {
         for &gaze in &gazes {
+            let started = Instant::now();
             session.encode_frame_stream_into(frame, gaze, &mut scratch, &mut bitstream);
+            let timing = scratch.last_timing();
+            recorder.span_nanos(Stage::Adjust, 0, 1, frame_index, 0, timing.adjust);
+            recorder.span_nanos(Stage::Gamma, 0, 1, frame_index, 0, timing.gamma);
+            recorder.span_nanos(Stage::BdEncode, 0, 1, frame_index, 0, timing.bd_encode);
+            recorder.span(Stage::WireEmit, 0, 1, frame_index, started);
             measured_bytes += bitstream.len();
+            frame_index += 1;
         }
     }
     let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
@@ -88,7 +106,16 @@ fn steady_state_stream_frames_do_not_allocate() {
     assert_eq!(measured_bytes, warmup_bytes, "the workload must repeat");
     assert_eq!(
         allocations, 0,
-        "steady-state stream frames must not allocate \
+        "steady-state stream frames must not allocate, tracing included \
          ({allocations} allocation events over 8 frames)"
+    );
+    assert_eq!(
+        recorder.tables().total_count(),
+        4 * u64::from(frame_index),
+        "every measured span must have landed in the stage tables"
+    );
+    assert!(
+        recorder.recorded() > 4,
+        "the measured pass must have wrapped the 4-event ring"
     );
 }

@@ -49,6 +49,19 @@ struct Counters {
     stalls: AtomicU64,
     sent: AtomicU64,
     received: AtomicU64,
+    peak_depth: AtomicU64,
+}
+
+impl Counters {
+    /// Called after `sent` was bumped: folds the post-send occupancy
+    /// snapshot into the high-water mark. Reading `received` first keeps
+    /// the snapshot conservative (never above the true occupancy).
+    fn note_depth(&self) {
+        let received = self.received.load(Ordering::Relaxed);
+        let sent = self.sent.load(Ordering::Relaxed);
+        self.peak_depth
+            .fetch_max(sent.saturating_sub(received), Ordering::Relaxed);
+    }
 }
 
 /// The producing half of a [`bounded_queue`].
@@ -82,6 +95,7 @@ impl<T> BoundedSender<T> {
         match self.inner.try_send(value) {
             Ok(()) => {
                 self.counters.sent.fetch_add(1, Ordering::Relaxed);
+                self.counters.note_depth();
                 Ok(())
             }
             Err(TrySendError::Disconnected(v)) => Err(QueueClosed(v)),
@@ -90,6 +104,7 @@ impl<T> BoundedSender<T> {
                 match self.inner.send(v) {
                     Ok(()) => {
                         self.counters.sent.fetch_add(1, Ordering::Relaxed);
+                        self.counters.note_depth();
                         Ok(())
                     }
                     Err(e) => Err(QueueClosed(e.0)),
@@ -174,6 +189,18 @@ impl QueueStats {
         let received = self.0.received.load(Ordering::Relaxed);
         let sent = self.0.sent.load(Ordering::Relaxed);
         sent.saturating_sub(received) as usize
+    }
+
+    /// Total items ever enqueued (monotonic).
+    pub fn enqueued(&self) -> u64 {
+        self.0.sent.load(Ordering::Relaxed)
+    }
+
+    /// The deepest post-send occupancy observed so far — the queue's
+    /// high-water mark. A shard whose peak sits at the configured depth
+    /// spent time with its producer blocked on backpressure.
+    pub fn peak_depth(&self) -> usize {
+        self.0.peak_depth.load(Ordering::Relaxed) as usize
     }
 }
 
@@ -296,6 +323,42 @@ mod tests {
         drop(tx);
         assert_eq!(rx.into_iter().count(), 2);
         assert_eq!(stats.depth(), 0);
+    }
+
+    #[test]
+    fn peak_depth_is_a_high_water_mark() {
+        let (tx, rx, stats) = bounded_queue(4);
+        assert_eq!(stats.peak_depth(), 0);
+        tx.send(1u8).unwrap();
+        tx.send(2u8).unwrap();
+        tx.send(3u8).unwrap();
+        assert_eq!(stats.peak_depth(), 3);
+        // Draining does not lower the peak.
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(stats.peak_depth(), 3);
+        // A shallower refill does not raise it either.
+        tx.send(4u8).unwrap();
+        assert_eq!(stats.peak_depth(), 3);
+        assert_eq!(stats.enqueued(), 4);
+        drop(tx);
+        assert_eq!(rx.into_iter().count(), 2);
+    }
+
+    #[test]
+    fn enqueued_counts_blocking_sends_too() {
+        let (tx, rx, stats) = bounded_queue(1);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                tx.send(1u8).unwrap();
+                tx.send(2u8).unwrap(); // stalls until the main thread drains
+            });
+            wait_for_stall(&stats);
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+        });
+        assert_eq!(stats.enqueued(), 2);
+        assert!(stats.peak_depth() >= 1);
     }
 
     #[test]

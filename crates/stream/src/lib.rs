@@ -128,7 +128,7 @@ pub mod wire;
 pub use gaze::{FixationSaccadeConfig, GazeModel, GazeTrace, SmoothPursuitConfig};
 pub use placement::{LeastLoaded, Placement, PowerOfTwoChoices, ShardLoad, Static};
 pub use runtime::StreamRuntime;
-pub use service::{ServiceConfig, ServiceReport, ShardReport, StreamService};
+pub use service::{ServiceConfig, ServiceReport, ShardReport, StreamService, TraceConfig};
 pub use session::{ResolutionTier, SessionConfig, SessionProfile, SessionReport, WorkloadMix};
 pub use wire::{
     FrameSink, WireError, WireReader, WireRecord, WireSessionHeader, WireSink, WIRE_VERSION,

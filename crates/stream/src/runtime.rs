@@ -97,8 +97,9 @@ use pvc_parallel::{
     ControlSender, Gauge, QueueStats,
 };
 use pvc_scenes::{SceneConfig, SceneRenderer};
+use pvc_trace::{Lane, Marker, Recorder, Stage, ThreadTrace, TraceEpoch, TraceReport, CLASS_OTHER};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -128,6 +129,10 @@ enum ShardJob {
         id: usize,
         frame: LinearFrame,
         gaze: GazePoint,
+        /// When the producer handed the frame to the queue; the worker's
+        /// dequeue-minus-this is the queue-wait stage. Always stamped
+        /// (one clock read) — timing never steers any encoded bit.
+        enqueued: Instant,
     },
     /// The session's last frame has been sent; finalize its report.
     Close { id: usize },
@@ -195,6 +200,9 @@ struct WorkerSession {
     /// Encode-start instant of the session's first frame; per-session
     /// wall-clock runs from here to the end of the last frame's encode.
     first_frame: Option<Instant>,
+    /// The session tier's trace class (`ResolutionTier::class_index`),
+    /// keying its spans into the per-tier stage tables.
+    class: u8,
 }
 
 impl WorkerSession {
@@ -236,6 +244,7 @@ impl WorkerSession {
             wire: service.collect_wire.then(WireSink::new),
             frame_pixels: config.pixel_cost(),
             first_frame: None,
+            class: config.profile.tier.class_index(),
         };
         for sink in session.sinks() {
             sink.start(&header);
@@ -248,6 +257,59 @@ impl WorkerSession {
     fn sinks(&mut self) -> impl Iterator<Item = &mut dyn FrameSink> {
         std::iter::once(&mut self.digest as &mut dyn FrameSink)
             .chain(self.wire.iter_mut().map(|sink| sink as &mut dyn FrameSink))
+    }
+}
+
+/// What a shard needs to participate in tracing, fixed at spawn time.
+struct TracingSpec {
+    epoch: TraceEpoch,
+    ring_capacity: usize,
+    /// Sealed [`ThreadTrace`]s travel back to the runtime on this channel.
+    sender: mpsc::Sender<ThreadTrace>,
+}
+
+/// One pipeline thread's tracing kit: its pre-allocated recorder plus the
+/// way home for the sealed trace. Created on the runtime thread (all
+/// allocation up front), moved into the pipeline thread, sealed on exit.
+struct ShardTracing {
+    shard: usize,
+    recorder: Recorder,
+    out: mpsc::Sender<ThreadTrace>,
+}
+
+impl ShardTracing {
+    fn new(shard: usize, spec: &TracingSpec) -> ShardTracing {
+        ShardTracing {
+            shard,
+            recorder: Recorder::new(spec.epoch, spec.ring_capacity),
+            out: spec.sender.clone(),
+        }
+    }
+
+    /// Seals the recorder and ships the thread's trace to the runtime.
+    fn finish(self, lane: Lane) {
+        self.out
+            .send(self.recorder.into_thread(self.shard, lane))
+            .ok();
+    }
+}
+
+/// The runtime's half of tracing: the shared epoch, the control-plane
+/// recorder (admit/retire/cancel markers), and the channel the shard
+/// threads return their sealed traces on.
+struct RuntimeTracing {
+    epoch: TraceEpoch,
+    control: Recorder,
+    collected: mpsc::Receiver<ThreadTrace>,
+}
+
+/// Display order of lanes within a shard's group in the final report.
+fn lane_rank(lane: Lane) -> u8 {
+    match lane {
+        Lane::Producer => 0,
+        Lane::Worker => 1,
+        Lane::Control => 2,
+        Lane::Client => 3,
     }
 }
 
@@ -327,6 +389,9 @@ pub struct StreamRuntime {
     churn: ChurnCounters,
     started: Instant,
     next_id: usize,
+    /// Present when the config enables tracing: the control-plane
+    /// recorder plus the channel shard threads return sealed traces on.
+    tracing: Option<RuntimeTracing>,
 }
 
 impl std::fmt::Debug for StreamRuntime {
@@ -357,12 +422,35 @@ impl StreamRuntime {
             "cache capacity must be non-zero"
         );
         let (event_tx, events) = mpsc::channel();
+        // All tracing storage (rings, stage tables) is allocated here,
+        // before any pipeline thread runs a frame.
+        let (spec, tracing) = match &config.trace {
+            Some(trace) => {
+                let epoch = TraceEpoch::now();
+                let (trace_tx, trace_rx) = mpsc::channel();
+                (
+                    Some(TracingSpec {
+                        epoch,
+                        ring_capacity: trace.ring_capacity,
+                        sender: trace_tx,
+                    }),
+                    Some(RuntimeTracing {
+                        epoch,
+                        control: Recorder::new(epoch, trace.ring_capacity),
+                        collected: trace_rx,
+                    }),
+                )
+            }
+            None => (None, None),
+        };
         let shards: Vec<ShardHandle> = (0..config.shards)
-            .map(|shard| spawn_shard(shard, &config, event_tx.clone()))
+            .map(|shard| spawn_shard(shard, &config, event_tx.clone(), spec.as_ref()))
             .collect();
         // Workers hold the only remaining senders: the event channel
-        // closes exactly when the last worker exits.
+        // closes exactly when the last worker exits. Likewise the spec's
+        // trace sender: only the per-thread clones remain.
         drop(event_tx);
+        drop(spec);
         let shard_reports = vec![None; config.shards];
         StreamRuntime {
             config,
@@ -377,6 +465,7 @@ impl StreamRuntime {
             churn: ChurnCounters::default(),
             started: Instant::now(),
             next_id: 0,
+            tracing,
         }
     }
 
@@ -444,6 +533,11 @@ impl StreamRuntime {
         // Commit the pixel weight synchronously with the session count so
         // cost-aware placement sees back-to-back admissions too.
         handle.session_pixels.add(config.pixel_cost());
+        if let Some(tracing) = self.tracing.as_mut() {
+            tracing
+                .control
+                .mark(Marker::Admit, config.profile.tier.class_index(), id as u64);
+        }
         handle
             .control
             .send(ShardControl::Admit { id, config })
@@ -468,6 +562,11 @@ impl StreamRuntime {
     /// Panics if the id was never admitted or was already retired.
     pub fn retire(&mut self, session: usize) -> SessionReport {
         self.begin_retirement(session);
+        if let Some(tracing) = self.tracing.as_mut() {
+            tracing
+                .control
+                .mark(Marker::Retire, CLASS_OTHER, session as u64);
+        }
         self.await_completion(session)
     }
 
@@ -490,6 +589,11 @@ impl StreamRuntime {
     /// Panics if the id was never admitted or was already retired.
     pub fn retire_now(&mut self, session: usize) -> SessionReport {
         self.begin_retirement(session);
+        if let Some(tracing) = self.tracing.as_mut() {
+            tracing
+                .control
+                .mark(Marker::Cancel, CLASS_OTHER, session as u64);
+        }
         let shard = self.assignments[&session];
         self.shards[shard]
             .control
@@ -576,6 +680,7 @@ impl StreamRuntime {
                 Err(_) => break,
             }
         }
+        let shard_count = handles.len();
         for handle in handles {
             drop(handle.control);
             handle.producer.join().expect("shard producer panicked");
@@ -596,11 +701,34 @@ impl StreamRuntime {
                 })
             })
             .collect();
+        // Every pipeline thread has been joined, so every sealed trace is
+        // already sitting in the channel; drain without blocking.
+        let trace = self.tracing.take().map(|tracing| {
+            let RuntimeTracing {
+                epoch,
+                control,
+                collected,
+            } = tracing;
+            let mut report = TraceReport::new(epoch);
+            while let Ok(thread) = collected.try_recv() {
+                report.threads.push(thread);
+            }
+            // The control plane reports as its own lane, one past the
+            // last shard.
+            report
+                .threads
+                .push(control.into_thread(shard_count, Lane::Control));
+            report
+                .threads
+                .sort_by_key(|thread| (thread.shard, lane_rank(thread.lane)));
+            report
+        });
         ServiceReport {
             sessions,
             shards,
             totals,
             churn: self.churn,
+            trace,
         }
     }
 
@@ -636,6 +764,7 @@ fn spawn_shard(
     shard: usize,
     config: &ServiceConfig,
     events: mpsc::Sender<RuntimeEvent>,
+    tracing: Option<&TracingSpec>,
 ) -> ShardHandle {
     let (control_tx, control_rx) = control_channel();
     let (job_tx, job_rx, queue) = bounded_queue(config.queue_depth);
@@ -649,32 +778,42 @@ fn spawn_shard(
     let sessions = Arc::new(AtomicUsize::new(0));
     let session_pixels = Gauge::new();
     let queued_pixels = Gauge::new();
+    // Always-on render-time accounting (satisfies ShardReport even with
+    // tracing off): the producer adds, the worker reads at exit.
+    let render_nanos = Arc::new(AtomicU64::new(0));
     let producer = std::thread::Builder::new()
         .name(format!("pvc-shard{shard}-render"))
         .spawn({
-            let queued_pixels = queued_pixels.clone();
-            move || {
-                run_producer(
-                    control_rx,
-                    job_tx,
-                    queued_pixels,
-                    recycle_rx,
-                    frame_pool_cap,
-                )
-            }
+            let links = ProducerLinks {
+                control: control_rx,
+                jobs: job_tx,
+                queued_pixels: queued_pixels.clone(),
+                recycle: recycle_rx,
+                frame_pool_cap,
+                render_nanos: Arc::clone(&render_nanos),
+                tracing: tracing.map(|spec| ShardTracing::new(shard, spec)),
+            };
+            move || run_producer(links)
         })
         .expect("spawning shard producer thread");
     let worker = std::thread::Builder::new()
         .name(format!("pvc-shard{shard}-encode"))
         .spawn({
             let config = config.clone();
-            let queue = queue.clone();
-            let gauges = WorkerGauges {
-                sessions: Arc::clone(&sessions),
-                session_pixels: session_pixels.clone(),
-                queued_pixels: queued_pixels.clone(),
+            let links = WorkerLinks {
+                jobs: job_rx,
+                queue: queue.clone(),
+                gauges: WorkerGauges {
+                    sessions: Arc::clone(&sessions),
+                    session_pixels: session_pixels.clone(),
+                    queued_pixels: queued_pixels.clone(),
+                },
+                events,
+                recycle: recycle_tx,
+                render_nanos,
+                tracing: tracing.map(|spec| ShardTracing::new(shard, spec)),
             };
-            move || run_worker(shard, config, job_rx, queue, gauges, events, recycle_tx)
+            move || run_worker(shard, config, links)
         })
         .expect("spawning shard worker thread");
     ShardHandle {
@@ -718,6 +857,31 @@ fn cancel_session(
     jobs.send(ShardJob::Cancel { id }).map_err(|_| ())
 }
 
+/// Everything one producer thread owns, bundled so the tracing kit and
+/// the always-on render-time counter ride along without widening the
+/// thread function's signature.
+struct ProducerLinks {
+    control: ControlReceiver<ShardControl>,
+    jobs: BoundedSender<ShardJob>,
+    queued_pixels: Gauge,
+    recycle: mpsc::Receiver<LinearFrame>,
+    frame_pool_cap: usize,
+    /// Accumulated render time, read by the worker at exit into
+    /// [`ShardReport::render_seconds`]. Always maintained.
+    render_nanos: Arc<AtomicU64>,
+    tracing: Option<ShardTracing>,
+}
+
+/// The producer thread: runs the loop, then seals and ships its trace.
+/// `links` (and with it the job sender) drops when this returns, which is
+/// what lets the worker drain and wind down.
+fn run_producer(mut links: ProducerLinks) {
+    producer_loop(&mut links);
+    if let Some(tracing) = links.tracing.take() {
+        tracing.finish(Lane::Producer);
+    }
+}
+
 /// The producer loop: absorbs control commands (blocking while idle,
 /// polling while busy) and renders member sessions' frames round-robin
 /// into the bounded queue. Frame-major interleaving (A0 B0 A1 B1 …) is
@@ -729,21 +893,16 @@ fn cancel_session(
 /// channel (capped at `frame_pool_cap`; excess buffers are dropped), so a
 /// long-lived session renders its whole stream into a handful of
 /// recirculating frames. Rendering overwrites every pixel, so recycling
-/// cannot change a single emitted bit.
-fn run_producer(
-    control: ControlReceiver<ShardControl>,
-    jobs: BoundedSender<ShardJob>,
-    queued_pixels: Gauge,
-    recycle: mpsc::Receiver<LinearFrame>,
-    frame_pool_cap: usize,
-) {
+/// cannot change a single emitted bit — and neither can any of the clock
+/// reads tracing adds around it.
+fn producer_loop(links: &mut ProducerLinks) {
     let mut active: Vec<ProducerSession> = Vec::new();
     let mut pool: Vec<LinearFrame> = Vec::new();
     let mut draining = false;
     loop {
         // Idle: sleep on the control channel rather than spinning.
         while active.is_empty() && !draining {
-            match control.wait() {
+            match links.control.wait() {
                 Some(ShardControl::Admit { id, config }) => {
                     active.push(ProducerSession::admit(id, config));
                 }
@@ -755,12 +914,12 @@ fn run_producer(
         }
         // Busy: absorb whatever commands piled up, without blocking.
         loop {
-            match control.poll() {
+            match links.control.poll() {
                 ControlPoll::Message(ShardControl::Admit { id, config }) => {
                     active.push(ProducerSession::admit(id, config));
                 }
                 ControlPoll::Message(ShardControl::Cancel { id }) => {
-                    if cancel_session(&mut active, id, &jobs).is_err() {
+                    if cancel_session(&mut active, id, &links.jobs).is_err() {
                         return;
                     }
                 }
@@ -773,15 +932,21 @@ fn run_producer(
         }
         if active.is_empty() {
             if draining {
-                return; // dropping `jobs` closes the queue; worker winds down
+                return; // returning drops `jobs` upstream; worker winds down
             }
             continue;
         }
         // Reclaim whatever render buffers the worker has finished with.
-        while let Ok(frame) = recycle.try_recv() {
-            if pool.len() < frame_pool_cap {
+        let reclaim_start = Instant::now();
+        while let Ok(frame) = links.recycle.try_recv() {
+            if pool.len() < links.frame_pool_cap {
                 pool.push(frame);
             }
+        }
+        if let Some(tracing) = links.tracing.as_mut() {
+            tracing
+                .recorder
+                .span(Stage::PoolRecycle, CLASS_OTHER, 0, 0, reclaim_start);
         }
         // One frame per member session. Every send can block on the
         // bounded queue (backpressure); a send error means the worker is
@@ -795,7 +960,7 @@ fn run_producer(
                         id: session.id,
                         config: session.config.clone(),
                     };
-                    if jobs.send(open).is_err() {
+                    if links.jobs.send(open).is_err() {
                         return;
                     }
                     session.opened = true;
@@ -805,18 +970,36 @@ fn run_producer(
                     let mut frame = pool.pop().unwrap_or_else(|| {
                         LinearFrame::filled(Dimensions::new(1, 1), LinearRgb::BLACK)
                     });
+                    let render_start = Instant::now();
                     session.renderer.render_linear_into(t, &mut frame);
+                    let rendered_nanos = render_start.elapsed().as_nanos() as u64;
+                    links
+                        .render_nanos
+                        .fetch_add(rendered_nanos, Ordering::Relaxed);
+                    if let Some(tracing) = links.tracing.as_mut() {
+                        let class = session.config.profile.tier.class_index();
+                        let start = tracing.recorder.epoch().nanos_since(render_start);
+                        tracing.recorder.span_nanos(
+                            Stage::Render,
+                            class,
+                            session.id as u64,
+                            t,
+                            start,
+                            rendered_nanos,
+                        );
+                    }
                     let job = ShardJob::Frame {
                         id: session.id,
                         frame,
                         gaze: session.trace.samples()[t as usize],
+                        enqueued: Instant::now(),
                     };
                     // Add-before-handoff keeps the gauge non-negative: the
                     // worker's release always follows this add.
                     let pixels = session.config.pixel_cost();
-                    queued_pixels.add(pixels);
-                    if jobs.send(job).is_err() {
-                        queued_pixels.sub(pixels);
+                    links.queued_pixels.add(pixels);
+                    if links.jobs.send(job).is_err() {
+                        links.queued_pixels.sub(pixels);
                         return;
                     }
                     session.next += 1;
@@ -827,7 +1010,7 @@ fn run_producer(
                 // `remove` (not swap_remove) keeps the round-robin order of
                 // the remaining sessions stable.
                 let done = active.remove(index);
-                if jobs.send(ShardJob::Close { id: done.id }).is_err() {
+                if links.jobs.send(ShardJob::Close { id: done.id }).is_err() {
                     return;
                 }
             } else {
@@ -845,6 +1028,20 @@ struct WorkerGauges {
     queued_pixels: Gauge,
 }
 
+/// Everything one worker thread owns besides its encoder state, bundled
+/// like [`ProducerLinks`] to keep the thread function's signature flat.
+struct WorkerLinks {
+    jobs: BoundedReceiver<ShardJob>,
+    queue: QueueStats,
+    gauges: WorkerGauges,
+    events: mpsc::Sender<RuntimeEvent>,
+    recycle: mpsc::Sender<LinearFrame>,
+    /// The producer's accumulated render time; read once at exit (the
+    /// queue has closed by then, so the producer has stopped adding).
+    render_nanos: Arc<AtomicU64>,
+    tracing: Option<ShardTracing>,
+}
+
 /// The worker loop: drains the frame queue in arrival order, encoding each
 /// frame with its session's own encoder, and finalizes session reports on
 /// `Close` (complete) or `Cancel` (partial, flagged cancelled). Exits when
@@ -856,15 +1053,14 @@ struct WorkerGauges {
 /// heterogeneous sessions is safe — the buffers simply warm up to the
 /// largest frame size the shard serves. Encoded frames are handed back to
 /// the producer through `recycle` for re-rendering.
-fn run_worker(
-    shard: usize,
-    config: ServiceConfig,
-    jobs: BoundedReceiver<ShardJob>,
-    queue: QueueStats,
-    gauges: WorkerGauges,
-    events: mpsc::Sender<RuntimeEvent>,
-    recycle: mpsc::Sender<LinearFrame>,
-) {
+///
+/// With tracing on, each frame contributes queue-wait, adjust, gamma and
+/// BD-encode spans (the encode sub-stages come from the scratch's
+/// [`StreamScratch::last_timing`] breakdown, chained from the encode
+/// start — the gaze-map lookup between dequeue and adjust is untraced)
+/// plus a wire-emit span around the sink fan-out. All of it is clock
+/// reads and integer stores: no allocation, no encoded-bit drift.
+fn run_worker(shard: usize, config: ServiceConfig, mut links: WorkerLinks) {
     let wall_start = Instant::now();
     let mut shard_report = ShardReport {
         shard,
@@ -874,7 +1070,7 @@ fn run_worker(
     let mut scratch = StreamScratch::new();
     let mut bitstream: Vec<u8> = Vec::new();
     let mut busy_seconds = 0.0f64;
-    for job in jobs {
+    for job in links.jobs.iter() {
         match job {
             ShardJob::Open {
                 id,
@@ -883,12 +1079,17 @@ fn run_worker(
                 shard_report.sessions += 1;
                 sessions.insert(id, WorkerSession::open(id, shard, &config, &session_config));
             }
-            ShardJob::Frame { id, frame, gaze } => {
+            ShardJob::Frame {
+                id,
+                frame,
+                gaze,
+                enqueued,
+            } => {
                 let session = sessions
                     .get_mut(&id)
                     .expect("frame for a session that was never opened");
                 // The frame left the queue: release its pixel weight.
-                gauges.queued_pixels.sub(session.frame_pixels);
+                links.gauges.queued_pixels.sub(session.frame_pixels);
                 let encode_start = Instant::now();
                 let first_frame = *session.first_frame.get_or_insert(encode_start);
                 let stats = session.encoder.encode_frame_stream_into(
@@ -901,7 +1102,7 @@ fn run_worker(
                 // The frame's pixels are encoded; hand the buffer back for
                 // re-rendering (the producer may already be gone at
                 // shutdown, which is fine — the buffer just drops).
-                recycle.send(frame).ok();
+                links.recycle.send(frame).ok();
                 let report = &mut session.report;
                 // The frame's index within the session, before the
                 // throughput counter moves past it.
@@ -915,34 +1116,109 @@ fn run_worker(
                 // latest frame's encode end. Refreshed every frame so the
                 // final value lands on the last frame without needing one.
                 report.throughput.wall_seconds = first_frame.elapsed().as_secs_f64();
+                if let Some(tracing) = links.tracing.as_mut() {
+                    record_frame_spans(
+                        &mut tracing.recorder,
+                        session.class,
+                        id as u64,
+                        frame_index,
+                        enqueued,
+                        encode_start,
+                        scratch.last_timing(),
+                    );
+                }
+                let emit_start = Instant::now();
                 for sink in session.sinks() {
                     sink.frame(frame_index, &bitstream);
+                }
+                if let Some(tracing) = links.tracing.as_mut() {
+                    tracing.recorder.span(
+                        Stage::WireEmit,
+                        session.class,
+                        id as u64,
+                        frame_index,
+                        emit_start,
+                    );
                 }
             }
             ShardJob::Close { id } => {
                 let session = sessions
                     .remove(&id)
                     .expect("close for a session that was never opened");
-                finalize(session, &mut shard_report, &gauges, &events);
+                finalize(session, &mut shard_report, &links.gauges, &links.events);
             }
             ShardJob::Cancel { id } => {
                 let mut session = sessions
                     .remove(&id)
                     .expect("cancel for a session that was never opened");
                 session.report.cancelled = true;
-                finalize(session, &mut shard_report, &gauges, &events);
+                finalize(session, &mut shard_report, &links.gauges, &links.events);
             }
         }
     }
     // The producer only exits without closing every session while
     // unwinding; finalize leftovers so retirees are not stranded.
     for (_, session) in std::mem::take(&mut sessions) {
-        finalize(session, &mut shard_report, &gauges, &events);
+        finalize(session, &mut shard_report, &links.gauges, &links.events);
     }
     shard_report.busy_seconds = busy_seconds;
+    shard_report.render_seconds = links.render_nanos.load(Ordering::Relaxed) as f64 / 1e9;
     shard_report.wall_seconds = wall_start.elapsed().as_secs_f64();
-    shard_report.queue_stalls = queue.stalls();
-    events.send(RuntimeEvent::ShardDone(shard_report)).ok();
+    shard_report.queue_stalls = links.queue.stalls();
+    shard_report.queue_enqueued = links.queue.enqueued();
+    shard_report.queue_peak_depth = links.queue.peak_depth();
+    links
+        .events
+        .send(RuntimeEvent::ShardDone(shard_report))
+        .ok();
+    if let Some(tracing) = links.tracing.take() {
+        tracing.finish(Lane::Worker);
+    }
+}
+
+/// Records one encoded frame's span ladder: queue wait (enqueue →
+/// dequeue), then the encode broken into adjust / gamma / BD-encode via
+/// the scratch's sub-stage timing, chained end to end from the encode
+/// start.
+fn record_frame_spans(
+    recorder: &mut Recorder,
+    class: u8,
+    session: u64,
+    frame: u32,
+    enqueued: Instant,
+    encode_start: Instant,
+    timing: pvc_core::StageNanos,
+) {
+    let epoch = recorder.epoch();
+    let enqueued_at = epoch.nanos_since(enqueued);
+    let dequeued_at = epoch.nanos_since(encode_start);
+    recorder.span_nanos(
+        Stage::QueueWait,
+        class,
+        session,
+        frame,
+        enqueued_at,
+        dequeued_at.saturating_sub(enqueued_at),
+    );
+    recorder.span_nanos(
+        Stage::Adjust,
+        class,
+        session,
+        frame,
+        dequeued_at,
+        timing.adjust,
+    );
+    let gamma_at = dequeued_at + timing.adjust;
+    recorder.span_nanos(Stage::Gamma, class, session, frame, gamma_at, timing.gamma);
+    let bd_at = gamma_at + timing.gamma;
+    recorder.span_nanos(
+        Stage::BdEncode,
+        class,
+        session,
+        frame,
+        bd_at,
+        timing.bd_encode,
+    );
 }
 
 /// Seals a session's report, releases its shard-load gauges, and hands it

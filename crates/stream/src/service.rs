@@ -34,7 +34,40 @@ use crate::session::{SessionConfig, SessionReport, WorkloadMix};
 use pvc_core::{BatchCacheStats, EncoderConfig, DEFAULT_GAZE_CACHE_CAPACITY};
 use pvc_frame::Dimensions;
 use pvc_metrics::{ChurnCounters, SampleSummary, ThroughputReport, TierAggregates};
+use pvc_trace::TraceReport;
 use serde::{Deserialize, Serialize};
+
+/// Configuration of the runtime's per-thread tracing (see [`pvc_trace`]).
+///
+/// Tracing is structurally allocation-free on the hot path: every ring
+/// and histogram table is pre-allocated when the shard threads spawn, so
+/// enabling it changes no encoded bit and keeps the `alloc_regression`
+/// pin green.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Capacity of each pipeline thread's event ring. When a thread
+    /// records more events than this, the oldest scroll out (the
+    /// histograms still count every span); [`TraceReport`] reports how
+    /// many were dropped.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 4096,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Returns the configuration with a different per-thread ring
+    /// capacity (0 keeps only histograms, no events).
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+}
 
 /// Service-wide configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +88,10 @@ pub struct ServiceConfig {
     /// session's whole compressed stream; enable it when something
     /// actually consumes the bytes (link simulation, round-trip tests).
     pub collect_wire: bool,
+    /// Per-stage tracing (event rings + latency histograms). `None`
+    /// disables it entirely; `Some` pre-allocates every ring at shard
+    /// spawn and attaches a [`TraceReport`] to the service report.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +103,7 @@ impl Default for ServiceConfig {
             gaze_cache_capacity: DEFAULT_GAZE_CACHE_CAPACITY,
             collect_payloads: false,
             collect_wire: false,
+            trace: None,
         }
     }
 }
@@ -123,6 +161,12 @@ impl ServiceConfig {
         self.collect_wire = collect;
         self
     }
+
+    /// Returns the configuration with per-stage tracing enabled.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 /// What one shard worker observed over its lifetime (one
@@ -141,10 +185,19 @@ pub struct ShardReport {
     pub pixels: u64,
     /// Seconds the worker spent inside the encoder.
     pub busy_seconds: f64,
+    /// Seconds the shard's producer spent rendering frames. Runs on its
+    /// own thread, so it overlaps (rather than adds to) `busy_seconds` —
+    /// the two answer "which side of the queue is the bottleneck".
+    pub render_seconds: f64,
     /// Wall-clock seconds from shard start to worker exit.
     pub wall_seconds: f64,
     /// Times the producer blocked on a full queue (backpressure events).
     pub queue_stalls: u64,
+    /// Frames ever enqueued on the shard's render→encode queue.
+    pub queue_enqueued: u64,
+    /// High-water mark of the queue's occupancy. A peak pinned at the
+    /// configured depth means the producer spent time blocked.
+    pub queue_peak_depth: usize,
 }
 
 impl ShardReport {
@@ -154,6 +207,15 @@ impl ShardReport {
             return 0.0;
         }
         (self.busy_seconds / self.wall_seconds).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of the shard's wall-clock its producer spent rendering,
+    /// in `[0, 1]` — the render-side twin of [`Self::utilization`].
+    pub fn render_utilization(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.render_seconds / self.wall_seconds).clamp(0.0, 1.0)
     }
 
     /// The shard's pixel throughput in megapixels per second (0 when no
@@ -179,6 +241,13 @@ pub struct ServiceReport {
     pub totals: ThroughputReport,
     /// Session admission/retirement/completion counters.
     pub churn: ChurnCounters,
+    /// Per-thread trace (events + stage histograms) when the run was
+    /// configured with [`ServiceConfig::with_trace`]. Wall-clock
+    /// telemetry, machine- and timing-dependent by nature, and skipped by
+    /// serde — the JSON-facing digest lives in the bench layer's `trace`
+    /// section instead.
+    #[serde(skip)]
+    pub trace: Option<TraceReport>,
 }
 
 impl ServiceReport {
@@ -416,6 +485,69 @@ mod tests {
             assert_eq!(a.throughput.frames, b.throughput.frames);
             assert_eq!(a.throughput.bytes_out, b.throughput.bytes_out);
         }
+    }
+
+    #[test]
+    fn tracing_does_not_change_encoded_streams() {
+        use crate::session::WorkloadMix;
+        use pvc_trace::Stage;
+
+        let build = |trace: bool| {
+            let mut config = ServiceConfig::default()
+                .with_shards(2)
+                .with_collect_payloads(true);
+            if trace {
+                config = config.with_trace(TraceConfig::default());
+            }
+            let mut service = StreamService::new(config);
+            service.admit_mixed(4, WorkloadMix::Bimodal, tiny_dims(), 2);
+            service.run()
+        };
+        let plain = build(false);
+        let traced = build(true);
+
+        assert!(plain.trace.is_none());
+        for (a, b) in plain.sessions.iter().zip(&traced.sessions) {
+            assert_eq!(a.stream_digest, b.stream_digest);
+            assert_eq!(a.payloads, b.payloads, "session {}", a.session);
+        }
+
+        let trace = traced.trace.as_ref().expect("tracing was configured");
+        // 2 shards × (producer + worker) + the control lane.
+        assert_eq!(trace.threads.len(), 5);
+        assert_eq!(trace.dropped_events(), 0, "default ring fits this run");
+        let frames: u64 = traced.sessions.iter().map(|s| s.throughput.frames).sum();
+        for stage in [
+            Stage::Render,
+            Stage::QueueWait,
+            Stage::Adjust,
+            Stage::Gamma,
+            Stage::BdEncode,
+            Stage::WireEmit,
+        ] {
+            assert_eq!(
+                trace.stage_histogram(stage).count(),
+                frames,
+                "stage {} must cover every frame",
+                stage.name()
+            );
+        }
+        // The bimodal mix spans two tier classes; per-tier tables see it.
+        let per_class: Vec<u64> = (0..pvc_trace::TIER_CLASS_COUNT as u8)
+            .map(|class| trace.class_stage_histogram(class, Stage::BdEncode).count())
+            .collect();
+        assert_eq!(per_class.iter().sum::<u64>(), frames);
+        assert!(
+            per_class.iter().filter(|&&count| count > 0).count() >= 2,
+            "bimodal mix must populate at least two tier classes: {per_class:?}"
+        );
+        // Control lane carries one admit marker per admission.
+        let control = trace
+            .threads
+            .iter()
+            .find(|thread| thread.lane == pvc_trace::Lane::Control)
+            .expect("control lane present");
+        assert_eq!(control.events.len(), 4);
     }
 
     #[test]

@@ -120,6 +120,18 @@ impl ResolutionTier {
             ResolutionTier::VisionClass => Some(8),
         }
     }
+
+    /// The tier's position in [`ResolutionTier::ALL`], as the compact
+    /// class key per-tier trace tables index by (see
+    /// [`pvc_trace::TIER_CLASS_COUNT`] — classes beyond the tiers are the
+    /// catch-all [`pvc_trace::CLASS_OTHER`]).
+    pub fn class_index(self) -> u8 {
+        match self {
+            ResolutionTier::Quest2 => 0,
+            ResolutionTier::QuestPro => 1,
+            ResolutionTier::VisionClass => 2,
+        }
+    }
 }
 
 /// The per-session display profile: everything about *how* a session

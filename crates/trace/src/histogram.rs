@@ -1,0 +1,187 @@
+//! Fixed-bucket, log₂-scaled latency histograms.
+
+/// Number of buckets in a [`LatencyHistogram`]. Bucket 0 holds the value
+/// 0; bucket `i >= 1` holds `[2^(i-1), 2^i)` nanoseconds; the top bucket
+/// saturates, absorbing everything from `2^(BUCKET_COUNT-2)` ns (~9.2
+/// minutes) upward.
+pub const BUCKET_COUNT: usize = 40;
+
+/// A fixed-footprint latency histogram over nanosecond samples.
+///
+/// The bucket layout is log₂-scaled, so relative error of a percentile
+/// readout is bounded by one octave; exact `min`/`max`/`sum` ride along so
+/// the tails and the mean stay exact. Two histograms recorded on
+/// different threads merge losslessly bucket-by-bucket — merging then
+/// reading is identical to recording everything into one histogram.
+///
+/// # Examples
+///
+/// ```
+/// use pvc_trace::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for nanos in [100, 200, 400, 800] {
+///     h.record(nanos);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max_nanos(), Some(800));
+/// assert!(h.p50().unwrap() >= 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum_nanos: u64,
+    min_nanos: u64,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+        }
+    }
+
+    /// The bucket a sample lands in.
+    pub fn bucket_index(nanos: u64) -> usize {
+        if nanos == 0 {
+            0
+        } else {
+            (64 - nanos.leading_zeros() as usize).min(BUCKET_COUNT - 1)
+        }
+    }
+
+    /// The exclusive upper bound of a bucket, `u64::MAX` for the
+    /// saturating top bucket.
+    fn bucket_upper_bound(index: usize) -> u64 {
+        if index >= BUCKET_COUNT - 1 {
+            u64::MAX
+        } else {
+            // Bucket 0 holds only 0; bucket i holds [2^(i-1), 2^i).
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample. A handful of stores — no allocation.
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[Self::bucket_index(nanos)] += 1;
+        self.count += 1;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Folds `other` into `self`, bucket by bucket. Lossless: the merged
+    /// histogram reads exactly as if every sample had been recorded here.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw bucket counts (testing / export).
+    pub fn bucket_counts(&self) -> &[u64; BUCKET_COUNT] {
+        &self.buckets
+    }
+
+    /// Exact smallest sample, `None` when empty.
+    pub fn min_nanos(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_nanos)
+    }
+
+    /// Exact largest sample, `None` when empty.
+    pub fn max_nanos(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_nanos)
+    }
+
+    /// Exact mean in nanoseconds, `None` when empty.
+    pub fn mean_nanos(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_nanos as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): the upper bound of the bucket the
+    /// rank lands in, capped at the exact maximum so the readout never
+    /// exceeds any recorded sample. `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return Some(Self::bucket_upper_bound(index).min(self.max_nanos));
+            }
+        }
+        Some(self.max_nanos)
+    }
+
+    /// Median readout, `None` when empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile readout, `None` when empty.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile readout, `None` when empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2), 2);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 3);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn percentile_is_bounded_by_samples() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000);
+        h.record(1_000_000);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let p = h.percentile(q).unwrap();
+            assert!(p <= 1_000_000, "p{q} = {p} exceeds max sample");
+        }
+    }
+}

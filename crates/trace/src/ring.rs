@@ -1,0 +1,174 @@
+//! Fixed-capacity event rings: pre-allocated at spawn, overwrite-oldest.
+
+use crate::stage::{Marker, Stage};
+
+/// What kind of trace record an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed pipeline stage (Chrome `ph: "X"` complete event).
+    Span(Stage),
+    /// A zero-duration control-plane moment (Chrome `ph: "i"` instant).
+    Mark(Marker),
+}
+
+/// One recorded event: a `Copy` bundle of integers, cheap to store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span or marker, and which one.
+    pub kind: EventKind,
+    /// The session the event belongs to (0 for shard-wide events).
+    pub session: u64,
+    /// Tier class (`ResolutionTier::ALL` position, or
+    /// [`crate::CLASS_OTHER`]).
+    pub class: u8,
+    /// Frame index within the session (0 for markers).
+    pub frame: u32,
+    /// Start, in nanoseconds since the run's [`crate::TraceEpoch`].
+    pub start_nanos: u64,
+    /// Duration in nanoseconds (0 for markers).
+    pub duration_nanos: u64,
+}
+
+/// A fixed-capacity ring of [`TraceEvent`]s.
+///
+/// The backing storage is allocated once, up front, by
+/// [`EventRing::with_capacity`]; recording never allocates. When the ring
+/// is full, the oldest event is overwritten, so the ring always holds the
+/// *most recent* `capacity` events and [`EventRing::dropped`] counts what
+/// scrolled out.
+///
+/// # Examples
+///
+/// ```
+/// use pvc_trace::{EventKind, EventRing, Stage, TraceEvent};
+///
+/// let mut ring = EventRing::with_capacity(2);
+/// for frame in 0..3u32 {
+///     ring.record(TraceEvent {
+///         kind: EventKind::Span(Stage::Render),
+///         session: 1,
+///         class: 0,
+///         frame,
+///         start_nanos: u64::from(frame) * 100,
+///         duration_nanos: 50,
+///     });
+/// }
+/// assert_eq!(ring.len(), 2);
+/// assert_eq!(ring.dropped(), 1);
+/// let frames: Vec<u32> = ring.iter().map(|event| event.frame).collect();
+/// assert_eq!(frames, vec![1, 2], "oldest event scrolled out first");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRing {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    head: usize,
+    recorded: u64,
+}
+
+impl EventRing {
+    /// Creates a ring whose backing storage is fully allocated up front.
+    /// A zero-capacity ring drops everything (histograms still record).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventRing {
+            events: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Records one event: an index bump and a struct store, no allocation.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.recorded += 1;
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else if self.capacity > 0 {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Events currently held (`<= capacity`).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The fixed capacity chosen at construction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded, including overwritten ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events that scrolled out of the ring (recorded − held).
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.events.len() as u64
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events[self.head..]
+            .iter()
+            .chain(self.events[..self.head].iter())
+    }
+
+    /// Consumes the ring into a chronologically ordered vector.
+    pub fn into_ordered(mut self) -> Vec<TraceEvent> {
+        self.events.rotate_left(self.head);
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(frame: u32) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::Span(Stage::BdEncode),
+            session: 9,
+            class: 1,
+            frame,
+            start_nanos: u64::from(frame) * 10,
+            duration_nanos: 5,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut ring = EventRing::with_capacity(3);
+        for frame in 0..7 {
+            ring.record(span(frame));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.recorded(), 7);
+        assert_eq!(ring.dropped(), 4);
+        let frames: Vec<u32> = ring.iter().map(|event| event.frame).collect();
+        assert_eq!(frames, vec![4, 5, 6]);
+        assert_eq!(
+            ring.into_ordered()
+                .iter()
+                .map(|event| event.frame)
+                .collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut ring = EventRing::with_capacity(0);
+        ring.record(span(0));
+        ring.record(span(1));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 2);
+    }
+}

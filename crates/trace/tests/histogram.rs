@@ -1,0 +1,136 @@
+//! Edge-case pins for `LatencyHistogram`: empty percentiles, single
+//! sample, saturating top bucket, merge associativity, and a property pin
+//! that the recorded count always equals the sum of the bucket counts.
+
+use proptest::prelude::*;
+use pvc_trace::{LatencyHistogram, BUCKET_COUNT};
+
+#[test]
+fn empty_histogram_reads_none() {
+    let h = LatencyHistogram::new();
+    assert!(h.is_empty());
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.p50(), None);
+    assert_eq!(h.p90(), None);
+    assert_eq!(h.p99(), None);
+    assert_eq!(h.percentile(1.0), None);
+    assert_eq!(h.min_nanos(), None);
+    assert_eq!(h.max_nanos(), None);
+    assert_eq!(h.mean_nanos(), None);
+}
+
+#[test]
+fn single_sample_pins_every_readout() {
+    let mut h = LatencyHistogram::new();
+    h.record(12_345);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.min_nanos(), Some(12_345));
+    assert_eq!(h.max_nanos(), Some(12_345));
+    assert_eq!(h.mean_nanos(), Some(12_345.0));
+    // Every percentile of a single-sample histogram is that sample: the
+    // bucket upper bound is capped at the exact max.
+    for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(h.percentile(q), Some(12_345), "q = {q}");
+    }
+}
+
+#[test]
+fn zero_sample_lands_in_bucket_zero() {
+    let mut h = LatencyHistogram::new();
+    h.record(0);
+    assert_eq!(h.bucket_counts()[0], 1);
+    assert_eq!(h.p50(), Some(0));
+    assert_eq!(h.max_nanos(), Some(0));
+}
+
+#[test]
+fn top_bucket_saturates() {
+    // Everything from 2^(BUCKET_COUNT-2) ns upward lands in the last
+    // bucket rather than indexing out of bounds.
+    let low_edge = 1u64 << (BUCKET_COUNT - 2);
+    let mut h = LatencyHistogram::new();
+    h.record(low_edge);
+    h.record(low_edge * 3);
+    h.record(u64::MAX);
+    assert_eq!(h.bucket_counts()[BUCKET_COUNT - 1], 3);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.max_nanos(), Some(u64::MAX));
+    // The saturating bucket's upper bound is clamped to the exact max.
+    assert_eq!(h.percentile(1.0), Some(u64::MAX));
+    assert_eq!(h.p50(), Some(u64::MAX));
+}
+
+#[test]
+fn merge_is_associative_and_matches_direct_recording() {
+    let samples_a = [0u64, 1, 7, 900, 1_000_000];
+    let samples_b = [3u64, 3, 65_536];
+    let samples_c = [u64::MAX, 42];
+
+    let build = |samples: &[u64]| {
+        let mut h = LatencyHistogram::new();
+        for &sample in samples {
+            h.record(sample);
+        }
+        h
+    };
+    let (a, b, c) = (build(&samples_a), build(&samples_b), build(&samples_c));
+
+    // (a ⊕ b) ⊕ c
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    // a ⊕ (b ⊕ c)
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    assert_eq!(left, right, "merge must be associative");
+
+    // And identical to recording every sample into one histogram.
+    let mut direct = LatencyHistogram::new();
+    for &sample in samples_a.iter().chain(&samples_b).chain(&samples_c) {
+        direct.record(sample);
+    }
+    assert_eq!(left, direct, "merge must be lossless");
+
+    // Merging an empty histogram is the identity.
+    let mut with_empty = left.clone();
+    with_empty.merge(&LatencyHistogram::new());
+    assert_eq!(with_empty, left);
+}
+
+proptest! {
+    #[test]
+    fn count_equals_sum_of_buckets(samples in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let mut h = LatencyHistogram::new();
+        for &sample in &samples {
+            h.record(sample);
+        }
+        let bucket_sum: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(h.count(), bucket_sum);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        if let Some(p99) = h.p99() {
+            let max = h.max_nanos().unwrap();
+            prop_assert!(p99 <= max);
+        }
+    }
+
+    #[test]
+    fn merge_count_is_additive(
+        left in proptest::collection::vec(any::<u64>(), 0..64),
+        right in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut a = LatencyHistogram::new();
+        for &sample in &left {
+            a.record(sample);
+        }
+        let mut b = LatencyHistogram::new();
+        for &sample in &right {
+            b.record(sample);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), (left.len() + right.len()) as u64);
+        let bucket_sum: u64 = a.bucket_counts().iter().sum();
+        prop_assert_eq!(a.count(), bucket_sum);
+    }
+}

@@ -19,6 +19,9 @@
 //!   synthesis, heterogeneous session profiles (resolution tiers,
 //!   per-session frame budgets), cost-aware placement and hard-cancel
 //!   retirement,
+//! * [`trace`] — allocation-free per-stage tracing: per-thread event
+//!   rings, log-scaled latency histograms and the run-level trace report
+//!   the benches export as Chrome trace JSON,
 //! * [`study`] — the simulated psychophysical user study.
 //!
 //! # Quickstart
@@ -57,6 +60,7 @@ pub use pvc_metrics as metrics;
 pub use pvc_scenes as scenes;
 pub use pvc_stream as stream;
 pub use pvc_study as study;
+pub use pvc_trace as trace;
 
 /// The most commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
@@ -78,8 +82,9 @@ pub mod prelude {
     pub use pvc_scenes::{SceneConfig, SceneId, SceneRenderer};
     pub use pvc_stream::{
         FrameSink, GazeModel, GazeTrace, LeastLoaded, PowerOfTwoChoices, ResolutionTier,
-        ServiceConfig, SessionConfig, SessionProfile, StreamRuntime, StreamService, WireReader,
-        WireRecord, WorkloadMix,
+        ServiceConfig, SessionConfig, SessionProfile, StreamRuntime, StreamService, TraceConfig,
+        WireReader, WireRecord, WorkloadMix,
     };
     pub use pvc_study::{SceneTrial, StudyConfig, UserStudy};
+    pub use pvc_trace::{LatencyHistogram, Recorder, Stage, TraceEpoch, TraceReport};
 }
