@@ -32,6 +32,16 @@ pub enum CliError {
         /// The value as typed.
         value: String,
     },
+    /// Two given arguments contradict each other (e.g. pinning a shard
+    /// count while also asking for autoscaling).
+    Conflicting {
+        /// The first argument as typed.
+        first: String,
+        /// The argument it cannot be combined with.
+        second: String,
+        /// Why the combination is contradictory.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -49,6 +59,13 @@ impl std::fmt::Display for CliError {
             }
             CliError::InvalidValue { option, value } => {
                 write!(f, "invalid value '{value}' for option '{option}'")
+            }
+            CliError::Conflicting {
+                first,
+                second,
+                reason,
+            } => {
+                write!(f, "'{first}' conflicts with '{second}': {reason}")
             }
         }
     }
@@ -236,10 +253,11 @@ impl ParsedArgs {
 }
 
 /// Parses a `--placement` option into a session→shard policy: `static`
-/// (modulo routing), `p2c` / `power-of-two-choices` (depth-aware), or
+/// (modulo routing), `p2c` / `power-of-two-choices` (depth-aware),
 /// `least-loaded` / `ll` (pixel-cost-aware — the right choice for
-/// heterogeneous `--mix` workloads). `default` applies when the option is
-/// absent.
+/// heterogeneous `--mix` workloads), or `predictive` (remaining-work-
+/// aware — what the elastic controller's rebalancer assumes). `default`
+/// applies when the option is absent.
 ///
 /// # Errors
 ///
@@ -252,6 +270,7 @@ pub fn placement_option(
         "static" => Ok(Box::new(pvc_stream::Static)),
         "p2c" | "power-of-two-choices" => Ok(Box::new(pvc_stream::PowerOfTwoChoices::default())),
         "least-loaded" | "ll" => Ok(Box::new(pvc_stream::LeastLoaded)),
+        "predictive" => Ok(Box::new(pvc_stream::Predictive)),
         other => Err(CliError::InvalidValue {
             option: "--placement".to_string(),
             value: other.to_string(),
@@ -593,6 +612,11 @@ mod tests {
             placement_option(&parsed, "static").unwrap().name(),
             "least-loaded"
         );
+        let parsed = spec.parse(args(&["--placement", "predictive"])).unwrap();
+        assert_eq!(
+            placement_option(&parsed, "static").unwrap().name(),
+            "predictive"
+        );
         let parsed = spec.parse(args(&[])).unwrap();
         assert_eq!(
             placement_option(&parsed, "static").unwrap().name(),
@@ -641,6 +665,41 @@ mod tests {
                 value: "gaussian".to_string(),
             })
         );
+    }
+
+    #[test]
+    fn conflicting_arguments_render_both_sides_and_the_reason() {
+        let err = CliError::Conflicting {
+            first: "--shards".to_string(),
+            second: "--scale-up".to_string(),
+            reason: "a fixed shard count cannot autoscale".to_string(),
+        };
+        let message = err.to_string();
+        assert!(message.contains("'--shards' conflicts with '--scale-up'"));
+        assert!(message.contains("a fixed shard count cannot autoscale"));
+    }
+
+    #[test]
+    fn elastic_flags_get_did_you_mean_hints() {
+        let spec = ArgSpec {
+            flags: &[],
+            options: &["--fleet-budget", "--scale-up", "--scale-down"],
+        };
+        for (typo, expected) in [
+            ("--fleet-budgt", "--fleet-budget"),
+            ("--scale-upp", "--scale-up"),
+            ("--scaledown", "--scale-down"),
+        ] {
+            let err = spec.parse(args(&[typo, "1"])).unwrap_err();
+            assert_eq!(
+                err,
+                CliError::Unknown {
+                    arg: typo.to_string(),
+                    suggestion: Some(expected.to_string()),
+                },
+                "{typo} should suggest {expected}"
+            );
+        }
     }
 
     #[test]

@@ -196,6 +196,12 @@ fn session_json(session: &SessionReport) -> Json {
         ("tier", session.tier.name().into()),
         ("shard", session.shard.into()),
         ("cancelled", session.cancelled.into()),
+        (
+            "downgraded_from",
+            session
+                .downgraded_from
+                .map_or(Json::Null, |tier| tier.name().into()),
+        ),
         ("frames", session.throughput.frames.into()),
         ("bytes_out", session.throughput.bytes_out.into()),
         (
@@ -288,6 +294,17 @@ pub fn service_report_json(
                 ("completed", report.churn.completed.into()),
                 ("cancelled", report.churn.cancelled.into()),
                 ("peak_concurrent", report.churn.peak_concurrent.into()),
+            ]),
+        ),
+        (
+            "elasticity",
+            object([
+                ("rejected", report.elasticity.rejected.into()),
+                ("queued", report.elasticity.queued.into()),
+                ("shed", report.elasticity.shed.into()),
+                ("migrated", report.elasticity.migrated.into()),
+                ("shards_spawned", report.elasticity.shards_spawned.into()),
+                ("shards_drained", report.elasticity.shards_drained.into()),
             ]),
         ),
     ])
@@ -385,6 +402,8 @@ mod tests {
             r#""queue_enqueued":"#,
             r#""render_utilization":"#,
             r#""churn":{"admitted":3"#,
+            r#""elasticity":{"rejected":0"#,
+            r#""downgraded_from":null"#,
             r#""tiers":[{"tier":"quest2""#,
         ] {
             assert!(rendered.contains(needle), "missing {needle} in {rendered}");

@@ -86,6 +86,10 @@ pub struct ClientReport {
     /// True when the stream carried a proper end record (a stream cut off
     /// mid-transfer has `terminated = false`).
     pub terminated: bool,
+    /// Number of mid-stream tier-change records (controller sheds). Every
+    /// frame after a change is decoded, deadline-checked, and billed
+    /// against the link at the *new* tier, not the admission-time one.
+    pub tier_changes: u32,
     /// Per-frame delivery and displayed-quality accounting.
     pub delivery: DeliveryReport,
 }
@@ -199,14 +203,23 @@ impl SessionClient {
             Some(Ok(_)) | None => return Err(ClientError::MissingHeader),
             Some(Err(err)) => return Err(err.into()),
         };
-        let dimensions = Dimensions::new(header.width, header.height);
-        let period = 1.0 / f64::from(header.tier.refresh_hz());
+        // The session's *current* geometry. A mid-stream tier-change
+        // record re-keys all three, so decode checks, deadlines, and
+        // link billing always follow the tier each frame was actually
+        // encoded under — not the admission-time tier.
+        let mut tier = header.tier;
+        let mut dimensions = Dimensions::new(header.width, header.height);
+        let mut period = 1.0 / f64::from(tier.refresh_hz());
         let latency = self.link.latency_seconds();
         let mut coin = ChaCha8Rng::seed_from_u64(self.link.seed ^ header.session);
         let mut delivery = DeliveryReport::default();
         let mut cancelled = false;
         let mut terminated = false;
+        let mut tier_changes = 0u32;
         let mut expected_index = 0u32;
+        // Send slots accumulate one (current-tier) period per frame, so a
+        // downgrade mid-stream shifts the cadence from its switch point.
+        let mut next_send = 0.0f64;
         // The link is a serialized pipe: a frame's transmission cannot
         // start before the previous one's finished.
         let mut link_free = 0.0f64;
@@ -238,7 +251,7 @@ impl SessionClient {
                     if let Some(recorder) = self.recorder.as_mut() {
                         recorder.span(
                             Stage::Decode,
-                            header.tier.class_index(),
+                            tier.class_index(),
                             header.session,
                             frame_index,
                             decode_start,
@@ -251,13 +264,11 @@ impl SessionClient {
                     // frame so the loss pattern is independent of the
                     // bandwidth/latency settings.
                     let dropped = coin.gen::<f64>() < self.link.drop_probability;
-                    let send = f64::from(frame_index) * period;
+                    let send = next_send;
+                    next_send += period;
                     let deadline = send + period;
                     let start = send.max(link_free);
-                    link_free = start
-                        + self
-                            .link
-                            .transmission_seconds(header.tier, payload.len() as u64);
+                    link_free = start + self.link.transmission_seconds(tier, payload.len() as u64);
                     let arrival = link_free + latency;
                     if let Some(recorder) = self.recorder.as_mut() {
                         // Virtual stream time, not wall time: the span
@@ -266,7 +277,7 @@ impl SessionClient {
                         // as spans stacking past their frame slots.
                         recorder.span_nanos(
                             Stage::LinkTransit,
-                            header.tier.class_index(),
+                            tier.class_index(),
                             header.session,
                             frame_index,
                             (start * 1e9) as u64,
@@ -295,6 +306,25 @@ impl SessionClient {
                         on_frame(frame_index, &self.displayed);
                     }
                 }
+                WireRecord::TierChange(change) => {
+                    if terminated {
+                        return Err(ClientError::RecordAfterEnd);
+                    }
+                    if change.frame_index != expected_index {
+                        return Err(ClientError::FrameIndexMismatch {
+                            expected: expected_index,
+                            found: change.frame_index,
+                        });
+                    }
+                    tier = change.tier;
+                    dimensions = Dimensions::new(change.width, change.height);
+                    period = 1.0 / f64::from(tier.refresh_hz());
+                    // The panel geometry changed: the previously displayed
+                    // frame can no longer fill a slot, so missed slots show
+                    // blank until the first post-change frame lands.
+                    has_displayed = false;
+                    tier_changes += 1;
+                }
                 WireRecord::End {
                     frames,
                     cancelled: end_cancelled,
@@ -313,11 +343,12 @@ impl SessionClient {
                 }
             }
         }
-        delivery.stream_seconds = f64::from(expected_index) * period;
+        delivery.stream_seconds = next_send;
         Ok(ClientReport {
             header,
             cancelled,
             terminated,
+            tier_changes,
             delivery,
         })
     }

@@ -20,7 +20,10 @@
 //! averaged into a meaningless fleet mean. The [`delivery`] module is the
 //! decode side of the loop: what a client saw after link simulation —
 //! on-time/late/dropped frames, goodput and displayed-image PSNR
-//! ([`DeliveryReport`]).
+//! ([`DeliveryReport`]). Finally the [`elasticity`] module counts what
+//! the elastic control plane did to the fleet — rejected/queued
+//! admissions, tier sheds, migrations and shard scaling
+//! ([`ElasticityCounters`]).
 //!
 //! # Examples
 //!
@@ -41,11 +44,13 @@
 
 pub mod churn;
 pub mod delivery;
+pub mod elasticity;
 pub mod throughput;
 pub mod tiers;
 
 pub use churn::ChurnCounters;
 pub use delivery::DeliveryReport;
+pub use elasticity::ElasticityCounters;
 pub use throughput::ThroughputReport;
 pub use tiers::{TierAggregate, TierAggregates};
 

@@ -24,6 +24,11 @@
 //!   on: [`Static`] modulo routing, depth-based [`PowerOfTwoChoices`], or
 //!   pixel-cost-aware [`LeastLoaded`] — the one heterogeneous mixes need
 //!   ([`placement`], including the fairness caveat).
+//! * [`ElasticController`] is the control plane over a live runtime:
+//!   admission gating against a fleet pixel budget, tier-shedding under
+//!   sustained overload, shard autoscaling on hysteresis thresholds, and
+//!   rebalancing migration — all built from runtime verbs that preserve
+//!   bit-identical streams ([`controller`]).
 //! * [`StreamService`] is the run-to-completion front end — collect a
 //!   roster, `run()` (= start → admit all → drain → shutdown), read the
 //!   report ([`service`]).
@@ -118,6 +123,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod controller;
 pub mod gaze;
 pub mod placement;
 pub mod runtime;
@@ -125,11 +131,16 @@ pub mod service;
 pub mod session;
 pub mod wire;
 
+pub use controller::{Admission, ElasticConfig, ElasticController, TickActions};
 pub use gaze::{FixationSaccadeConfig, GazeModel, GazeTrace, SmoothPursuitConfig};
-pub use placement::{LeastLoaded, Placement, PowerOfTwoChoices, ShardLoad, Static};
+pub use placement::{
+    plan_migration, LeastLoaded, MigrationPlan, Placement, PowerOfTwoChoices, Predictive,
+    ShardLoad, Static,
+};
 pub use runtime::StreamRuntime;
 pub use service::{ServiceConfig, ServiceReport, ShardReport, StreamService, TraceConfig};
 pub use session::{ResolutionTier, SessionConfig, SessionProfile, SessionReport, WorkloadMix};
 pub use wire::{
-    FrameSink, WireError, WireReader, WireRecord, WireSessionHeader, WireSink, WIRE_VERSION,
+    FrameSink, WireError, WireReader, WireRecord, WireSessionHeader, WireSink, WireTierChange,
+    WIRE_VERSION,
 };

@@ -7,7 +7,7 @@
 //! evenly sessions, their queued frames and (under heterogeneous profiles)
 //! their **pixels** spread across workers.
 //!
-//! Three policies ship with the crate:
+//! Four policies ship with the crate:
 //!
 //! * [`Static`] — the modulo routing of the original batch service
 //!   (`session_id % shards`). Fully deterministic and oblivious to load;
@@ -22,6 +22,18 @@
 //!   one with the lowest *pixel-weighted* [`ShardLoad::cost`]. The
 //!   cost-aware policy heterogeneous workloads need (see the fairness
 //!   caveat below).
+//! * [`Predictive`] — scans every shard and places the session on the one
+//!   with the least *expected remaining work*
+//!   ([`ShardLoad::remaining_pixels`] = Σ pixel_cost × remaining frames).
+//!   Where [`LeastLoaded`] reads the instantaneous commitment, this reads
+//!   how long each shard will stay busy — the signal that matters when
+//!   session lifetimes differ wildly.
+//!
+//! Under the elastic control plane, shards can also be *draining*
+//! (winding down before decommission). Every policy skips draining shards;
+//! [`plan_migration`] is the companion planner that proposes moving a
+//! session off the busiest shard when the fleet's remaining work is badly
+//! skewed.
 //!
 //! # Fairness caveat: depth-based scores under mixed pixel costs
 //!
@@ -66,6 +78,15 @@ pub struct ShardLoad {
     /// Pixels of rendered frames currently sitting in the render→encode
     /// queue — the congestion signal, in pixels.
     pub queued_pixels: u64,
+    /// Expected remaining work: Σ over live sessions of `pixel_cost ×
+    /// frames not yet rendered`. Decays as producers render and is
+    /// decommitted on cancel/migrate, so it predicts how long the shard
+    /// stays busy rather than how busy it is right now.
+    pub remaining_pixels: u64,
+    /// True while the shard is winding down before decommission: it still
+    /// finishes (or hands off) its current sessions but must not receive
+    /// new ones. Every shipped policy skips draining shards.
+    pub draining: bool,
 }
 
 impl ShardLoad {
@@ -97,8 +118,11 @@ impl ShardLoad {
 pub trait Placement: Send {
     /// Picks the shard for a newly admitted session.
     ///
-    /// Must return an index below `loads.len()`; the runtime asserts this.
-    /// `loads` is never empty (the runtime always has at least one shard).
+    /// Must return the [`ShardLoad::shard`] id of a non-draining entry of
+    /// `loads`; the runtime asserts this. `loads` always contains at
+    /// least one non-draining shard. Note shard ids are stable across
+    /// spawn/drain cycles and therefore not necessarily contiguous or
+    /// equal to positions in `loads`.
     fn place(&mut self, session_id: usize, config: &SessionConfig, loads: &[ShardLoad]) -> usize;
 
     /// A short human-readable policy name for reports and CLI output.
@@ -112,9 +136,15 @@ pub trait Placement: Send {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Static;
 
+/// The non-draining subset of `loads`, in order.
+fn serving(loads: &[ShardLoad]) -> impl Iterator<Item = &ShardLoad> {
+    loads.iter().filter(|load| !load.draining)
+}
+
 impl Placement for Static {
     fn place(&mut self, session_id: usize, _config: &SessionConfig, loads: &[ShardLoad]) -> usize {
-        session_id % loads.len()
+        let serving: Vec<&ShardLoad> = serving(loads).collect();
+        serving[session_id % serving.len()].shard
     }
 
     fn name(&self) -> &'static str {
@@ -165,9 +195,10 @@ impl Default for PowerOfTwoChoices {
 
 impl Placement for PowerOfTwoChoices {
     fn place(&mut self, _session_id: usize, _config: &SessionConfig, loads: &[ShardLoad]) -> usize {
-        let shards = loads.len();
+        let serving: Vec<&ShardLoad> = serving(loads).collect();
+        let shards = serving.len();
         if shards == 1 {
-            return 0;
+            return serving[0].shard;
         }
         let first = (self.next_u64() % shards as u64) as usize;
         // Sample the second candidate from the remaining shards so the two
@@ -178,11 +209,11 @@ impl Placement for PowerOfTwoChoices {
         }
         // Lower score wins; ties break toward the lower shard index so the
         // decision is reproducible given equal loads.
-        let (a, b) = (loads[first], loads[second]);
+        let (a, b) = (serving[first], serving[second]);
         if (a.score(), a.shard) <= (b.score(), b.shard) {
-            first
+            a.shard
         } else {
-            second
+            b.shard
         }
     }
 
@@ -207,16 +238,78 @@ pub struct LeastLoaded;
 
 impl Placement for LeastLoaded {
     fn place(&mut self, _session_id: usize, _config: &SessionConfig, loads: &[ShardLoad]) -> usize {
-        loads
-            .iter()
+        serving(loads)
             .min_by_key(|load| (load.cost(), load.shard))
-            .expect("loads is never empty")
+            .expect("loads always has a serving shard")
             .shard
     }
 
     fn name(&self) -> &'static str {
         "least-loaded"
     }
+}
+
+/// Remaining-work-aware placement: scan every serving shard, take the one
+/// with the smallest [`ShardLoad::remaining_pixels`] (ties break toward
+/// the lower shard id).
+///
+/// Where [`LeastLoaded`] balances what shards are committed to *right
+/// now*, this balances how long they will *stay* committed: a shard
+/// hosting two sessions with three frames left is a better target than a
+/// near-idle shard hosting one session with ten thousand frames to go.
+/// The score is `Σ pixel_cost × remaining_frames`, maintained by the
+/// runtime as producers render frames.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Predictive;
+
+impl Placement for Predictive {
+    fn place(&mut self, _session_id: usize, _config: &SessionConfig, loads: &[ShardLoad]) -> usize {
+        serving(loads)
+            .min_by_key(|load| (load.remaining_pixels, load.shard))
+            .expect("loads always has a serving shard")
+            .shard
+    }
+
+    fn name(&self) -> &'static str {
+        "predictive"
+    }
+}
+
+/// A proposed session move from one shard to another, as computed by
+/// [`plan_migration`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The overloaded source shard (move one of its sessions away).
+    pub from: usize,
+    /// The underloaded destination shard.
+    pub to: usize,
+}
+
+/// Proposes a rebalancing migration when the fleet's expected remaining
+/// work is badly skewed: the serving shard with the most
+/// [`ShardLoad::remaining_pixels`] hands one session to the one with the
+/// least.
+///
+/// Returns `None` unless all of the following hold — the hysteresis that
+/// keeps the planner from thrashing:
+///
+/// * at least two serving (non-draining) shards exist,
+/// * the source hosts at least two sessions (moving a shard's only
+///   session just relocates the hot spot), and
+/// * the source's remaining work is more than twice the destination's.
+pub fn plan_migration(loads: &[ShardLoad]) -> Option<MigrationPlan> {
+    let from = serving(loads).max_by_key(|load| (load.remaining_pixels, load.shard))?;
+    let to = serving(loads).min_by_key(|load| (load.remaining_pixels, load.shard))?;
+    if from.shard == to.shard || from.sessions < 2 {
+        return None;
+    }
+    if from.remaining_pixels <= 2 * to.remaining_pixels {
+        return None;
+    }
+    Some(MigrationPlan {
+        from: from.shard,
+        to: to.shard,
+    })
 }
 
 #[cfg(test)]
@@ -241,6 +334,8 @@ mod tests {
                 queue_depth,
                 session_pixels: 0,
                 queued_pixels: 0,
+                remaining_pixels: 0,
+                draining: false,
             })
             .collect()
     }
@@ -256,7 +351,30 @@ mod tests {
                 queue_depth: 0,
                 session_pixels,
                 queued_pixels,
+                remaining_pixels: 0,
+                draining: false,
             })
+            .collect()
+    }
+
+    /// Remaining-work loads: `(sessions, remaining_pixels, draining)`.
+    fn remaining_loads(entries: &[(usize, u64, bool)]) -> Vec<ShardLoad> {
+        entries
+            .iter()
+            .enumerate()
+            .map(
+                |(shard, &(sessions, remaining_pixels, draining))| ShardLoad {
+                    shard,
+                    sessions,
+                    queue_depth: 0,
+                    // Admitted cost tracks remaining work in these fixtures, so
+                    // depth-based and predictive scores agree on the ordering.
+                    session_pixels: remaining_pixels,
+                    queued_pixels: 0,
+                    remaining_pixels,
+                    draining,
+                },
+            )
             .collect()
     }
 
@@ -324,6 +442,8 @@ mod tests {
             queue_depth: 2,
             session_pixels: 9999,
             queued_pixels: 1,
+            remaining_pixels: 777,
+            draining: false,
         };
         assert_eq!(load.score(), 5, "score ignores the pixel gauges");
     }
@@ -336,6 +456,8 @@ mod tests {
             queue_depth: 2,
             session_pixels: 4096,
             queued_pixels: 1024,
+            remaining_pixels: 777,
+            draining: false,
         };
         assert_eq!(load.cost(), 5120, "cost ignores the item gauges");
     }
@@ -427,5 +549,65 @@ mod tests {
         assert_eq!(Static.name(), "static");
         assert_eq!(PowerOfTwoChoices::default().name(), "power-of-two-choices");
         assert_eq!(LeastLoaded.name(), "least-loaded");
+        assert_eq!(Predictive.name(), "predictive");
+    }
+
+    #[test]
+    fn predictive_minimizes_remaining_work() {
+        let mut policy = Predictive;
+        // Shard 1 is the most *committed* but has the least left to do.
+        let loads = remaining_loads(&[(1, 5_000, false), (4, 1_000, false), (2, 3_000, false)]);
+        assert_eq!(policy.place(0, &config(), &loads), 1);
+        // Ties break toward the lower shard id.
+        let tied = remaining_loads(&[(1, 2_000, false), (1, 2_000, false)]);
+        assert_eq!(policy.place(0, &config(), &tied), 0);
+    }
+
+    #[test]
+    fn every_policy_skips_draining_shards() {
+        // Shard 0 is draining and otherwise the most attractive target by
+        // every score; shard 2 is the cheapest serving shard.
+        let loads = remaining_loads(&[(0, 0, true), (3, 9_000, false), (1, 100, false)]);
+        let mut p2c = PowerOfTwoChoices::default();
+        for id in 0..16 {
+            assert_eq!(Static.place(id, &config(), &loads), [1, 2][id % 2]);
+            assert_ne!(p2c.place(id, &config(), &loads), 0);
+            assert_eq!(LeastLoaded.place(id, &config(), &loads), 2);
+            assert_eq!(Predictive.place(id, &config(), &loads), 2);
+        }
+    }
+
+    #[test]
+    fn migration_planner_moves_work_off_the_skewed_shard() {
+        // Balanced fleet: no plan.
+        assert_eq!(
+            plan_migration(&remaining_loads(&[(2, 1_000, false), (2, 900, false)])),
+            None
+        );
+        // Skewed beyond 2×, source has spare sessions: move one 0 → 1.
+        assert_eq!(
+            plan_migration(&remaining_loads(&[(3, 10_000, false), (1, 1_000, false)])),
+            Some(MigrationPlan { from: 0, to: 1 })
+        );
+        // Skewed but the hot shard has a single session: relocating it
+        // would just move the hot spot.
+        assert_eq!(
+            plan_migration(&remaining_loads(&[(1, 10_000, false), (0, 0, false)])),
+            None
+        );
+        // One serving shard: nowhere to go (the other is draining).
+        assert_eq!(
+            plan_migration(&remaining_loads(&[(3, 10_000, false), (0, 0, true)])),
+            None
+        );
+        // Draining shards are neither sources nor destinations.
+        assert_eq!(
+            plan_migration(&remaining_loads(&[
+                (4, 50_000, true),
+                (3, 9_000, false),
+                (1, 1_000, false)
+            ])),
+            Some(MigrationPlan { from: 1, to: 2 })
+        );
     }
 }

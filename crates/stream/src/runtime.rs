@@ -17,7 +17,7 @@
 //! ([`pvc_parallel::bounded_queue`]):
 //!
 //! ```text
-//!            control channel (admit / shutdown)
+//!            control channel (admit / cancel / retier / migrate / resume)
 //! runtime ──────────────────────────► producer thread
 //!                                        │ render, round-robin
 //!                                        ▼
@@ -52,7 +52,7 @@
 //! # Heterogeneous sessions
 //!
 //! Sessions need not look alike: each one carries its own
-//! [`SessionProfile`](crate::SessionProfile) (resolution tier, render
+//! [`SessionProfile`] (resolution tier, render
 //! size, frame budget, gaze model, optional tile size), and each shard
 //! maintains **pixel gauges** next to its item counters — committed
 //! session pixels and queued frame pixels — so cost-aware placement
@@ -71,6 +71,20 @@
 //! the *surviving* sessions' streams are not perturbed by a single bit
 //! (pinned by `tests/cancel_determinism.rs`).
 //!
+//! # Elasticity
+//!
+//! The shard fleet is dynamic. [`StreamRuntime::spawn_shard`] adds a
+//! shard mid-flight (stable, never-reused ids); [`StreamRuntime::drain_shard`]
+//! migrates a shard's members off and winds its threads down;
+//! [`StreamRuntime::migrate`] moves one live session between shards with
+//! its digest/wire sinks carried mid-chain and its encoder rebuilt from
+//! config on arrival; [`StreamRuntime::shed`] downgrades a live session's
+//! resolution tier in place, re-deriving renderer, gaze trace and encoder
+//! from the lower profile and stamping a tier-change record into the wire
+//! stream. All four are counted in [`ElasticityCounters`] and marked on
+//! the control trace lane. The policy loop that decides *when* to do any
+//! of this lives one layer up, in [`crate::controller`].
+//!
 //! # Determinism
 //!
 //! A session's encoded stream is **bit-identical** regardless of shard
@@ -78,20 +92,26 @@
 //! depth, or other sessions being hard-cancelled around it: it is encoded
 //! in frame order by exactly one worker, by an encoder built only from
 //! the session's own config. Placement and churn move *where* and *when*
-//! that happens — never *what* is produced. Only wall-clock telemetry is
+//! that happens — never *what* is produced. Migration preserves this
+//! (the whole stream stays bit-identical to the solo run), and a shed
+//! session's post-downgrade stream is bit-identical to a solo run started
+//! at the lower profile from the same frame index — both pinned by
+//! `tests/migration_determinism.rs`. Only wall-clock telemetry is
 //! machine- and timing-dependent, and only a hard-cancelled session's own
 //! stream *length* is timing-dependent (a prefix of its solo stream).
 
 use crate::gaze::GazeTrace;
 use crate::placement::{Placement, ShardLoad, Static};
 use crate::service::{ServiceConfig, ServiceReport, ShardReport};
-use crate::session::{SessionConfig, SessionReport, FNV_OFFSET_BASIS, GAZE_SEED_SALT};
-use crate::wire::{DigestSink, FrameSink, WireSessionHeader, WireSink};
+use crate::session::{
+    SessionConfig, SessionProfile, SessionReport, FNV_OFFSET_BASIS, GAZE_SEED_SALT,
+};
+use crate::wire::{DigestSink, FrameSink, WireSessionHeader, WireSink, WireTierChange};
 use pvc_color::{LinearRgb, SyntheticDiscriminationModel};
 use pvc_core::{BatchCacheStats, BatchEncoder, StreamScratch};
 use pvc_fovea::{DisplayGeometry, GazePoint};
 use pvc_frame::{Dimensions, LinearFrame};
-use pvc_metrics::{ChurnCounters, ThroughputReport};
+use pvc_metrics::{ChurnCounters, ElasticityCounters, ThroughputReport};
 use pvc_parallel::{
     bounded_queue, control_channel, BoundedReceiver, BoundedSender, ControlPoll, ControlReceiver,
     ControlSender, Gauge, QueueStats,
@@ -102,7 +122,14 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How often the runtime's blocking event waits wake up to check shard
+/// thread health. The runtime retains an event sender (so it can spawn
+/// shards later), which means the channel never closes on its own — a
+/// shard thread panicking is detected by polling
+/// [`JoinHandle::is_finished`] on this cadence instead.
+const EVENT_POLL: Duration = Duration::from_millis(25);
 
 /// Commands the runtime sends to a shard's producer thread.
 enum ShardControl {
@@ -112,6 +139,20 @@ enum ShardControl {
     /// and have the worker finalize a partial, `cancelled` report. A
     /// no-op if the session already finished its stream.
     Cancel { id: usize },
+    /// Downgrade a member session to `profile` mid-stream (tier shed):
+    /// the producer re-derives its renderer and gaze trace from the new
+    /// profile and keeps streaming from the current frame index under the
+    /// new numbering. A no-op if the session already finished.
+    Retier { id: usize, profile: SessionProfile },
+    /// Evict a member session so the runtime can move it to another
+    /// shard: the producer stops rendering it and has the worker package
+    /// the session's in-progress state into a [`SessionCarry`]. Answered
+    /// with [`RuntimeEvent::Migrated`], or [`RuntimeEvent::MigrateRefused`]
+    /// when the session is no longer a member (its stream completed).
+    Migrate { id: usize },
+    /// Adopt a session mid-stream on this shard, continuing exactly where
+    /// the carry's `frames_done` says its previous shard stopped.
+    Resume { id: usize, carry: Box<SessionCarry> },
     /// Finish every member session's remaining frames, then exit.
     Shutdown,
 }
@@ -139,14 +180,72 @@ enum ShardJob {
     /// The session was hard-cancelled; finalize its partial report with
     /// the `cancelled` flag set. No further frames for the id follow.
     Cancel { id: usize },
+    /// The session was downgraded to `config`'s profile. Travels through
+    /// the queue *behind* every frame rendered under the old profile, so
+    /// the worker rebuilds the encoder at exactly the right frame index
+    /// and stamps a tier-change record into the wire stream there.
+    Retier { id: usize, config: SessionConfig },
+    /// The session is leaving this shard: package its in-progress state
+    /// into a [`SessionCarry`] and hand it back to the runtime. `config`
+    /// and `next` are the producer's authoritative session config (post
+    /// any retier) and next-frame index.
+    Migrate {
+        id: usize,
+        config: SessionConfig,
+        next: u32,
+    },
+    /// The session is arriving on this shard mid-stream; rebuild its
+    /// worker state from the carry. No further `Open` follows.
+    Resume { id: usize, carry: Box<SessionCarry> },
 }
 
-/// What shard workers report back to the runtime.
+/// A mid-stream session's portable state, packaged by the source shard's
+/// worker on [`ShardJob::Migrate`] and rebuilt by the destination on
+/// [`ShardJob::Resume`].
+///
+/// The encoder itself is *not* carried: it is rebuilt fresh from `config`
+/// on the destination, which is bit-safe because the encoder's
+/// eccentricity-map cache only ever changes where intermediates live —
+/// never an emitted bit. What must survive the hop is everything
+/// cumulative: the report (throughput, digests folded so far), the frame
+/// sinks (digest chain state, collected wire bytes), and the cache/shard
+/// accounting baselines.
+struct SessionCarry {
+    /// The session's config as of the migration (reflects any tier shed).
+    config: SessionConfig,
+    /// Frames fully rendered and encoded before the hop; the destination
+    /// producer resumes at this index.
+    frames_done: u32,
+    /// The in-progress report (throughput counters, downgrade stamps).
+    report: SessionReport,
+    /// The digest sink mid-chain; folding continues seamlessly.
+    digest: DigestSink,
+    /// The wire sink mid-stream, when collection is on.
+    wire: Option<WireSink>,
+    /// Encode-start instant of the session's first frame (on any shard).
+    first_frame: Option<Instant>,
+    /// Cache counters accumulated by every *previous* encoder incarnation
+    /// (retiers and earlier hops); the final report sums these with the
+    /// last encoder's own stats.
+    carried_cache: BatchCacheStats,
+    /// Frames/pixels already attributed to previous shards' reports, so
+    /// the finalizing shard only claims its own share.
+    counted_frames: u64,
+    counted_pixels: u64,
+}
+
+/// What shard threads report back to the runtime.
 enum RuntimeEvent {
     /// A session's stream completed; here is its final report.
     SessionDone(SessionReport),
     /// A shard worker exited (after queue drain); here is its telemetry.
     ShardDone(ShardReport),
+    /// A session's state left its source shard (response to
+    /// [`ShardControl::Migrate`]); the runtime re-places it.
+    Migrated { id: usize, carry: Box<SessionCarry> },
+    /// The migration target session had already completed; its report
+    /// arrives (or arrived) as a normal [`RuntimeEvent::SessionDone`].
+    MigrateRefused { id: usize },
 }
 
 /// A session as the producer thread sees it: config plus the deterministic
@@ -158,8 +257,11 @@ struct ProducerSession {
     trace: GazeTrace,
     /// Next frame index to render.
     next: u32,
-    /// Whether `Open` has been sent ahead of the first frame.
+    /// Whether `Open` (or `Resume`) has been sent ahead of the first frame.
     opened: bool,
+    /// Carried state awaiting delivery to the worker: present between a
+    /// [`ShardControl::Resume`] and the lazy [`ShardJob::Resume`] send.
+    carry: Option<Box<SessionCarry>>,
 }
 
 impl ProducerSession {
@@ -181,8 +283,44 @@ impl ProducerSession {
             trace,
             next: 0,
             opened: false,
+            carry: None,
         }
     }
+
+    /// Rebuilds the render side of a migrated session. The renderer and
+    /// gaze trace are pure functions of the config, and
+    /// `render_linear_into(t, ..)` depends only on `t` — so resuming at
+    /// `frames_done` produces exactly the frames the solo run would have.
+    fn resume(id: usize, carry: Box<SessionCarry>) -> ProducerSession {
+        let mut session = ProducerSession::admit(id, carry.config.clone());
+        session.next = carry.frames_done;
+        session.carry = Some(carry);
+        session
+    }
+}
+
+/// Sends the session's first queue message (`Open` for a fresh session,
+/// `Resume` for a migrated one) if it has not been sent yet. Every path
+/// that enqueues anything for the session goes through this first, so the
+/// worker always learns about a session before its frames/cancel/migrate.
+///
+/// Returns `Err` when the worker is gone (queue closed).
+fn send_first(session: &mut ProducerSession, jobs: &BoundedSender<ShardJob>) -> Result<(), ()> {
+    if session.opened {
+        return Ok(());
+    }
+    session.opened = true;
+    let job = match session.carry.take() {
+        Some(carry) => ShardJob::Resume {
+            id: session.id,
+            carry,
+        },
+        None => ShardJob::Open {
+            id: session.id,
+            config: session.config.clone(),
+        },
+    };
+    jobs.send(job).map_err(|_| ())
 }
 
 /// A session as the worker thread sees it: encoder plus telemetry plus
@@ -203,31 +341,62 @@ struct WorkerSession {
     /// The session tier's trace class (`ResolutionTier::class_index`),
     /// keying its spans into the per-tier stage tables.
     class: u8,
+    /// Cache counters from previous encoder incarnations (tier sheds
+    /// rebuild the encoder in place; migrations carry these across
+    /// shards). Summed with the live encoder's stats at finalization.
+    carried_cache: BatchCacheStats,
+    /// Frames/pixels already attributed to previous shards' reports.
+    counted_frames: u64,
+    counted_pixels: u64,
+}
+
+/// Builds a session's encoder from the service config plus the session
+/// profile's overrides, returning it with the effective tile size (which
+/// the wire header / tier-change record reports). Called at open, resume
+/// and retier — always from the session's *current* config, never from
+/// carried state, so every incarnation is a pure function of the config.
+fn encoder_for(
+    service: &ServiceConfig,
+    config: &SessionConfig,
+) -> (BatchEncoder<SyntheticDiscriminationModel>, u32) {
+    // The profile may override the service-wide tile size; everything
+    // else about the encoder configuration is shared.
+    let mut encoder_config = service.encoder.clone();
+    if let Some(tile_size) = config.profile.tile_size {
+        encoder_config = encoder_config.with_tile_size(tile_size);
+    }
+    let tile_size = encoder_config.tile_size;
+    let encoder = BatchEncoder::new(
+        SyntheticDiscriminationModel::default(),
+        encoder_config,
+        DisplayGeometry::quest2_like(config.dimensions()),
+    )
+    .with_cache_capacity(service.gaze_cache_capacity);
+    (encoder, tile_size)
+}
+
+/// Sums cache counters across encoder incarnations (see
+/// [`WorkerSession::carried_cache`]).
+fn merge_cache(mut base: BatchCacheStats, current: BatchCacheStats) -> BatchCacheStats {
+    base.hits += current.hits;
+    base.misses += current.misses;
+    base.entries += current.entries;
+    base
 }
 
 impl WorkerSession {
     fn open(id: usize, shard: usize, service: &ServiceConfig, config: &SessionConfig) -> Self {
-        // The profile may override the service-wide tile size; everything
-        // else about the encoder configuration is shared.
-        let mut encoder_config = service.encoder.clone();
-        if let Some(tile_size) = config.profile.tile_size {
-            encoder_config = encoder_config.with_tile_size(tile_size);
-        }
+        let (encoder, tile_size) = encoder_for(service, config);
         let header = WireSessionHeader {
             session: id as u64,
             tier: config.profile.tier,
             width: config.dimensions().width,
             height: config.dimensions().height,
-            tile_size: encoder_config.tile_size,
+            tile_size,
             frame_budget: config.frames(),
         };
         let mut session = WorkerSession {
-            encoder: BatchEncoder::new(
-                SyntheticDiscriminationModel::default(),
-                encoder_config,
-                DisplayGeometry::quest2_like(config.dimensions()),
-            )
-            .with_cache_capacity(service.gaze_cache_capacity),
+            encoder,
             report: SessionReport {
                 session: id,
                 scene: config.scene,
@@ -239,17 +408,55 @@ impl WorkerSession {
                 stream_digest: FNV_OFFSET_BASIS,
                 payloads: None,
                 wire_stream: None,
+                downgraded_from: None,
+                downgrade_frame: None,
             },
             digest: DigestSink::new(service.collect_payloads),
             wire: service.collect_wire.then(WireSink::new),
             frame_pixels: config.pixel_cost(),
             first_frame: None,
             class: config.profile.tier.class_index(),
+            carried_cache: BatchCacheStats::default(),
+            counted_frames: 0,
+            counted_pixels: 0,
         };
         for sink in session.sinks() {
             sink.start(&header);
         }
         session
+    }
+
+    /// Rebuilds a migrated session's worker state from its carry: fresh
+    /// encoder (bit-safe — the cache affects performance, never bits),
+    /// carried-over report, sinks and accounting baselines. Emits no
+    /// header: the source shard already wrote it, and the carried sinks
+    /// hold it.
+    fn resume(shard: usize, service: &ServiceConfig, carry: SessionCarry) -> Self {
+        let SessionCarry {
+            config,
+            frames_done: _,
+            mut report,
+            digest,
+            wire,
+            first_frame,
+            carried_cache,
+            counted_frames,
+            counted_pixels,
+        } = carry;
+        let (encoder, _tile_size) = encoder_for(service, &config);
+        report.shard = shard;
+        WorkerSession {
+            encoder,
+            report,
+            digest,
+            wire,
+            frame_pixels: config.pixel_cost(),
+            first_frame,
+            class: config.profile.tier.class_index(),
+            carried_cache,
+            counted_frames,
+            counted_pixels,
+        }
     }
 
     /// The session's frame sinks: telemetry first, then (when enabled)
@@ -303,6 +510,16 @@ struct RuntimeTracing {
     collected: mpsc::Receiver<ThreadTrace>,
 }
 
+/// Where a migrating session should land: a caller-chosen shard, or
+/// wherever the placement policy puts it once the carry (and with it the
+/// session config) is back — used by [`StreamRuntime::drain_shard`], which
+/// flags the draining shard in the loads it hands the policy.
+#[derive(Clone, Copy)]
+enum MigrateDest {
+    Fixed(usize),
+    Rebalance { draining: usize },
+}
+
 /// Display order of lanes within a shard's group in the final report.
 fn lane_rank(lane: Lane) -> u8 {
     match lane {
@@ -315,6 +532,11 @@ fn lane_rank(lane: Lane) -> u8 {
 
 /// The runtime's handle onto one shard's thread pair.
 struct ShardHandle {
+    /// The shard's stable id: assigned at spawn, never reused. With
+    /// dynamic spawn/drain the live handles are not necessarily
+    /// contiguous, so placement and assignments speak in these ids, never
+    /// in `Vec` positions.
+    shard: usize,
     control: ControlSender<ShardControl>,
     queue: QueueStats,
     /// Sessions placed on the shard and not yet completed; incremented at
@@ -328,6 +550,12 @@ struct ShardHandle {
     /// Pixels of rendered frames currently in the render→encode queue —
     /// the pixel-weighted twin of the queue's depth gauge.
     queued_pixels: Gauge,
+    /// Pixels the shard is still *due to render*: `pixel_cost ×
+    /// not-yet-rendered frames`, summed over members. Raised at admission
+    /// (and on migration arrival), lowered by the producer per rendered
+    /// frame and on cancel/retier/migrate — the predictive placement
+    /// signal.
+    remaining_pixels: Gauge,
     producer: JoinHandle<()>,
     worker: JoinHandle<()>,
 }
@@ -369,8 +597,17 @@ struct ShardHandle {
 pub struct StreamRuntime {
     config: ServiceConfig,
     placement: Box<dyn Placement>,
+    /// Live (serving) shards. Drained shards are removed; ids are stable
+    /// and never reused, so positions here are *not* shard ids.
     shards: Vec<ShardHandle>,
     events: mpsc::Receiver<RuntimeEvent>,
+    /// Retained so [`Self::spawn_shard`] can wire new shards into the
+    /// same event channel. Consequence: the channel never closes by
+    /// itself; blocking waits poll shard thread health instead.
+    event_tx: mpsc::Sender<RuntimeEvent>,
+    /// Retained alongside `event_tx` so dynamically spawned shards join
+    /// the same trace epoch and collection channel.
+    tracing_spec: Option<TracingSpec>,
     /// Final reports of completed sessions awaiting pickup, keyed by id.
     /// [`Self::retire`] removes and hands over the entry — a long-lived
     /// runtime must not accumulate reports (least of all collected
@@ -381,14 +618,23 @@ pub struct StreamRuntime {
     /// completions arrive so handing reports out in [`Self::retire`] does
     /// not lose them from the service-wide aggregate.
     totals: ThroughputReport,
-    /// Shard telemetry, filled in as workers exit during shutdown.
+    /// Shard telemetry, indexed by stable shard id (so it covers drained
+    /// shards too); filled in as workers exit during drain or shutdown.
     shard_reports: Vec<Option<ShardReport>>,
-    /// Which shard each admitted session was placed on.
+    /// Which shard each admitted session was placed on (updated by
+    /// migration).
     assignments: BTreeMap<usize, usize>,
     retired: BTreeSet<usize>,
     churn: ChurnCounters,
+    /// What the elastic control plane did to this runtime: migrations and
+    /// shard spawns/drains are counted here; admission-side counters
+    /// (rejected/queued) belong to the policy layer driving the runtime.
+    elasticity: ElasticityCounters,
     started: Instant,
     next_id: usize,
+    /// The next stable shard id [`Self::spawn_shard`] will hand out; also
+    /// the trace index of the control lane at shutdown.
+    next_shard_index: usize,
     /// Present when the config enables tracing: the control-plane
     /// recorder plus the channel shard threads return sealed traces on.
     tracing: Option<RuntimeTracing>,
@@ -444,27 +690,30 @@ impl StreamRuntime {
             None => (None, None),
         };
         let shards: Vec<ShardHandle> = (0..config.shards)
-            .map(|shard| spawn_shard(shard, &config, event_tx.clone(), spec.as_ref()))
+            .map(|shard| spawn_shard_threads(shard, &config, event_tx.clone(), spec.as_ref()))
             .collect();
-        // Workers hold the only remaining senders: the event channel
-        // closes exactly when the last worker exits. Likewise the spec's
-        // trace sender: only the per-thread clones remain.
-        drop(event_tx);
-        drop(spec);
+        // The runtime keeps `event_tx` and `spec` alive so shards spawned
+        // later join the same channels; shard-thread health is therefore
+        // detected by join-handle polling, not channel closure.
         let shard_reports = vec![None; config.shards];
+        let next_shard_index = config.shards;
         StreamRuntime {
             config,
             placement,
             shards,
             events,
+            event_tx,
+            tracing_spec: spec,
             completed: BTreeMap::new(),
             totals: ThroughputReport::default(),
             shard_reports,
             assignments: BTreeMap::new(),
             retired: BTreeSet::new(),
             churn: ChurnCounters::default(),
+            elasticity: ElasticityCounters::default(),
             started: Instant::now(),
             next_id: 0,
+            next_shard_index,
             tracing,
         }
     }
@@ -491,20 +740,60 @@ impl StreamRuntime {
         self.churn
     }
 
-    /// Live load snapshots for every shard, as placement would see them:
-    /// item counters (sessions, queue depth) and their pixel-weighted
-    /// twins (committed session pixels, queued frame pixels).
+    /// Live load snapshots for every *serving* shard, as placement would
+    /// see them: item counters (sessions, queue depth), their
+    /// pixel-weighted twins (committed session pixels, queued frame
+    /// pixels), and the predictive remaining-work gauge. Entries carry
+    /// stable shard ids — after a drain they need not be contiguous.
     pub fn shard_loads(&self) -> Vec<ShardLoad> {
         self.shards
             .iter()
-            .enumerate()
-            .map(|(shard, handle)| ShardLoad {
-                shard,
+            .map(|handle| ShardLoad {
+                shard: handle.shard,
                 sessions: handle.sessions.load(Ordering::Relaxed),
                 queue_depth: handle.queue.depth(),
                 session_pixels: handle.session_pixels.get(),
                 queued_pixels: handle.queued_pixels.get(),
+                remaining_pixels: handle.remaining_pixels.get(),
+                draining: false,
             })
+            .collect()
+    }
+
+    /// The handle of a serving shard, by stable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no serving shard has that id (never spawned, or drained).
+    fn handle(&self, shard: usize) -> &ShardHandle {
+        self.shards
+            .iter()
+            .find(|handle| handle.shard == shard)
+            .unwrap_or_else(|| panic!("shard {shard} is unknown or drained"))
+    }
+
+    /// Elasticity counters (migrations, shard spawns/drains) as of the
+    /// latest control action. Admission-side counters (rejections, queue
+    /// waits, sheds requested) are the driving policy's to keep — see
+    /// `ElasticController` — and are merged into the final report there.
+    pub fn elasticity(&self) -> ElasticityCounters {
+        self.elasticity
+    }
+
+    /// How many shards are currently serving.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ids of sessions admitted and not yet completed, in id order.
+    /// Completion events are absorbed first, so the answer is as fresh as
+    /// the workers' reporting.
+    pub fn live_sessions(&mut self) -> Vec<usize> {
+        self.pump_events();
+        self.assignments
+            .keys()
+            .filter(|id| !self.retired.contains(id) && !self.completed.contains_key(id))
+            .copied()
             .collect()
     }
 
@@ -523,16 +812,18 @@ impl StreamRuntime {
         self.next_id += 1;
         let loads = self.shard_loads();
         let shard = self.placement.place(id, &config, &loads);
-        assert!(
-            shard < self.shards.len(),
-            "placement chose shard {shard} of {}",
-            self.shards.len()
-        );
-        let handle = &self.shards[shard];
+        let handle = self
+            .shards
+            .iter()
+            .find(|handle| handle.shard == shard)
+            .unwrap_or_else(|| panic!("placement chose unknown shard {shard}"));
         handle.sessions.fetch_add(1, Ordering::Relaxed);
         // Commit the pixel weight synchronously with the session count so
         // cost-aware placement sees back-to-back admissions too.
         handle.session_pixels.add(config.pixel_cost());
+        handle
+            .remaining_pixels
+            .add(config.pixel_cost() * u64::from(config.frames()));
         if let Some(tracing) = self.tracing.as_mut() {
             tracing
                 .control
@@ -595,7 +886,7 @@ impl StreamRuntime {
                 .mark(Marker::Cancel, CLASS_OTHER, session as u64);
         }
         let shard = self.assignments[&session];
-        self.shards[shard]
+        self.handle(shard)
             .control
             .send(ShardControl::Cancel { id: session })
             .expect("shard producer exited while the runtime is alive");
@@ -616,6 +907,34 @@ impl StreamRuntime {
         self.churn.record_retirement();
     }
 
+    /// Blocks until the next event arrives, panicking if a serving shard
+    /// thread exits in the meantime (before shutdown, that can only mean
+    /// it panicked — the runtime holds an event sender, so the channel
+    /// itself never closes).
+    fn recv_event(&mut self) -> RuntimeEvent {
+        loop {
+            match self.events.recv_timeout(EVENT_POLL) {
+                Ok(event) => return event,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if let Some(dead) = self
+                        .shards
+                        .iter()
+                        .find(|handle| handle.producer.is_finished() || handle.worker.is_finished())
+                    {
+                        panic!(
+                            "shard {} thread exited while the runtime is alive \
+                             (see the shard thread's panic output above)",
+                            dead.shard
+                        );
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("the runtime holds an event sender")
+                }
+            }
+        }
+    }
+
     /// Blocks until `session`'s final report arrives and hands it over.
     fn await_completion(&mut self, session: usize) -> SessionReport {
         loop {
@@ -623,15 +942,8 @@ impl StreamRuntime {
             if let Some(report) = self.completed.remove(&session) {
                 return report;
             }
-            match self.events.recv() {
-                Ok(event) => self.absorb(event),
-                // The channel only closes when every worker exits, which
-                // before shutdown() means a shard thread panicked.
-                Err(_) => panic!(
-                    "a shard thread panicked before session {session} completed \
-                     (see the shard thread's panic output above)"
-                ),
-            }
+            let event = self.recv_event();
+            self.absorb(event);
         }
     }
 
@@ -640,16 +952,263 @@ impl StreamRuntime {
     pub fn drain(&mut self) {
         self.pump_events();
         while self.churn.in_flight() > 0 {
-            match self.events.recv() {
+            let event = self.recv_event();
+            self.absorb(event);
+        }
+    }
+
+    /// Spawns a fresh shard thread pair and returns its stable id.
+    /// Placement sees it (initially empty) from the next admission on.
+    /// Ids are never reused: after spawn/drain cycles the serving set need
+    /// not be contiguous.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pvc_frame::Dimensions;
+    /// use pvc_stream::{ServiceConfig, SessionConfig, StreamRuntime};
+    ///
+    /// let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+    /// let id = runtime.admit(SessionConfig::synthetic(0, Dimensions::new(32, 32), 64));
+    ///
+    /// // Scale up, move the session onto the new shard, finish it there.
+    /// let dest = runtime.spawn_shard();
+    /// assert_eq!(dest, 1);
+    /// assert!(runtime.migrate(id, dest));
+    /// assert_eq!(runtime.assignment(id), Some(dest));
+    /// let report = runtime.retire(id);
+    /// assert_eq!(report.throughput.frames, 64, "migration loses no frames");
+    ///
+    /// // Scale back down; the drained shard's telemetry comes back.
+    /// let drained = runtime.drain_shard(dest);
+    /// assert_eq!(drained.shard, dest);
+    /// assert_eq!(runtime.shard_count(), 1);
+    ///
+    /// let report = runtime.shutdown();
+    /// assert_eq!(report.elasticity.migrated, 1);
+    /// assert_eq!(report.elasticity.shards_spawned, 1);
+    /// assert_eq!(report.elasticity.shards_drained, 1);
+    /// assert_eq!(report.shards.len(), 2, "drained shards stay in the report");
+    /// ```
+    pub fn spawn_shard(&mut self) -> usize {
+        let shard = self.next_shard_index;
+        self.next_shard_index += 1;
+        let handle = spawn_shard_threads(
+            shard,
+            &self.config,
+            self.event_tx.clone(),
+            self.tracing_spec.as_ref(),
+        );
+        self.shards.push(handle);
+        self.shard_reports.push(None);
+        if let Some(tracing) = self.tracing.as_mut() {
+            tracing
+                .control
+                .mark(Marker::ShardSpawn, CLASS_OTHER, shard as u64);
+        }
+        self.elasticity.record_shard_spawned();
+        shard
+    }
+
+    /// Drains a shard out of the fleet: migrates its live sessions to the
+    /// remaining shards (placed by the runtime's policy, which must not
+    /// pick the draining shard), winds down its thread pair, and returns
+    /// its telemetry. The report also stays in the final
+    /// [`ServiceReport::shards`] under the shard's stable id.
+    ///
+    /// Migrated streams stay bit-identical to their solo runs — see
+    /// [`Self::migrate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown/already drained, if it is the last
+    /// serving shard, or if a shard thread panicked.
+    pub fn drain_shard(&mut self, shard: usize) -> ShardReport {
+        assert!(
+            self.shards.iter().any(|handle| handle.shard == shard),
+            "shard {shard} is unknown or already drained"
+        );
+        assert!(self.shards.len() > 1, "cannot drain the last serving shard");
+        // Relocate every live member first so their streams continue on
+        // the survivors.
+        let members: Vec<usize> = self
+            .live_sessions()
+            .into_iter()
+            .filter(|id| self.assignments[id] == shard)
+            .collect();
+        for id in members {
+            // `false` means the session completed in the meantime —
+            // nothing left to move.
+            self.migrate_impl(id, MigrateDest::Rebalance { draining: shard });
+        }
+        let position = self
+            .shards
+            .iter()
+            .position(|handle| handle.shard == shard)
+            .expect("presence asserted above");
+        let handle = self.shards.remove(position);
+        handle.control.send(ShardControl::Shutdown).ok();
+        // Wait for the shard's final report (the worker sends it on exit).
+        while self.shard_reports[shard].is_none() {
+            match self.events.recv_timeout(EVENT_POLL) {
                 Ok(event) => self.absorb(event),
-                // See retire(): a closed channel here means a shard thread
-                // panicked with sessions still in flight.
-                Err(_) => panic!(
-                    "a shard thread panicked with sessions in flight \
-                     (see the shard thread's panic output above)"
-                ),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if handle.worker.is_finished() {
+                        // Clean exits leave the report in the channel
+                        // buffer; a panic leaves nothing — either way the
+                        // joins below settle it.
+                        self.pump_events();
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("the runtime holds an event sender")
+                }
             }
         }
+        handle.producer.join().expect("shard producer panicked");
+        handle.worker.join().expect("shard worker panicked");
+        if let Some(tracing) = self.tracing.as_mut() {
+            tracing
+                .control
+                .mark(Marker::ShardDrain, CLASS_OTHER, shard as u64);
+        }
+        self.elasticity.record_shard_drained();
+        self.shard_reports[shard].clone().unwrap_or(ShardReport {
+            shard,
+            ..ShardReport::default()
+        })
+    }
+
+    /// Migrates a live session to the serving shard `to`, blocking until
+    /// the hand-off completes. Returns `false` (without side effects) if
+    /// the session's stream already completed or `to` is its current
+    /// shard.
+    ///
+    /// The migrated stream is **bit-identical** to the session's solo
+    /// run: the source worker encodes exactly the frames its producer
+    /// rendered (the eviction travels the frame queue in order), the
+    /// destination rebuilds renderer, gaze trace and encoder purely from
+    /// the session config and resumes at the next frame index, and the
+    /// digest/wire sinks are carried mid-chain. The encoder cache is the
+    /// only state lost, and it never steers an encoded bit (pinned by
+    /// `tests/migration_determinism.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was never admitted or `to` is not a serving
+    /// shard.
+    pub fn migrate(&mut self, session: usize, to: usize) -> bool {
+        self.migrate_impl(session, MigrateDest::Fixed(to))
+    }
+
+    fn migrate_impl(&mut self, session: usize, dest: MigrateDest) -> bool {
+        assert!(
+            self.assignments.contains_key(&session),
+            "session {session} was never admitted"
+        );
+        self.pump_events();
+        if self.retired.contains(&session) || self.completed.contains_key(&session) {
+            return false;
+        }
+        let from = self.assignments[&session];
+        if let MigrateDest::Fixed(to) = dest {
+            // Validate eagerly: the eviction is irrevocable once sent.
+            let _ = self.handle(to);
+            if to == from {
+                return false;
+            }
+        }
+        self.handle(from)
+            .control
+            .send(ShardControl::Migrate { id: session })
+            .expect("shard producer exited while the runtime is alive");
+        loop {
+            match self.recv_event() {
+                RuntimeEvent::Migrated { id, carry } if id == session => {
+                    let to = match dest {
+                        MigrateDest::Fixed(to) => to,
+                        MigrateDest::Rebalance { draining } => {
+                            let mut loads = self.shard_loads();
+                            for load in &mut loads {
+                                if load.shard == draining {
+                                    load.draining = true;
+                                }
+                            }
+                            let to = self.placement.place(session, &carry.config, &loads);
+                            assert!(
+                                to != draining,
+                                "placement returned the draining shard {draining}"
+                            );
+                            to
+                        }
+                    };
+                    let handle = self.handle(to);
+                    handle.sessions.fetch_add(1, Ordering::Relaxed);
+                    handle.session_pixels.add(carry.config.pixel_cost());
+                    handle.remaining_pixels.add(
+                        carry.config.pixel_cost()
+                            * u64::from(carry.config.frames().saturating_sub(carry.frames_done)),
+                    );
+                    let class = carry.config.profile.tier.class_index();
+                    handle
+                        .control
+                        .send(ShardControl::Resume { id: session, carry })
+                        .expect("shard producer exited while the runtime is alive");
+                    if let Some(tracing) = self.tracing.as_mut() {
+                        tracing.control.mark(Marker::Migrate, class, session as u64);
+                    }
+                    self.assignments.insert(session, to);
+                    self.elasticity.record_migration();
+                    return true;
+                }
+                RuntimeEvent::MigrateRefused { id } if id == session => return false,
+                event => self.absorb(event),
+            }
+        }
+    }
+
+    /// Downgrades a live session to `profile` mid-stream (tier shed:
+    /// quality for throughput). Returns `false` if the session's stream
+    /// already completed. Does not block: the downgrade lands on the
+    /// shard threads asynchronously; the session's report will carry
+    /// [`SessionReport::downgraded_from`] and
+    /// [`SessionReport::downgrade_frame`], and its wire stream a
+    /// tier-change record at that frame.
+    ///
+    /// The post-downgrade stream is bit-identical to a solo run started
+    /// at `profile` from the same frame index (pinned by
+    /// `tests/migration_determinism.rs`): renderer, gaze trace and
+    /// encoder are re-derived purely from the new profile, and the frame
+    /// index continues under the new numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was never admitted.
+    pub fn shed(&mut self, session: usize, profile: SessionProfile) -> bool {
+        assert!(
+            self.assignments.contains_key(&session),
+            "session {session} was never admitted"
+        );
+        self.pump_events();
+        if self.retired.contains(&session) || self.completed.contains_key(&session) {
+            return false;
+        }
+        let shard = self.assignments[&session];
+        if let Some(tracing) = self.tracing.as_mut() {
+            tracing
+                .control
+                .mark(Marker::Shed, profile.tier.class_index(), session as u64);
+        }
+        self.handle(shard)
+            .control
+            .send(ShardControl::Retier {
+                id: session,
+                profile,
+            })
+            .expect("shard producer exited while the runtime is alive");
+        self.elasticity.record_shed();
+        true
     }
 
     /// Stops the runtime: lets every in-flight session finish its frame
@@ -668,19 +1227,30 @@ impl StreamRuntime {
         let handles = std::mem::take(&mut self.shards);
         let mut pending_shards = handles.len();
         while pending_shards > 0 {
-            match self.events.recv() {
+            match self.events.recv_timeout(EVENT_POLL) {
                 Ok(event) => {
                     if matches!(event, RuntimeEvent::ShardDone(_)) {
                         pending_shards -= 1;
                     }
                     self.absorb(event);
                 }
-                // Channel closed with a shard report missing: a worker
-                // panicked. Fall through to the joins to surface it.
-                Err(_) => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Workers send their report before exiting, so once
+                    // every worker is finished the reports (if any) are
+                    // already buffered. A report still missing after the
+                    // flush means a worker panicked: fall through to the
+                    // joins to surface it.
+                    if handles.iter().all(|handle| handle.worker.is_finished()) {
+                        self.pump_events();
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
-        let shard_count = handles.len();
+        // The control lane reports one past the highest shard id ever
+        // spawned, so drained shards keep their own trace groups.
+        let control_lane_index = self.next_shard_index;
         for handle in handles {
             drop(handle.control);
             handle.producer.join().expect("shard producer panicked");
@@ -717,7 +1287,7 @@ impl StreamRuntime {
             // last shard.
             report
                 .threads
-                .push(control.into_thread(shard_count, Lane::Control));
+                .push(control.into_thread(control_lane_index, Lane::Control));
             report
                 .threads
                 .sort_by_key(|thread| (thread.shard, lane_rank(thread.lane)));
@@ -728,6 +1298,7 @@ impl StreamRuntime {
             shards,
             totals,
             churn: self.churn,
+            elasticity: self.elasticity,
             trace,
         }
     }
@@ -755,12 +1326,20 @@ impl StreamRuntime {
                 debug_assert!(slot.is_none(), "shard {} reported twice", report.shard);
                 *slot = Some(report);
             }
+            // Exactly one migration is ever in flight (the runtime is
+            // single-threaded and migrate_impl consumes its response
+            // before returning), so these never reach the generic path.
+            RuntimeEvent::Migrated { .. } | RuntimeEvent::MigrateRefused { .. } => {
+                unreachable!("migration responses are consumed by the migration wait loop")
+            }
         }
     }
 }
 
-/// Spawns one shard's producer/worker thread pair.
-fn spawn_shard(
+/// Spawns one shard's producer/worker thread pair. `shard` is the stable
+/// id the pair reports as; the runtime calls this both at start and from
+/// [`StreamRuntime::spawn_shard`].
+fn spawn_shard_threads(
     shard: usize,
     config: &ServiceConfig,
     events: mpsc::Sender<RuntimeEvent>,
@@ -778,6 +1357,7 @@ fn spawn_shard(
     let sessions = Arc::new(AtomicUsize::new(0));
     let session_pixels = Gauge::new();
     let queued_pixels = Gauge::new();
+    let remaining_pixels = Gauge::new();
     // Always-on render-time accounting (satisfies ShardReport even with
     // tracing off): the producer adds, the worker reads at exit.
     let render_nanos = Arc::new(AtomicU64::new(0));
@@ -787,7 +1367,9 @@ fn spawn_shard(
             let links = ProducerLinks {
                 control: control_rx,
                 jobs: job_tx,
+                events: events.clone(),
                 queued_pixels: queued_pixels.clone(),
+                remaining_pixels: remaining_pixels.clone(),
                 recycle: recycle_rx,
                 frame_pool_cap,
                 render_nanos: Arc::clone(&render_nanos),
@@ -817,14 +1399,21 @@ fn spawn_shard(
         })
         .expect("spawning shard worker thread");
     ShardHandle {
+        shard,
         control: control_tx,
         queue,
         sessions,
         session_pixels,
         queued_pixels,
+        remaining_pixels,
         producer,
         worker,
     }
+}
+
+/// The pixels a member session is still due to render.
+fn session_remaining_pixels(session: &ProducerSession) -> u64 {
+    session.config.pixel_cost() * u64::from(session.config.frames().saturating_sub(session.next))
 }
 
 /// Hard-cancels `id` on the producer side: stops rendering its remaining
@@ -837,24 +1426,84 @@ fn spawn_shard(
 fn cancel_session(
     active: &mut Vec<ProducerSession>,
     id: usize,
-    jobs: &BoundedSender<ShardJob>,
+    links: &ProducerLinks,
 ) -> Result<(), ()> {
     let Some(position) = active.iter().position(|session| session.id == id) else {
         return Ok(());
     };
+    // The worker still owes the runtime a report for this session even if
+    // no frame was ever sent; send_first opens it so the Cancel below
+    // finalizes an (empty) cancelled one.
+    send_first(&mut active[position], &links.jobs)?;
     let session = active.remove(position);
-    if !session.opened {
-        // The worker still owes the runtime a report for this session;
-        // open it so the Cancel below finalizes an empty, cancelled one.
-        let open = ShardJob::Open {
+    links
+        .remaining_pixels
+        .sub(session_remaining_pixels(&session));
+    links.jobs.send(ShardJob::Cancel { id }).map_err(|_| ())
+}
+
+/// Downgrades member `id` to `profile`: re-derives its renderer and gaze
+/// trace from the new profile (keeping the current frame index, now under
+/// the new numbering) and tells the worker — through the frame queue, so
+/// the change lands behind every old-profile frame — to rebuild the
+/// encoder and stamp a tier-change record. A no-op for non-members.
+///
+/// Returns `Err` when the worker is gone and the producer should stop.
+fn retier_session(
+    active: &mut [ProducerSession],
+    id: usize,
+    profile: SessionProfile,
+    links: &ProducerLinks,
+) -> Result<(), ()> {
+    let Some(session) = active.iter_mut().find(|session| session.id == id) else {
+        return Ok(());
+    };
+    send_first(session, &links.jobs)?;
+    links
+        .remaining_pixels
+        .sub(session_remaining_pixels(session));
+    let next = session.next;
+    let config = session.config.clone().with_profile(profile);
+    *session = ProducerSession::admit(id, config.clone());
+    session.next = next;
+    session.opened = true;
+    links
+        .remaining_pixels
+        .add(session_remaining_pixels(session));
+    links
+        .jobs
+        .send(ShardJob::Retier { id, config })
+        .map_err(|_| ())
+}
+
+/// Evicts member `id` for migration: stops rendering it and asks the
+/// worker — again through the frame queue, behind every frame already
+/// rendered — to package the session's carry. Non-members are refused
+/// straight back to the runtime (their stream already completed).
+///
+/// Returns `Err` when the worker is gone and the producer should stop.
+fn migrate_session(
+    active: &mut Vec<ProducerSession>,
+    id: usize,
+    links: &ProducerLinks,
+) -> Result<(), ()> {
+    let Some(position) = active.iter().position(|session| session.id == id) else {
+        links.events.send(RuntimeEvent::MigrateRefused { id }).ok();
+        return Ok(());
+    };
+    send_first(&mut active[position], &links.jobs)?;
+    let session = active.remove(position);
+    links
+        .remaining_pixels
+        .sub(session_remaining_pixels(&session));
+    links
+        .jobs
+        .send(ShardJob::Migrate {
             id,
-            config: session.config.clone(),
-        };
-        if jobs.send(open).is_err() {
-            return Err(());
-        }
-    }
-    jobs.send(ShardJob::Cancel { id }).map_err(|_| ())
+            config: session.config,
+            next: session.next,
+        })
+        .map_err(|_| ())
 }
 
 /// Everything one producer thread owns, bundled so the tracing kit and
@@ -863,7 +1512,13 @@ fn cancel_session(
 struct ProducerLinks {
     control: ControlReceiver<ShardControl>,
     jobs: BoundedSender<ShardJob>,
+    /// For answering [`ShardControl::Migrate`] of a non-member directly
+    /// (the worker never hears about those).
+    events: mpsc::Sender<RuntimeEvent>,
     queued_pixels: Gauge,
+    /// Work still due: lowered per rendered frame and adjusted on
+    /// cancel/retier/migrate; the runtime raises it at admission/arrival.
+    remaining_pixels: Gauge,
     recycle: mpsc::Receiver<LinearFrame>,
     frame_pool_cap: usize,
     /// Accumulated render time, read by the worker at exit into
@@ -906,9 +1561,18 @@ fn producer_loop(links: &mut ProducerLinks) {
                 Some(ShardControl::Admit { id, config }) => {
                     active.push(ProducerSession::admit(id, config));
                 }
-                // No member can match a Cancel while idle: the session
-                // already closed and its report is (or will be) complete.
-                Some(ShardControl::Cancel { .. }) => {}
+                Some(ShardControl::Resume { id, carry }) => {
+                    active.push(ProducerSession::resume(id, carry));
+                }
+                // No member can match a Cancel or Retier while idle: the
+                // session already closed and its report is (or will be)
+                // complete.
+                Some(ShardControl::Cancel { .. }) | Some(ShardControl::Retier { .. }) => {}
+                // Likewise a Migrate of a non-member: refuse it so the
+                // waiting runtime unblocks.
+                Some(ShardControl::Migrate { id }) => {
+                    links.events.send(RuntimeEvent::MigrateRefused { id }).ok();
+                }
                 Some(ShardControl::Shutdown) | None => draining = true,
             }
         }
@@ -918,8 +1582,21 @@ fn producer_loop(links: &mut ProducerLinks) {
                 ControlPoll::Message(ShardControl::Admit { id, config }) => {
                     active.push(ProducerSession::admit(id, config));
                 }
+                ControlPoll::Message(ShardControl::Resume { id, carry }) => {
+                    active.push(ProducerSession::resume(id, carry));
+                }
                 ControlPoll::Message(ShardControl::Cancel { id }) => {
-                    if cancel_session(&mut active, id, &links.jobs).is_err() {
+                    if cancel_session(&mut active, id, links).is_err() {
+                        return;
+                    }
+                }
+                ControlPoll::Message(ShardControl::Retier { id, profile }) => {
+                    if retier_session(&mut active, id, profile, links).is_err() {
+                        return;
+                    }
+                }
+                ControlPoll::Message(ShardControl::Migrate { id }) => {
+                    if migrate_session(&mut active, id, links).is_err() {
                         return;
                     }
                 }
@@ -955,15 +1632,8 @@ fn producer_loop(links: &mut ProducerLinks) {
         while index < active.len() {
             let finished = {
                 let session = &mut active[index];
-                if !session.opened {
-                    let open = ShardJob::Open {
-                        id: session.id,
-                        config: session.config.clone(),
-                    };
-                    if links.jobs.send(open).is_err() {
-                        return;
-                    }
-                    session.opened = true;
+                if send_first(session, &links.jobs).is_err() {
+                    return;
                 }
                 if session.next < session.config.frames() {
                     let t = session.next;
@@ -1002,6 +1672,8 @@ fn producer_loop(links: &mut ProducerLinks) {
                         links.queued_pixels.sub(pixels);
                         return;
                     }
+                    // The frame is rendered: it is no longer "remaining".
+                    links.remaining_pixels.sub(pixels);
                     session.next += 1;
                 }
                 session.next >= session.config.frames()
@@ -1154,6 +1826,80 @@ fn run_worker(shard: usize, config: ServiceConfig, mut links: WorkerLinks) {
                 session.report.cancelled = true;
                 finalize(session, &mut shard_report, &links.gauges, &links.events);
             }
+            ShardJob::Retier {
+                id,
+                config: session_config,
+            } => {
+                let session = sessions
+                    .get_mut(&id)
+                    .expect("retier for a session that was never opened");
+                // Every old-profile frame precedes this job in the queue,
+                // so the rebuild lands at exactly the producer's switch
+                // point. Fold the outgoing encoder's cache counters before
+                // replacing it.
+                session.carried_cache =
+                    merge_cache(session.carried_cache, session.encoder.cache_stats());
+                let (encoder, tile_size) = encoder_for(&config, &session_config);
+                session.encoder = encoder;
+                let old_tier = session.report.tier;
+                links.gauges.session_pixels.sub(session.frame_pixels);
+                session.frame_pixels = session_config.pixel_cost();
+                links.gauges.session_pixels.add(session.frame_pixels);
+                session.class = session_config.profile.tier.class_index();
+                session.report.tier = session_config.profile.tier;
+                // Only the first downgrade is "from" anything the client
+                // did not already know about.
+                session.report.downgraded_from.get_or_insert(old_tier);
+                let frame_index = session.report.throughput.frames as u32;
+                session.report.downgrade_frame = Some(frame_index);
+                let change = WireTierChange {
+                    frame_index,
+                    tier: session_config.profile.tier,
+                    width: session_config.dimensions().width,
+                    height: session_config.dimensions().height,
+                    tile_size,
+                    frame_budget: session_config.frames(),
+                };
+                for sink in session.sinks() {
+                    sink.tier_change(&change);
+                }
+            }
+            ShardJob::Migrate {
+                id,
+                config: session_config,
+                next,
+            } => {
+                let session = sessions
+                    .remove(&id)
+                    .expect("migrate for a session that was never opened");
+                // Attribute the frames encoded here to this shard before
+                // the session leaves; the destination claims only its own
+                // share via the carried baselines.
+                shard_report.frames += session.report.throughput.frames - session.counted_frames;
+                shard_report.pixels += session.report.throughput.pixels - session.counted_pixels;
+                let counted_frames = session.report.throughput.frames;
+                let counted_pixels = session.report.throughput.pixels;
+                let carried_cache =
+                    merge_cache(session.carried_cache, session.encoder.cache_stats());
+                links.gauges.sessions.fetch_sub(1, Ordering::Relaxed);
+                links.gauges.session_pixels.sub(session.frame_pixels);
+                let carry = Box::new(SessionCarry {
+                    config: session_config,
+                    frames_done: next,
+                    report: session.report,
+                    digest: session.digest,
+                    wire: session.wire,
+                    first_frame: session.first_frame,
+                    carried_cache,
+                    counted_frames,
+                    counted_pixels,
+                });
+                links.events.send(RuntimeEvent::Migrated { id, carry }).ok();
+            }
+            ShardJob::Resume { id, carry } => {
+                shard_report.sessions += 1;
+                sessions.insert(id, WorkerSession::resume(shard, &config, *carry));
+            }
         }
     }
     // The producer only exits without closing every session while
@@ -1167,6 +1913,10 @@ fn run_worker(shard: usize, config: ServiceConfig, mut links: WorkerLinks) {
     shard_report.queue_stalls = links.queue.stalls();
     shard_report.queue_enqueued = links.queue.enqueued();
     shard_report.queue_peak_depth = links.queue.peak_depth();
+    // The stats are captured; start a fresh peak epoch so nothing that
+    // reuses the queue's stats handle inherits this lifetime's high-water
+    // mark (a drained shard must not leak into its replacement's report).
+    links.queue.reset_peak_depth();
     links
         .events
         .send(RuntimeEvent::ShardDone(shard_report))
@@ -1236,9 +1986,14 @@ fn finalize(
     session.report.stream_digest = session.digest.digest();
     session.report.payloads = session.digest.take_payloads();
     session.report.wire_stream = session.wire.take().map(WireSink::into_bytes);
-    session.report.cache = session.encoder.cache_stats();
-    shard_report.frames += session.report.throughput.frames;
-    shard_report.pixels += session.report.throughput.pixels;
+    // Cache counters span every encoder incarnation (sheds, migrations);
+    // for a session that never changed tier or shard the carried part is
+    // zero and this is exactly the live encoder's stats.
+    session.report.cache = merge_cache(session.carried_cache, session.encoder.cache_stats());
+    // Migrated-in sessions only credit this shard with the frames encoded
+    // here; previous shards already claimed theirs.
+    shard_report.frames += session.report.throughput.frames - session.counted_frames;
+    shard_report.pixels += session.report.throughput.pixels - session.counted_pixels;
     gauges.sessions.fetch_sub(1, Ordering::Relaxed);
     gauges.session_pixels.sub(session.frame_pixels);
     events.send(RuntimeEvent::SessionDone(session.report)).ok();
@@ -1486,6 +2241,136 @@ mod tests {
             report.totals.pixels,
             report.sessions.iter().map(|s| s.throughput.pixels).sum()
         );
+    }
+
+    #[test]
+    fn migrate_moves_a_live_session_and_its_gauges() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default().with_shards(2));
+        let id = runtime.admit(SessionConfig::synthetic(0, dims(), 400));
+        assert_eq!(runtime.assignment(id), Some(0));
+        assert!(runtime.migrate(id, 1), "a live session must move");
+        assert_eq!(runtime.assignment(id), Some(1));
+        let loads = runtime.shard_loads();
+        assert_eq!(loads[0].sessions, 0, "the source released its gauges");
+        assert_eq!(loads[0].session_pixels, 0);
+        assert_eq!(loads[1].sessions, 1, "the destination picked them up");
+        assert_eq!(loads[1].session_pixels, 32 * 32);
+        let report = runtime.retire(id);
+        assert_eq!(report.throughput.frames, 400, "no frame lost in transit");
+        assert_eq!(report.shard, 1, "the report names the new home");
+        let service_report = runtime.shutdown();
+        assert_eq!(service_report.elasticity.migrated, 1);
+        assert_eq!(
+            service_report.shards[0].frames + service_report.shards[1].frames,
+            400,
+            "shard attribution splits at the migration point"
+        );
+    }
+
+    #[test]
+    fn migrate_refuses_completed_sessions_and_self_moves() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default().with_shards(2));
+        let done = runtime.admit(SessionConfig::synthetic(0, dims(), 2));
+        runtime.drain();
+        assert!(!runtime.migrate(done, 1), "completed streams stay put");
+        let live = runtime.admit(SessionConfig::synthetic(1, dims(), 200));
+        assert!(!runtime.migrate(live, 1), "self-migration is refused");
+        let report = runtime.shutdown();
+        assert_eq!(report.elasticity.migrated, 0);
+    }
+
+    #[test]
+    fn shed_downgrades_a_live_session_mid_stream() {
+        use crate::session::{ResolutionTier, SessionProfile};
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        let profile = SessionProfile::for_tier(ResolutionTier::VisionClass, dims(), 600);
+        let lower = profile
+            .downgraded()
+            .expect("vision downgrades to quest-pro");
+        let downgraded_frames = lower.frames;
+        let id = runtime.admit(SessionConfig::synthetic(0, dims(), 600).with_profile(profile));
+        assert!(runtime.shed(id, lower), "a live session must shed");
+        let report = runtime.retire(id);
+        assert_eq!(report.tier, ResolutionTier::QuestPro);
+        assert_eq!(report.downgraded_from, Some(ResolutionTier::VisionClass));
+        let switch = report
+            .downgrade_frame
+            .expect("the downgrade landed mid-stream");
+        assert!(
+            switch < downgraded_frames,
+            "the switch point ({switch}) must precede the downgraded budget ({downgraded_frames})"
+        );
+        assert_eq!(
+            report.throughput.frames,
+            u64::from(downgraded_frames),
+            "the stream finishes on the *downgraded* frame budget"
+        );
+        let service_report = runtime.shutdown();
+        assert_eq!(service_report.elasticity.shed, 1);
+    }
+
+    #[test]
+    fn drain_rebalances_members_onto_surviving_shards() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        let id = runtime.admit(SessionConfig::synthetic(0, dims(), 400));
+        let dest = runtime.spawn_shard();
+        assert_eq!(dest, 1, "spawned shards take fresh stable ids");
+        assert_eq!(runtime.shard_count(), 2);
+        let drained = runtime.drain_shard(0);
+        assert_eq!(drained.shard, 0);
+        assert_eq!(drained.sessions, 1, "the shard served before handing off");
+        assert_eq!(runtime.shard_count(), 1);
+        assert_eq!(
+            runtime.assignment(id),
+            Some(dest),
+            "drain migrated the live member to the survivor"
+        );
+        let report = runtime.retire(id);
+        assert_eq!(report.throughput.frames, 400);
+        let service_report = runtime.shutdown();
+        assert_eq!(service_report.elasticity.shards_spawned, 1);
+        assert_eq!(service_report.elasticity.shards_drained, 1);
+        assert_eq!(service_report.elasticity.migrated, 1, "rebalance counts");
+        assert_eq!(
+            service_report.shards.len(),
+            2,
+            "drained shards still appear in the final report"
+        );
+        assert_eq!(service_report.totals.frames, 400);
+    }
+
+    #[test]
+    fn remaining_pixels_gauge_tracks_admission_and_cancel() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        let total = 100_000u64 * 32 * 32;
+        let id = runtime.admit(SessionConfig::synthetic(0, dims(), 100_000));
+        let load = runtime.shard_loads()[0];
+        assert!(
+            load.remaining_pixels > 0 && load.remaining_pixels <= total,
+            "remaining work commits on admission, drains per frame: {}",
+            load.remaining_pixels
+        );
+        let _ = runtime.retire_now(id);
+        assert_eq!(
+            runtime.shard_loads()[0].remaining_pixels,
+            0,
+            "hard-cancel decommits the remaining work"
+        );
+        runtime.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drain the last serving shard")]
+    fn draining_the_last_shard_panics() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default());
+        let _ = runtime.drain_shard(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or already drained")]
+    fn draining_an_unknown_shard_panics() {
+        let mut runtime = StreamRuntime::start_static(ServiceConfig::default().with_shards(2));
+        let _ = runtime.drain_shard(7);
     }
 
     #[test]

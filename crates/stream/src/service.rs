@@ -33,7 +33,9 @@ use crate::runtime::StreamRuntime;
 use crate::session::{SessionConfig, SessionReport, WorkloadMix};
 use pvc_core::{BatchCacheStats, EncoderConfig, DEFAULT_GAZE_CACHE_CAPACITY};
 use pvc_frame::Dimensions;
-use pvc_metrics::{ChurnCounters, SampleSummary, ThroughputReport, TierAggregates};
+use pvc_metrics::{
+    ChurnCounters, ElasticityCounters, SampleSummary, ThroughputReport, TierAggregates,
+};
 use pvc_trace::TraceReport;
 use serde::{Deserialize, Serialize};
 
@@ -241,6 +243,13 @@ pub struct ServiceReport {
     pub totals: ThroughputReport,
     /// Session admission/retirement/completion counters.
     pub churn: ChurnCounters,
+    /// What the elastic control plane did over the run: tier sheds,
+    /// migrations and shard spawns/drains counted by the runtime, plus —
+    /// when the run was driven through `ElasticController` — the
+    /// admission-side rejected/queued counts it merges in at shutdown.
+    /// All-zero (see [`ElasticityCounters::is_passive`]) for a plain
+    /// batch run.
+    pub elasticity: ElasticityCounters,
     /// Per-thread trace (events + stage histograms) when the run was
     /// configured with [`ServiceConfig::with_trace`]. Wall-clock
     /// telemetry, machine- and timing-dependent by nature, and skipped by

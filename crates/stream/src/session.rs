@@ -132,6 +132,17 @@ impl ResolutionTier {
             ResolutionTier::VisionClass => 2,
         }
     }
+
+    /// The next-cheaper tier in [`ResolutionTier::ALL`], or `None` for
+    /// the baseline tier — the shedding ladder the elastic controller
+    /// walks down under sustained overload.
+    pub fn lower(self) -> Option<ResolutionTier> {
+        let index = ResolutionTier::ALL
+            .iter()
+            .position(|&tier| tier == self)
+            .expect("every tier is in ALL");
+        index.checked_sub(1).map(|lower| ResolutionTier::ALL[lower])
+    }
 }
 
 /// The per-session display profile: everything about *how* a session
@@ -212,6 +223,41 @@ impl SessionProfile {
     /// placement balances across shards.
     pub fn pixel_cost(&self) -> u64 {
         self.dimensions.pixel_count() as u64
+    }
+
+    /// The same session one [`ResolutionTier`] down, or `None` when this
+    /// profile is already at the baseline tier.
+    ///
+    /// Every field is re-derived from the *current* profile the same way
+    /// [`SessionProfile::for_tier`] derives it from a base: render size
+    /// rescaled per-axis by the tiers' native panel ratio, frame budget
+    /// rescaled by the refresh-rate ratio (both at least 1), the lower
+    /// tier's default tile size, and the default gaze model for the
+    /// rescaled display. That by-construction rule is what makes the shed
+    /// determinism pin checkable: a solo run started directly on
+    /// `profile.downgraded()` produces the exact stream a shed session
+    /// produces after its downgrade frame.
+    pub fn downgraded(&self) -> Option<SessionProfile> {
+        let lower = self.tier.lower()?;
+        let from = self.tier.per_eye();
+        let to = lower.per_eye();
+        let scale_axis = |value: u32, from: u32, to: u32| -> u32 {
+            ((u64::from(value) * u64::from(to)) / u64::from(from)).max(1) as u32
+        };
+        let dimensions = Dimensions::new(
+            scale_axis(self.dimensions.width, from.width, to.width),
+            scale_axis(self.dimensions.height, from.height, to.height),
+        );
+        let frames = ((u64::from(self.frames) * u64::from(lower.refresh_hz()))
+            / u64::from(self.tier.refresh_hz()))
+        .max(1) as u32;
+        Some(SessionProfile {
+            tier: lower,
+            dimensions,
+            frames,
+            gaze_model: GazeModel::default_for(dimensions),
+            tile_size: lower.tile_size(),
+        })
     }
 }
 
@@ -411,6 +457,13 @@ pub struct SessionReport {
     /// when [`crate::ServiceConfig::collect_wire`] is set — this is what
     /// a client (the `pvc_client` crate) actually receives and decodes.
     pub wire_stream: Option<Vec<u8>>,
+    /// The tier the session was admitted at, when the control plane shed
+    /// it to a lower tier mid-stream (`tier` is then the final tier).
+    pub downgraded_from: Option<ResolutionTier>,
+    /// The frame index (in the *downgraded* profile's numbering) at which
+    /// the shed took effect: frames `downgrade_frame..` were encoded at
+    /// the lower tier.
+    pub downgrade_frame: Option<u32>,
 }
 
 /// Seed value of the FNV-1a digest chain.
@@ -558,6 +611,45 @@ mod tests {
         assert_eq!(uniform.seed, mixed.seed);
         assert_eq!(mixed.profile.tier, ResolutionTier::VisionClass);
         assert!(mixed.pixel_cost() > 3 * uniform.pixel_cost());
+    }
+
+    #[test]
+    fn the_shedding_ladder_walks_all_down_to_the_baseline() {
+        assert_eq!(
+            ResolutionTier::VisionClass.lower(),
+            Some(ResolutionTier::QuestPro)
+        );
+        assert_eq!(
+            ResolutionTier::QuestPro.lower(),
+            Some(ResolutionTier::Quest2)
+        );
+        assert_eq!(ResolutionTier::Quest2.lower(), None);
+    }
+
+    #[test]
+    fn downgraded_profiles_rederive_every_field() {
+        let vision =
+            SessionProfile::for_tier(ResolutionTier::VisionClass, Dimensions::new(32, 32), 100);
+        let lower = vision.downgraded().expect("vision can shed");
+        assert_eq!(lower.tier, ResolutionTier::QuestPro);
+        // Per-axis rescale by the native panel ratio: 63·1800/3660 = 30,
+        // 53·1920/3200 = 31. Frame budget 133·90/96 = 124.
+        assert_eq!(vision.dimensions, Dimensions::new(63, 53));
+        assert_eq!(vision.frames, 133);
+        assert_eq!(lower.dimensions, Dimensions::new(30, 31));
+        assert_eq!(lower.frames, 124);
+        assert_eq!(lower.tile_size, None, "QuestPro drops the 8px override");
+        assert_eq!(lower.gaze_model, GazeModel::default_for(lower.dimensions));
+        assert!(lower.pixel_cost() < vision.pixel_cost());
+        // The baseline tier has nowhere left to shed to.
+        let quest2 = SessionProfile::custom(Dimensions::new(16, 16), 4);
+        assert_eq!(quest2.downgraded(), None);
+        // Tiny profiles never collapse to zero size or zero frames.
+        let tiny = SessionProfile::for_tier(ResolutionTier::QuestPro, Dimensions::new(1, 1), 0)
+            .downgraded()
+            .expect("quest-pro can shed");
+        assert!(tiny.dimensions.width >= 1 && tiny.dimensions.height >= 1);
+        assert!(tiny.frames >= 1);
     }
 
     #[test]

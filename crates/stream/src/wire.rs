@@ -9,13 +9,19 @@
 //!                | width u32 | height u32 | tile_size u32 | frame_budget u32
 //! frame   "PVCF" | frame_index u32 | payload_len u32 | payload bytes
 //!                  (payload = one BD bitstream, pvc_bdc frame layout)
+//! tier    "PVCT" | frame_index u32 | tier u8
+//!                | width u32 | height u32 | tile_size u32 | frame_budget u32
 //! end     "PVCE" | frames u32 | cancelled u8
 //! ```
 //!
 //! All integers are little-endian. A well-formed stream is one header,
 //! `frames` frame records with consecutive indices, and one end record; a
 //! hard-cancelled session's stream is simply shorter (`cancelled = 1`)
-//! but still properly terminated.
+//! but still properly terminated. When the control plane sheds a session
+//! to a lower tier mid-stream, a tier-change record precedes the first
+//! frame encoded under the new profile: `frame_index` is where the new
+//! geometry and budget take effect (in the *new* numbering), and frames
+//! `frame_index..` use the record's width/height/tile size/deadline.
 //!
 //! Workers don't write this format directly: they emit each encoded frame
 //! through the [`FrameSink`] trait, and the sinks decide what to keep —
@@ -33,6 +39,8 @@ pub const WIRE_VERSION: u16 = 1;
 pub const HEADER_MAGIC: [u8; 4] = *b"PVCS";
 /// Magic opening a per-frame record.
 pub const FRAME_MAGIC: [u8; 4] = *b"PVCF";
+/// Magic opening a mid-stream tier-change record.
+pub const TIER_MAGIC: [u8; 4] = *b"PVCT";
 /// Magic opening a stream-end record.
 pub const END_MAGIC: [u8; 4] = *b"PVCE";
 
@@ -52,6 +60,26 @@ pub struct WireSessionHeader {
     pub tile_size: u32,
     /// Number of frames the session was admitted for. A cancelled stream
     /// ends before reaching it.
+    pub frame_budget: u32,
+}
+
+/// A mid-stream tier change: the session was shed to a lower tier and
+/// every frame from `frame_index` on uses this record's geometry, tile
+/// size and refresh deadline instead of the header's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireTierChange {
+    /// First frame index (in the downgraded numbering) encoded under the
+    /// new profile.
+    pub frame_index: u32,
+    /// The new, lower resolution tier.
+    pub tier: ResolutionTier,
+    /// New frame width in pixels.
+    pub width: u32,
+    /// New frame height in pixels.
+    pub height: u32,
+    /// The encoder's effective tile size after the downgrade.
+    pub tile_size: u32,
+    /// The downgraded profile's total frame budget.
     pub frame_budget: u32,
 }
 
@@ -114,6 +142,8 @@ pub enum WireRecord<'a> {
         /// The frame's BD bitstream.
         payload: &'a [u8],
     },
+    /// A mid-stream tier downgrade; re-keys every following frame.
+    TierChange(WireTierChange),
     /// The stream terminator.
     End {
         /// Number of frame records the worker emitted.
@@ -152,6 +182,17 @@ pub fn write_frame(out: &mut Vec<u8>, frame_index: u32, payload: &[u8]) {
     out.extend_from_slice(&frame_index.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
+}
+
+/// Appends a mid-stream tier-change record to `out`.
+pub fn write_tier_change(out: &mut Vec<u8>, change: &WireTierChange) {
+    out.extend_from_slice(&TIER_MAGIC);
+    out.extend_from_slice(&change.frame_index.to_le_bytes());
+    out.push(tier_to_byte(change.tier));
+    out.extend_from_slice(&change.width.to_le_bytes());
+    out.extend_from_slice(&change.height.to_le_bytes());
+    out.extend_from_slice(&change.tile_size.to_le_bytes());
+    out.extend_from_slice(&change.frame_budget.to_le_bytes());
 }
 
 /// Appends a stream-end record to `out`.
@@ -248,6 +289,23 @@ impl<'a> WireReader<'a> {
                 frame_index,
                 payload,
             })
+        } else if magic == TIER_MAGIC {
+            let frame_index = self.take_u32(start)?;
+            let tier_byte = self.take(1, start)?[0];
+            let tier =
+                tier_from_byte(tier_byte).ok_or(WireError::UnknownTier { value: tier_byte })?;
+            let width = self.take_u32(start)?;
+            let height = self.take_u32(start)?;
+            let tile_size = self.take_u32(start)?;
+            let frame_budget = self.take_u32(start)?;
+            Ok(WireRecord::TierChange(WireTierChange {
+                frame_index,
+                tier,
+                width,
+                height,
+                tile_size,
+                frame_budget,
+            }))
         } else if magic == END_MAGIC {
             let frames = self.take_u32(start)?;
             let cancelled = self.take(1, start)?[0] != 0;
@@ -264,7 +322,11 @@ impl<'a> WireReader<'a> {
         let mut candidate = self.pos + 1;
         while candidate + 4 <= self.bytes.len() {
             let window = &self.bytes[candidate..candidate + 4];
-            if window == HEADER_MAGIC || window == FRAME_MAGIC || window == END_MAGIC {
+            if window == HEADER_MAGIC
+                || window == FRAME_MAGIC
+                || window == TIER_MAGIC
+                || window == END_MAGIC
+            {
                 self.pos = candidate;
                 return true;
             }
@@ -286,6 +348,14 @@ pub trait FrameSink {
     fn start(&mut self, header: &WireSessionHeader);
     /// One encoded frame's complete BD bitstream.
     fn frame(&mut self, frame_index: u32, payload: &[u8]);
+    /// The session was shed to a lower tier; frames from
+    /// `change.frame_index` on use the new geometry. Default no-op:
+    /// digest-style sinks fold payload bytes only, so a shed session's
+    /// post-downgrade digest stays comparable to a solo run at the lower
+    /// tier.
+    fn tier_change(&mut self, change: &WireTierChange) {
+        let _ = change;
+    }
     /// The stream ended; `cancelled` is true for a hard-cancel.
     fn finish(&mut self, cancelled: bool);
 }
@@ -364,6 +434,10 @@ impl FrameSink for WireSink {
         self.frames += 1;
     }
 
+    fn tier_change(&mut self, change: &WireTierChange) {
+        write_tier_change(&mut self.bytes, change);
+    }
+
     fn finish(&mut self, cancelled: bool) {
         write_end(&mut self.bytes, self.frames, cancelled);
         self.finished = true;
@@ -385,10 +459,22 @@ mod tests {
         }
     }
 
+    fn sample_tier_change() -> WireTierChange {
+        WireTierChange {
+            frame_index: 1,
+            tier: ResolutionTier::QuestPro,
+            width: 47,
+            height: 38,
+            tile_size: 4,
+            frame_budget: 11,
+        }
+    }
+
     fn sample_stream() -> Vec<u8> {
         let mut sink = WireSink::new();
         sink.start(&sample_header());
         sink.frame(0, &[1, 2, 3]);
+        sink.tier_change(&sample_tier_change());
         sink.frame(1, &[4, 5]);
         sink.finish(false);
         sink.into_bytes()
@@ -408,6 +494,10 @@ mod tests {
                 frame_index: 0,
                 payload: &[1, 2, 3]
             }
+        );
+        assert_eq!(
+            reader.next_record().unwrap().unwrap(),
+            WireRecord::TierChange(sample_tier_change())
         );
         assert_eq!(
             reader.next_record().unwrap().unwrap(),
@@ -481,7 +571,11 @@ mod tests {
             WireError::BadMagic { .. }
         ));
         assert!(reader.resync());
-        // The next intact record is the second frame.
+        // The next intact record is the tier change, then the second frame.
+        assert_eq!(
+            reader.next_record().unwrap().unwrap(),
+            WireRecord::TierChange(sample_tier_change())
+        );
         assert_eq!(
             reader.next_record().unwrap().unwrap(),
             WireRecord::Frame {
@@ -496,6 +590,9 @@ mod tests {
         let mut sink = DigestSink::new(true);
         sink.start(&sample_header());
         sink.frame(0, &[1, 2, 3]);
+        // Tier changes carry no payload bytes: the digest must not move,
+        // so a shed session stays digest-comparable to a solo lower-tier run.
+        sink.tier_change(&sample_tier_change());
         sink.frame(1, &[4, 5]);
         sink.finish(false);
         let expected = fnv1a_update(fnv1a_update(FNV_OFFSET_BASIS, &[1, 2, 3]), &[4, 5]);

@@ -1,0 +1,197 @@
+//! Migration and shed determinism pins — the acceptance properties of
+//! the elastic control plane's two mid-stream verbs.
+//!
+//! * **Migration** (`StreamRuntime::migrate`): moving a live session to
+//!   a freshly spawned shard must not move a single encoded bit — the
+//!   mover's full payload sequence and digest equal a solo run of the
+//!   same config, and every co-resident survivor's stream is untouched.
+//!   Pinned across {1, 4} initial shards × every placement policy
+//!   (static, power-of-two-choices, least-loaded, predictive).
+//! * **Shed** (`StreamRuntime::shed`): downgrading a session one
+//!   resolution tier mid-stream splices two solo runs at the switch
+//!   frame. Frames before the downgrade are bit-identical to the solo
+//!   *original*-tier run; frames from the switch on are bit-identical
+//!   to a solo run started directly on `profile.downgraded()`, at the
+//!   same frame indices.
+//!
+//! Both hold because encoded output is a pure function of
+//! `(scene, seed, profile)` per frame index: migration rebuilds the
+//! encoder on the destination shard (the cache is a perf artifact, never
+//! a bits artifact) and shedding re-derives the session exactly as
+//! `SessionProfile::downgraded` documents.
+
+use pvc_frame::Dimensions;
+use pvc_stream::{
+    LeastLoaded, Placement, PowerOfTwoChoices, Predictive, ResolutionTier, ServiceConfig,
+    SessionConfig, SessionProfile, Static, StreamRuntime, WorkloadMix,
+};
+
+/// Co-resident sessions: a heavy-tail mix over eight indices spans all
+/// three tiers.
+const SURVIVORS: usize = 8;
+const BASE_FRAMES: u32 = 4;
+/// The mover's frame budget: long enough that the migration lands while
+/// the stream is genuinely in flight.
+const MOVER_FRAMES: u32 = 600;
+
+/// One session's encoded frame payloads, in frame order.
+type Payloads = Vec<Vec<u8>>;
+
+fn base_dims() -> Dimensions {
+    Dimensions::new(32, 32)
+}
+
+fn mover_config() -> SessionConfig {
+    SessionConfig::synthetic(0, base_dims(), MOVER_FRAMES)
+}
+
+fn survivor_configs() -> Vec<SessionConfig> {
+    (1..=SURVIVORS)
+        .map(|index| {
+            SessionConfig::synthetic_mixed(index, WorkloadMix::HeavyTail, base_dims(), BASE_FRAMES)
+        })
+        .collect()
+}
+
+/// A session's stream when it is the only session on a fresh single-shard
+/// runtime — the ground truth.
+fn solo(config: &SessionConfig) -> (Payloads, u64) {
+    let mut runtime =
+        StreamRuntime::start_static(ServiceConfig::default().with_collect_payloads(true));
+    let id = runtime.admit(config.clone());
+    let report = runtime.retire(id);
+    runtime.shutdown();
+    (
+        report.payloads.expect("collect_payloads was set"),
+        report.stream_digest,
+    )
+}
+
+/// Admits the mover plus the mixed-tier survivors, spawns a fresh shard,
+/// migrates the mover onto it mid-stream, and returns (mover payloads,
+/// mover digest, survivors' payloads in admission order).
+fn migration_run(shards: usize, placement: Box<dyn Placement>) -> (Payloads, u64, Vec<Payloads>) {
+    let mut runtime = StreamRuntime::start(
+        ServiceConfig::default()
+            .with_shards(shards)
+            .with_queue_depth(2)
+            .with_collect_payloads(true),
+        placement,
+    );
+    let mover = runtime.admit(mover_config());
+    let survivor_ids: Vec<usize> = survivor_configs()
+        .into_iter()
+        .map(|config| runtime.admit(config))
+        .collect();
+
+    let dest = runtime.spawn_shard();
+    assert_eq!(dest, shards, "spawned shards take the next stable id");
+    assert!(
+        runtime.migrate(mover, dest),
+        "the mover streams for {MOVER_FRAMES} frames; the migration must land"
+    );
+    assert_eq!(runtime.assignment(mover), Some(dest));
+
+    let mover_report = runtime.retire(mover);
+    assert_eq!(mover_report.shard, dest);
+    assert_eq!(mover_report.throughput.frames, u64::from(MOVER_FRAMES));
+
+    runtime.drain();
+    let report = runtime.shutdown();
+    assert_eq!(report.elasticity.migrated, 1);
+    assert_eq!(report.elasticity.shards_spawned, 1);
+
+    let mut survivors: Vec<Option<Payloads>> = vec![None; SURVIVORS];
+    for session in report.sessions {
+        let slot = survivor_ids
+            .iter()
+            .position(|&id| id == session.session)
+            .expect("unexpected session id in the shutdown report");
+        survivors[slot] = Some(session.payloads.expect("collect_payloads was set"));
+    }
+    (
+        mover_report.payloads.expect("collect_payloads was set"),
+        mover_report.stream_digest,
+        survivors
+            .into_iter()
+            .map(|payloads| payloads.expect("every survivor reports"))
+            .collect(),
+    )
+}
+
+#[test]
+fn migrated_streams_are_bit_identical_to_solo_runs() {
+    let (mover_solo, mover_digest) = solo(&mover_config());
+    let survivor_solos: Vec<Vec<Vec<u8>>> = survivor_configs()
+        .iter()
+        .map(|config| solo(config).0)
+        .collect();
+
+    let policies: &[fn() -> Box<dyn Placement>] = &[
+        || Box::new(Static),
+        || Box::new(PowerOfTwoChoices::default()),
+        || Box::new(LeastLoaded),
+        || Box::new(Predictive),
+    ];
+    for shards in [1usize, 4] {
+        for make_policy in policies {
+            let policy = make_policy();
+            let name = policy.name();
+            let (mover, digest, survivors) = migration_run(shards, policy);
+            assert_eq!(
+                mover, mover_solo,
+                "{name}, {shards} shard(s): migration changed the mover's encoded bits"
+            );
+            assert_eq!(
+                digest, mover_digest,
+                "{name}, {shards} shard(s): the carried digest must seal the same stream"
+            );
+            assert_eq!(
+                survivors, survivor_solos,
+                "{name}, {shards} shard(s): a migration changed a bystander's encoded bits"
+            );
+        }
+    }
+}
+
+#[test]
+fn shed_stream_splices_the_two_solo_runs_at_the_switch_frame() {
+    let profile = SessionProfile::for_tier(ResolutionTier::VisionClass, base_dims(), 600);
+    let lower = profile.downgraded().expect("vision downgrades");
+    let config = SessionConfig::synthetic(0, base_dims(), 600).with_profile(profile);
+    let lower_config = config.clone().with_profile(lower);
+    let (upper_solo, _) = solo(&config);
+    let (lower_solo, _) = solo(&lower_config);
+
+    let mut runtime =
+        StreamRuntime::start_static(ServiceConfig::default().with_collect_payloads(true));
+    let id = runtime.admit(config);
+    assert!(runtime.shed(id, lower), "a live session must shed");
+    let report = runtime.retire(id);
+    runtime.shutdown();
+
+    assert_eq!(report.downgraded_from, Some(ResolutionTier::VisionClass));
+    assert_eq!(report.tier, lower.tier);
+    let switch = report.downgrade_frame.expect("the shed landed mid-stream") as usize;
+    assert!(
+        switch < lower.frames as usize,
+        "the switch frame ({switch}) precedes the downgraded budget ({})",
+        lower.frames
+    );
+    let payloads = report.payloads.expect("collect_payloads was set");
+    assert_eq!(
+        payloads.len(),
+        lower.frames as usize,
+        "the stream finishes on the downgraded frame budget"
+    );
+    assert_eq!(
+        payloads[..switch],
+        upper_solo[..switch],
+        "frames before the downgrade match the solo original-tier run"
+    );
+    assert_eq!(
+        payloads[switch..],
+        lower_solo[switch..],
+        "frames from the switch on match the solo downgraded run at the same indices"
+    );
+}

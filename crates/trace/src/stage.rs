@@ -87,11 +87,27 @@ pub enum Marker {
     Retire,
     /// A session was hard-cancelled mid-stream.
     Cancel,
+    /// A session was downgraded a resolution tier to shed load.
+    Shed,
+    /// A session was migrated between shards.
+    Migrate,
+    /// The autoscaler spawned a shard (`session` carries the shard index).
+    ShardSpawn,
+    /// The autoscaler drained a shard (`session` carries the shard index).
+    ShardDrain,
 }
 
 impl Marker {
     /// Every marker.
-    pub const ALL: [Marker; 3] = [Marker::Admit, Marker::Retire, Marker::Cancel];
+    pub const ALL: [Marker; 7] = [
+        Marker::Admit,
+        Marker::Retire,
+        Marker::Cancel,
+        Marker::Shed,
+        Marker::Migrate,
+        Marker::ShardSpawn,
+        Marker::ShardDrain,
+    ];
 
     /// Stable snake_case name for trace export.
     pub fn name(self) -> &'static str {
@@ -99,6 +115,10 @@ impl Marker {
             Marker::Admit => "admit",
             Marker::Retire => "retire",
             Marker::Cancel => "cancel",
+            Marker::Shed => "shed",
+            Marker::Migrate => "migrate",
+            Marker::ShardSpawn => "shard_spawn",
+            Marker::ShardDrain => "shard_drain",
         }
     }
 }
