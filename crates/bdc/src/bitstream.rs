@@ -36,6 +36,22 @@ pub enum BitstreamError {
         /// The decoder's configured pixel budget.
         max_pixels: u64,
     },
+    /// A predicted (temporal) frame arrived but the decoder holds no valid
+    /// reference frame — the stream is unreconstructable until the next
+    /// keyframe.
+    MissingReference,
+    /// A predicted (temporal) frame's dimensions disagree with the
+    /// decoder's reference frame.
+    ReferenceMismatch {
+        /// Width the predicted frame declares.
+        width: u32,
+        /// Height the predicted frame declares.
+        height: u32,
+        /// Width of the decoder's reference frame.
+        ref_width: u32,
+        /// Height of the decoder's reference frame.
+        ref_height: u32,
+    },
 }
 
 impl std::fmt::Display for BitstreamError {
@@ -68,6 +84,25 @@ impl std::fmt::Display for BitstreamError {
                     f,
                     "bitstream header declares {pixels} pixels, \
                      over the decoder budget of {max_pixels}"
+                )
+            }
+            BitstreamError::MissingReference => {
+                write!(
+                    f,
+                    "predicted frame without a valid reference: \
+                     unreconstructable until the next keyframe"
+                )
+            }
+            BitstreamError::ReferenceMismatch {
+                width,
+                height,
+                ref_width,
+                ref_height,
+            } => {
+                write!(
+                    f,
+                    "predicted frame is {width}x{height} but the reference \
+                     frame is {ref_width}x{ref_height}"
                 )
             }
         }

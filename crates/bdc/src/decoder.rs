@@ -14,6 +14,7 @@
 //! frame budget).
 
 use crate::bitstream::{BitReader, BitstreamError};
+use crate::temporal::{apply_temporal_frame, is_temporal_bitstream, FrameKind};
 use crate::tile_codec::{BASE_BITS, METADATA_BITS};
 use pvc_color::Srgb8;
 use pvc_frame::{Dimensions, SrgbFrame, TileGrid};
@@ -91,10 +92,21 @@ pub(crate) fn check_delta_payload(
 
 /// A reusable byte-level BD decoder.
 ///
-/// The decoder itself is trivially copyable state (just the pixel budget);
-/// the scratch that matters — the output frame's pixel buffer — is owned
-/// by the caller and recycled across frames via
-/// [`decode_bitstream_into`](Self::decode_bitstream_into).
+/// Intra decoding ([`decode_bitstream`](Self::decode_bitstream),
+/// [`decode_bitstream_into`](Self::decode_bitstream_into)) is stateless:
+/// the only decoder state it touches is the pixel budget, and the scratch
+/// that matters — the output frame's pixel buffer — is owned by the caller
+/// and recycled across frames.
+///
+/// Temporal streams are stateful: the decoder owns the reference frame
+/// (its previous reconstruction) that predicted frames apply against.
+/// [`decode_frame_into`](Self::decode_frame_into) sniffs the frame kind
+/// from the first 16 bits, updates the reference, and reports whether the
+/// frame was a keyframe. A predicted frame arriving while the reference is
+/// absent (fresh decoder, prior decode error, or an explicit
+/// [`invalidate_reference`](Self::invalidate_reference) after a stream
+/// gap) fails with [`BitstreamError::MissingReference`] rather than
+/// reconstructing wrong pixels.
 ///
 /// # Examples
 ///
@@ -111,9 +123,12 @@ pub(crate) fn check_delta_payload(
 /// BdDecoder::new().decode_bitstream_into(&bytes, &mut out).unwrap();
 /// assert_eq!(out, frame);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BdDecoder {
     max_pixels: u64,
+    /// The previous reconstruction, applied against by predicted frames.
+    reference: SrgbFrame,
+    reference_valid: bool,
 }
 
 impl Default for BdDecoder {
@@ -127,6 +142,8 @@ impl BdDecoder {
     pub fn new() -> Self {
         BdDecoder {
             max_pixels: DEFAULT_MAX_PIXELS,
+            reference: SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default()),
+            reference_valid: false,
         }
     }
 
@@ -173,39 +190,104 @@ impl BdDecoder {
         bytes: &[u8],
         out: &mut SrgbFrame,
     ) -> Result<(), BitstreamError> {
-        let mut r = BitReader::new(bytes);
-        let header = read_frame_header(&mut r, self.max_pixels)?;
-        out.reset(header.dimensions, Srgb8::default());
-        let grid = TileGrid::new(header.dimensions, header.tile_size);
-        let width = header.dimensions.width as usize;
-        let pixels = out.pixels_mut();
-        for tile in grid.tiles() {
-            for channel in 0..3u8 {
-                let base = r.read_bits(8)? as u8;
-                let delta_bits = r.read_bits(4)? as u8;
-                if delta_bits > 8 {
-                    return Err(BitstreamError::InvalidHeader {
-                        field: "delta bit length",
-                    });
-                }
-                check_delta_payload(&r, tile.pixel_count(), delta_bits)?;
-                for y in tile.y..tile.y + tile.height {
-                    let row = y as usize * width;
-                    for x in tile.x..tile.x + tile.width {
-                        let delta = r.read_bits(u32::from(delta_bits))? as u8;
-                        let value = base.wrapping_add(delta);
-                        let pixel = &mut pixels[row + x as usize];
-                        match channel {
-                            0 => pixel.r = value,
-                            1 => pixel.g = value,
-                            _ => pixel.b = value,
-                        }
+        decode_intra_into(self.max_pixels, bytes, out)
+    }
+
+    /// Decodes either frame kind into a caller-owned frame, maintaining
+    /// the decoder's reference state.
+    ///
+    /// The first 16 bits select the parser: zero means a predicted
+    /// (temporal) frame, anything else an intra keyframe. A successful
+    /// decode of either kind leaves the reconstruction as the new
+    /// reference and copies it into `out`; once `out` and the reference
+    /// have warmed up to the session's dimensions the decode allocates
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BitstreamError`] for truncated or invalid input, for a
+    /// predicted frame without a valid reference
+    /// ([`BitstreamError::MissingReference`]) and for a predicted frame
+    /// whose dimensions disagree with the reference
+    /// ([`BitstreamError::ReferenceMismatch`]). Any error invalidates the
+    /// reference: the stream is unreconstructable until the next
+    /// keyframe, and further predicted frames keep failing rather than
+    /// emitting wrong pixels.
+    pub fn decode_frame_into(
+        &mut self,
+        bytes: &[u8],
+        out: &mut SrgbFrame,
+    ) -> Result<FrameKind, BitstreamError> {
+        let kind = if is_temporal_bitstream(bytes) {
+            let valid = self.reference_valid;
+            // Pessimistically poison the reference: apply mutates it in
+            // place, so any mid-apply error leaves it partial.
+            self.reference_valid = false;
+            apply_temporal_frame(bytes, self.max_pixels, &mut self.reference, valid)?;
+            FrameKind::Predicted
+        } else {
+            self.reference_valid = false;
+            decode_intra_into(self.max_pixels, bytes, &mut self.reference)?;
+            FrameKind::Key
+        };
+        self.reference_valid = true;
+        out.clone_from(&self.reference);
+        Ok(kind)
+    }
+
+    /// Drops the reference frame, e.g. after a detected stream gap.
+    /// Predicted frames fail with [`BitstreamError::MissingReference`]
+    /// until the next keyframe decodes.
+    pub fn invalidate_reference(&mut self) {
+        self.reference_valid = false;
+    }
+
+    /// Whether the decoder currently holds a valid reference frame.
+    pub fn has_reference(&self) -> bool {
+        self.reference_valid
+    }
+}
+
+/// Stateless intra decode into a caller-owned frame (the body shared by
+/// [`BdDecoder::decode_bitstream_into`] and the keyframe arm of
+/// [`BdDecoder::decode_frame_into`]).
+fn decode_intra_into(
+    max_pixels: u64,
+    bytes: &[u8],
+    out: &mut SrgbFrame,
+) -> Result<(), BitstreamError> {
+    let mut r = BitReader::new(bytes);
+    let header = read_frame_header(&mut r, max_pixels)?;
+    out.reset(header.dimensions, Srgb8::default());
+    let grid = TileGrid::new(header.dimensions, header.tile_size);
+    let width = header.dimensions.width as usize;
+    let pixels = out.pixels_mut();
+    for tile in grid.tiles() {
+        for channel in 0..3u8 {
+            let base = r.read_bits(8)? as u8;
+            let delta_bits = r.read_bits(4)? as u8;
+            if delta_bits > 8 {
+                return Err(BitstreamError::InvalidHeader {
+                    field: "delta bit length",
+                });
+            }
+            check_delta_payload(&r, tile.pixel_count(), delta_bits)?;
+            for y in tile.y..tile.y + tile.height {
+                let row = y as usize * width;
+                for x in tile.x..tile.x + tile.width {
+                    let delta = r.read_bits(u32::from(delta_bits))? as u8;
+                    let value = base.wrapping_add(delta);
+                    let pixel = &mut pixels[row + x as usize];
+                    match channel {
+                        0 => pixel.r = value,
+                        1 => pixel.g = value,
+                        _ => pixel.b = value,
                     }
                 }
             }
         }
-        Ok(())
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -300,6 +382,66 @@ mod tests {
         ));
         let exact = BdDecoder::new().with_max_pixels(256);
         assert_eq!(exact.decode_bitstream(&bytes).expect("fits"), frame);
+    }
+
+    #[test]
+    fn stateful_decode_tracks_the_reference_across_a_gop() {
+        let encoder = BdEncoder::new(BdConfig::with_tile_size(4));
+        let key = random_frame(16, 16, 11);
+        let mut predicted = key.clone();
+        predicted.pixels_mut()[40] = Srgb8::new(9, 9, 9);
+
+        let key_bytes = encoder.encode_frame(&key).to_bitstream();
+        let mut writer = crate::BitWriter::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        crate::temporal::encode_temporal_frame_into(
+            4,
+            &predicted,
+            &key,
+            &mut writer,
+            &mut a,
+            &mut b,
+        );
+        let predicted_bytes = writer.finish();
+
+        let mut decoder = BdDecoder::new();
+        let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+        assert!(!decoder.has_reference());
+        // Predicted before any keyframe: typed error, reference stays absent.
+        assert_eq!(
+            decoder.decode_frame_into(&predicted_bytes, &mut out),
+            Err(BitstreamError::MissingReference)
+        );
+        assert_eq!(
+            decoder.decode_frame_into(&key_bytes, &mut out),
+            Ok(crate::FrameKind::Key)
+        );
+        assert_eq!(out, key);
+        assert!(decoder.has_reference());
+        assert_eq!(
+            decoder.decode_frame_into(&predicted_bytes, &mut out),
+            Ok(crate::FrameKind::Predicted)
+        );
+        assert_eq!(out, predicted);
+        // An explicit invalidation (stream gap) blocks further prediction.
+        decoder.invalidate_reference();
+        assert_eq!(
+            decoder.decode_frame_into(&predicted_bytes, &mut out),
+            Err(BitstreamError::MissingReference)
+        );
+        // A failed decode poisons the reference too.
+        assert_eq!(
+            decoder.decode_frame_into(&key_bytes, &mut out),
+            Ok(crate::FrameKind::Key)
+        );
+        assert!(decoder
+            .decode_frame_into(&predicted_bytes[..predicted_bytes.len() - 1], &mut out)
+            .is_err());
+        assert!(!decoder.has_reference());
+        assert_eq!(
+            decoder.decode_frame_into(&predicted_bytes, &mut out),
+            Err(BitstreamError::MissingReference)
+        );
     }
 
     #[test]

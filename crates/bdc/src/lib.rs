@@ -41,10 +41,14 @@ pub mod bitstream;
 pub mod decoder;
 pub mod frame_codec;
 pub mod stats;
+pub mod temporal;
 pub mod tile_codec;
 
 pub use bitstream::{BitReader, BitWriter, BitstreamError};
 pub use decoder::{BdDecoder, DEFAULT_MAX_PIXELS};
 pub use frame_codec::{BdConfig, BdEncodedFrame, BdEncoder};
 pub use stats::{CompressionStats, SizeBreakdown};
+pub use temporal::{
+    encode_temporal_frame_into, is_temporal_bitstream, FrameKind, TemporalFrameStats,
+};
 pub use tile_codec::{decode_tile, encode_tile, ChannelEncoding, TileEncoding};

@@ -16,7 +16,10 @@
 //! accurate when the test harness runs these cases concurrently.
 
 use proptest::prelude::*;
-use pvc_bdc::{BdConfig, BdDecoder, BdEncodedFrame, BdEncoder, BitWriter, BitstreamError};
+use pvc_bdc::{
+    encode_temporal_frame_into, is_temporal_bitstream, BdConfig, BdDecoder, BdEncodedFrame,
+    BdEncoder, BitWriter, BitstreamError, FrameKind,
+};
 use pvc_color::Srgb8;
 use pvc_frame::{Dimensions, SrgbFrame};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -240,6 +243,200 @@ fn accepted_streams_always_decode() {
     assert!(decoded_count > 0, "some flips must still parse");
 }
 
+// ---------------------------------------------------------------------
+// Temporal records: the stateful decoder faces the same untrusted wire,
+// with two extra attack surfaces — the tile-mode records and the
+// reference state a predicted frame depends on.
+// ---------------------------------------------------------------------
+
+/// A valid temporal fixture: the reference's intra stream, a dependent
+/// predicted-frame stream exercising all three tile modes, and the frame
+/// that stream must reconstruct.
+fn temporal_fixture() -> (Vec<u8>, Vec<u8>, SrgbFrame) {
+    let reference = random_frame(16, 16, 42);
+    // Derive the next frame so Skip, Delta and Intra records all occur:
+    // leave the top tiles untouched, nudge the middle rows by ±1, and
+    // re-randomize the bottom rows.
+    let mut pixels = reference.pixels().to_vec();
+    for (index, pixel) in pixels.iter_mut().enumerate() {
+        let row = index / 16;
+        if (6..10).contains(&row) {
+            pixel.r = pixel.r.wrapping_add(1);
+            pixel.b = pixel.b.wrapping_sub(1);
+        }
+    }
+    let noisy = random_frame(16, 16, 43);
+    pixels[12 * 16..].copy_from_slice(&noisy.pixels()[12 * 16..]);
+    let frame = SrgbFrame::from_pixels(Dimensions::new(16, 16), pixels).expect("sized correctly");
+
+    let reference_stream = BdEncoder::new(BdConfig::with_tile_size(4))
+        .encode_frame(&reference)
+        .to_bitstream();
+    let mut writer = BitWriter::new();
+    let (mut gather, mut reference_gather) = (Vec::new(), Vec::new());
+    let (stats, _) = encode_temporal_frame_into(
+        4,
+        &frame,
+        &reference,
+        &mut writer,
+        &mut gather,
+        &mut reference_gather,
+    );
+    assert!(stats.skip_tiles > 0 && stats.delta_tiles > 0 && stats.intra_tiles > 0);
+    let temporal_stream = writer.finish();
+    assert!(is_temporal_bitstream(&temporal_stream));
+    (reference_stream, temporal_stream, frame)
+}
+
+/// A tight-budget stateful decoder whose reference was seeded by decoding
+/// `reference_stream`.
+fn seeded_decoder(reference_stream: &[u8]) -> BdDecoder {
+    let mut decoder = BdDecoder::new().with_max_pixels(TIGHT_BUDGET);
+    let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+    let kind = decoder
+        .decode_frame_into(reference_stream, &mut out)
+        .expect("the reference stream decodes");
+    assert_eq!(kind, FrameKind::Key);
+    decoder
+}
+
+/// Stateful decode of untrusted `bytes` on a freshly seeded decoder:
+/// never a panic, never more than the input allowance in allocations
+/// (the tight budget caps both the output frame and the reference clone).
+fn decode_stateful(reference_stream: &[u8], bytes: &[u8]) -> Result<FrameKind, BitstreamError> {
+    let mut decoder = seeded_decoder(reference_stream);
+    let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+    let (result, allocated) = measured(|| decoder.decode_frame_into(bytes, &mut out));
+    assert!(
+        allocated <= allowance(bytes.len()),
+        "stateful decode allocated {allocated} bytes for {} input bytes ({result:?})",
+        bytes.len()
+    );
+    result
+}
+
+/// Every single-byte truncation of a valid temporal stream must fail with
+/// a typed error — `BitWriter::finish` emits no data-free trailing byte,
+/// so every truncation loses real record bits.
+#[test]
+fn every_truncation_of_a_temporal_stream_is_rejected() {
+    let (reference_stream, temporal_stream, frame) = temporal_fixture();
+    let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+    let mut decoder = seeded_decoder(&reference_stream);
+    decoder
+        .decode_frame_into(&temporal_stream, &mut out)
+        .expect("the intact stream decodes");
+    assert_eq!(out, frame);
+    for len in 0..temporal_stream.len() {
+        let result = decode_stateful(&reference_stream, &temporal_stream[..len]);
+        assert!(result.is_err(), "truncation to {len} bytes must fail");
+    }
+}
+
+/// Every single-bit flip of a valid temporal stream must yield `Err` or a
+/// (garbage) frame — never a panic, never a blow-up. A marker flip turns
+/// the stream into a bogus intra header; a mode flip can poison every
+/// later read; both must die typed.
+#[test]
+fn every_temporal_bit_flip_is_survivable() {
+    let (reference_stream, temporal_stream, _) = temporal_fixture();
+    for bit in 0..temporal_stream.len() * 8 {
+        let mut flipped = temporal_stream.clone();
+        flipped[bit / 8] ^= 1 << (7 - bit % 8);
+        let _ = decode_stateful(&reference_stream, &flipped);
+    }
+}
+
+/// A predicted frame with no reference at all is a typed error, after
+/// only trivial allocation.
+#[test]
+fn temporal_stream_without_a_reference_is_a_typed_error() {
+    let (_, temporal_stream, _) = temporal_fixture();
+    let mut decoder = BdDecoder::new().with_max_pixels(TIGHT_BUDGET);
+    let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+    let (result, allocated) = measured(|| decoder.decode_frame_into(&temporal_stream, &mut out));
+    assert_eq!(result, Err(BitstreamError::MissingReference));
+    assert!(allocated < 4096, "allocated {allocated} bytes");
+}
+
+/// A predicted frame whose declared dimensions disagree with the held
+/// reference is a typed error naming both geometries.
+#[test]
+fn temporal_stream_with_a_mismatched_reference_is_a_typed_error() {
+    let (_, temporal_stream, _) = temporal_fixture();
+    let small_reference = BdEncoder::new(BdConfig::with_tile_size(4))
+        .encode_frame(&random_frame(8, 8, 7))
+        .to_bitstream();
+    let result = decode_stateful(&small_reference, &temporal_stream);
+    assert_eq!(
+        result,
+        Err(BitstreamError::ReferenceMismatch {
+            width: 16,
+            height: 16,
+            ref_width: 8,
+            ref_height: 8,
+        })
+    );
+}
+
+/// A failed predicted-frame decode poisons the reference pessimistically:
+/// later predicted frames are rejected (never built on half-applied
+/// pixels) until a keyframe re-seeds the chain.
+#[test]
+fn poisoned_reference_rejects_dependents_until_a_keyframe() {
+    let (reference_stream, temporal_stream, frame) = temporal_fixture();
+    let mut decoder = seeded_decoder(&reference_stream);
+    let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+    // Mid-apply failure: the truncation dies after some tiles already
+    // landed in the reference buffer.
+    let truncated = &temporal_stream[..temporal_stream.len() - 1];
+    assert!(decoder.decode_frame_into(truncated, &mut out).is_err());
+    assert!(!decoder.has_reference());
+    // The intact stream is now rejected too — the decoder refuses to
+    // reconstruct from a half-applied reference.
+    assert_eq!(
+        decoder.decode_frame_into(&temporal_stream, &mut out),
+        Err(BitstreamError::MissingReference)
+    );
+    // A keyframe repairs the chain and the dependent decodes bit-exactly.
+    assert_eq!(
+        decoder.decode_frame_into(&reference_stream, &mut out),
+        Ok(FrameKind::Key)
+    );
+    assert_eq!(
+        decoder.decode_frame_into(&temporal_stream, &mut out),
+        Ok(FrameKind::Predicted)
+    );
+    assert_eq!(out, frame);
+}
+
+/// The temporal cousin of the decompression bomb: a predicted-frame
+/// header declaring 65535×65535 must die in header validation (against
+/// the pixel budget) before the decoder allocates anything.
+#[test]
+fn temporal_dimension_bomb_is_rejected_before_allocating() {
+    let mut w = BitWriter::new();
+    w.write_bits(0, 16); // temporal marker
+    w.write_bits(65535, 16);
+    w.write_bits(65535, 16);
+    w.write_bits(65535, 16); // one giant tile
+    w.write_bits(0, 24);
+    let bytes = w.finish();
+    assert!(is_temporal_bitstream(&bytes));
+
+    let mut decoder = BdDecoder::new().with_max_pixels(TIGHT_BUDGET);
+    let mut out = SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default());
+    let (result, allocated) = measured(|| decoder.decode_frame_into(&bytes, &mut out));
+    assert!(matches!(
+        result.unwrap_err(),
+        BitstreamError::FrameTooLarge { .. }
+    ));
+    assert!(
+        allocated < 4096,
+        "the bomb must die in header validation, allocated {allocated} bytes"
+    );
+}
+
 proptest! {
     /// Arbitrary byte strings: `Err` or a frame, never a panic, never
     /// more than a small multiple of the input in allocations.
@@ -267,5 +464,27 @@ proptest! {
         let mut bytes = w.finish();
         bytes.extend_from_slice(&body);
         decode_both_ways(&bytes);
+    }
+
+    /// Arbitrary bytes behind a well-formed temporal header, decoded
+    /// statefully against a matching reference: the tile-mode loop and
+    /// delta payloads must stay panic-free and allocation-bounded no
+    /// matter what the records claim.
+    #[test]
+    fn random_temporal_bodies_never_panic_or_blow_up(
+        tile_size in 1u32..10,
+        body in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let reference_stream = BdEncoder::new(BdConfig::with_tile_size(4))
+            .encode_frame(&random_frame(16, 16, 42))
+            .to_bitstream();
+        let mut w = BitWriter::new();
+        w.write_bits(0, 16); // temporal marker
+        w.write_bits(16, 16);
+        w.write_bits(16, 16);
+        w.write_bits(tile_size, 16);
+        let mut bytes = w.finish();
+        bytes.extend_from_slice(&body);
+        let _ = decode_stateful(&reference_stream, &bytes);
     }
 }

@@ -20,13 +20,17 @@ use pvc_bench::cli::{
 use pvc_bench::json::{self, Json};
 use pvc_bench::link;
 use pvc_bench::trace_export;
+use pvc_core::{EncoderConfig, TemporalConfig};
 use pvc_frame::Dimensions;
-use pvc_metrics::TierAggregates;
-use pvc_stream::{ServiceConfig, SessionReport, StreamService, TraceConfig};
+use pvc_metrics::{TemporalTotals, TierAggregates};
+use pvc_stream::{
+    GazeModel, ServiceConfig, SessionConfig, SessionReport, StreamService, TraceConfig,
+};
 
 const SPEC: ArgSpec = ArgSpec {
-    flags: &["--quick"],
+    flags: &["--quick", "--temporal"],
     options: &[
+        "--keyframe-interval",
         "--sessions",
         "--frames",
         "--shards",
@@ -45,13 +49,26 @@ const SPEC: ArgSpec = ArgSpec {
     ],
 };
 
-const USAGE: &str = "[--quick] [--sessions N] [--frames N] [--shards N] \
+const USAGE: &str = "[--quick] [--temporal] [--keyframe-interval N] \
+                     [--sessions N] [--frames N] [--shards N] \
                      [--queue-depth N] [--width PX] [--height PX] \
                      [--placement static|p2c|least-loaded] \
                      [--mix uniform|bimodal|heavy-tail] \
                      [--link none|lossless|capped] [--bandwidth-mbits MBITS] \
                      [--latency-ms MS] [--drop-prob P] [--link-seed N] \
                      [--json PATH] [--trace PATH]";
+
+/// Overriding any of these changes the encode workload and lifts the
+/// temporal-savings bar: the ≥ 30% guarantee only holds for the
+/// built-in `--quick` preset.
+const TEMPORAL_BAR_KNOBS: &[&str] = &[
+    "--sessions",
+    "--frames",
+    "--width",
+    "--height",
+    "--keyframe-interval",
+    "--mix",
+];
 
 /// The workload, after applying the preset and any explicit overrides.
 struct RunConfig {
@@ -112,10 +129,15 @@ fn main() {
         placement_option(&parsed, "static").unwrap_or_else(|err| exit_with_usage(&err, USAGE));
     let mix = mix_option(&parsed, "uniform").unwrap_or_else(|err| exit_with_usage(&err, USAGE));
     let link_model = link_option(&parsed).unwrap_or_else(|err| exit_with_usage(&err, USAGE));
+    let temporal_on = parsed.has("--temporal");
+    let keyframe_interval = parsed
+        .positive_u32("--keyframe-interval")
+        .unwrap_or_else(|err| exit_with_usage(&err, USAGE))
+        .unwrap_or(TemporalConfig::default().keyframe_interval);
 
     println!(
         "stream_throughput: {} sessions x {} base frames at {}x{} base, {} mix, \
-         {} shards (queue depth {}, {} placement)\n",
+         {} shards (queue depth {}, {} placement), {}\n",
         config.sessions,
         config.frames,
         config.dimensions.width,
@@ -124,19 +146,42 @@ fn main() {
         config.shards,
         config.queue_depth,
         placement.name(),
+        if temporal_on {
+            format!("temporal coding every {keyframe_interval} frames")
+        } else {
+            "intra-only coding".to_string()
+        },
     );
 
+    let mut encoder_config = EncoderConfig::default();
+    if temporal_on {
+        encoder_config = encoder_config.with_temporal(TemporalConfig::every(keyframe_interval));
+    }
     let mut service = StreamService::new(
         ServiceConfig::default()
             .with_shards(config.shards)
             .with_queue_depth(config.queue_depth)
+            .with_encoder(encoder_config)
             // The link replay consumes each session's framed wire stream.
             .with_collect_wire(link_model.is_some())
             // Tracing is always on — it is allocation-free on the hot
             // path; `--trace` only controls the Chrome export.
             .with_trace(TraceConfig::default()),
     );
-    service.admit_mixed(config.sessions, mix, config.dimensions, config.frames);
+    for index in 0..config.sessions {
+        let mut session =
+            SessionConfig::synthetic_mixed(index, mix, config.dimensions, config.frames);
+        // Temporal runs use the fixation/smooth-pursuit workload: the
+        // default fixation-saccade model on even sessions, smooth pursuit
+        // on odd ones — the two dominant gaze behaviors whose inter-frame
+        // coherence temporal coding exists to exploit. Intra-only runs
+        // keep the historical all-fixation-saccade population so their
+        // numbers stay comparable across PRs.
+        if temporal_on && index % 2 == 1 {
+            session = session.with_gaze_model(GazeModel::pursuit(1.5));
+        }
+        service.admit(session);
+    }
     let placement_name = placement.name();
     let mut report = service.run_with_placement(placement);
 
@@ -231,6 +276,40 @@ fn main() {
         );
     }
 
+    let mut temporal = TemporalTotals::default();
+    for session in &report.sessions {
+        temporal.merge(&session.temporal);
+    }
+    println!("\ntemporal coding:");
+    println!(
+        "  frames              {} key / {} predicted",
+        temporal.keyframes, temporal.predicted_frames,
+    );
+    println!(
+        "  tiles               {} skip / {} delta / {} intra",
+        temporal.skip_tiles, temporal.delta_tiles, temporal.intra_tiles,
+    );
+    println!(
+        "  bits                {} emitted vs {} intra-only ({:.1}% saved)",
+        temporal.bits,
+        temporal.intra_bits,
+        temporal.reduction_over_intra_percent(),
+    );
+    // The acceptance bar for the temporal path: on the unmodified
+    // `--quick` workload, inter-frame coding must save at least 30% of
+    // the intra-only bits.
+    let preset_workload = TEMPORAL_BAR_KNOBS
+        .iter()
+        .all(|knob| parsed.value(knob).is_none());
+    if temporal_on && parsed.has("--quick") && preset_workload {
+        assert!(
+            temporal.reduction_over_intra_percent() >= 30.0,
+            "temporal coding must save >= 30% of the intra-only bits on the \
+             --quick workload (saved {:.1}%)",
+            temporal.reduction_over_intra_percent(),
+        );
+    }
+
     let replay = link_model.map(|model| {
         let sessions: Vec<&SessionReport> = report.sessions.iter().collect();
         // The traced replay seals the decode side as one more trace
@@ -275,6 +354,11 @@ fn main() {
                 ("placement".to_string(), placement_name.into()),
                 ("mix".to_string(), mix.name().into()),
                 ("quick".to_string(), Json::Bool(parsed.has("--quick"))),
+                ("temporal".to_string(), Json::Bool(temporal_on)),
+                (
+                    "keyframe_interval".to_string(),
+                    u64::from(keyframe_interval).into(),
+                ),
             ],
             &sessions,
             &report,

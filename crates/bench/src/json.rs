@@ -8,7 +8,7 @@
 //! tree, a strict renderer (escaped strings, non-finite floats as
 //! `null`), and [`service_report_json`], the shared report builder.
 
-use pvc_metrics::{SampleSummary, ThroughputReport, TierAggregates};
+use pvc_metrics::{SampleSummary, TemporalTotals, ThroughputReport, TierAggregates};
 use pvc_stream::{ServiceReport, SessionReport, ShardReport};
 
 /// A JSON value tree.
@@ -158,6 +158,25 @@ fn throughput_json(throughput: &ThroughputReport) -> Json {
     ])
 }
 
+/// Renders a [`TemporalTotals`] as the `temporal` JSON section: frame and
+/// per-mode tile counts plus the emitted-vs-intra bit accounting.
+pub fn temporal_json(totals: &TemporalTotals) -> Json {
+    object([
+        ("keyframes", totals.keyframes.into()),
+        ("predicted_frames", totals.predicted_frames.into()),
+        ("skip_tiles", totals.skip_tiles.into()),
+        ("delta_tiles", totals.delta_tiles.into()),
+        ("intra_tiles", totals.intra_tiles.into()),
+        ("bits", totals.bits.into()),
+        ("intra_bits", totals.intra_bits.into()),
+        ("bits_saved", totals.bits_saved().into()),
+        (
+            "reduction_over_intra_percent",
+            totals.reduction_over_intra_percent().into(),
+        ),
+    ])
+}
+
 fn summary_json(summary: Option<SampleSummary>) -> Json {
     match summary {
         None => Json::Null,
@@ -233,10 +252,18 @@ pub fn service_report_json(
     let mut tiers = TierAggregates::new();
     let mut hits = 0u64;
     let mut misses = 0u64;
+    let mut fleet_temporal = TemporalTotals::default();
+    let mut tier_temporal: Vec<(&str, TemporalTotals)> = Vec::new();
     for session in sessions {
         tiers.record(session.tier.name(), session.cancelled, &session.throughput);
         hits += session.cache.hits;
         misses += session.cache.misses;
+        fleet_temporal.merge(&session.temporal);
+        let label = session.tier.name();
+        match tier_temporal.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, totals)) => totals.merge(&session.temporal),
+            None => tier_temporal.push((label, session.temporal)),
+        }
     }
     let hit_rate = if hits + misses == 0 {
         0.0
@@ -252,6 +279,13 @@ pub fn service_report_json(
                 ("sessions", tier.sessions.into()),
                 ("cancelled", tier.cancelled.into()),
                 ("throughput", throughput_json(&tier.throughput)),
+                (
+                    "temporal",
+                    tier_temporal
+                        .iter()
+                        .find(|(label, _)| *label == tier.label)
+                        .map_or(Json::Null, |(_, totals)| temporal_json(totals)),
+                ),
             ])
         })
         .collect();
@@ -259,6 +293,7 @@ pub fn service_report_json(
         ("bench", bench.into()),
         ("parameters", Json::Object(parameters)),
         ("totals", throughput_json(&report.totals)),
+        ("temporal", temporal_json(&fleet_temporal)),
         (
             "cache",
             object([

@@ -2,7 +2,7 @@
 //! delivery accounting out.
 
 use crate::link::LinkModel;
-use pvc_bdc::{BdDecoder, BitstreamError};
+use pvc_bdc::{BdDecoder, BitstreamError, FrameKind};
 use pvc_color::Srgb8;
 use pvc_frame::{Dimensions, SrgbFrame};
 use pvc_metrics::{DeliveryReport, QualityReport};
@@ -43,6 +43,13 @@ pub enum ClientError {
         /// Index of the offending frame.
         frame_index: u32,
     },
+    /// The wire record's keyframe flag disagrees with the payload's
+    /// actual frame type (an intra payload flagged predicted, or vice
+    /// versa) — loss concealment would make the wrong call on it.
+    FrameTypeMismatch {
+        /// Index of the offending frame.
+        frame_index: u32,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -62,6 +69,12 @@ impl std::fmt::Display for ClientError {
                 write!(
                     f,
                     "frame {frame_index} does not match the header dimensions"
+                )
+            }
+            ClientError::FrameTypeMismatch { frame_index } => {
+                write!(
+                    f,
+                    "frame {frame_index}'s keyframe flag disagrees with its payload"
                 )
             }
         }
@@ -187,8 +200,9 @@ impl SessionClient {
     }
 
     /// Like [`consume`](Self::consume), invoking `on_frame` with every
-    /// frame that actually reaches the client (on time or late, not
-    /// dropped), in frame order, with its decoded pixels.
+    /// frame the client can actually reconstruct (on time or late; not
+    /// dropped, and not stranded behind a prediction chain a dropped
+    /// frame broke), in frame order, with its decoded pixels.
     pub fn consume_with<F>(
         &mut self,
         bytes: &[u8],
@@ -224,11 +238,19 @@ impl SessionClient {
         // start before the previous one's finished.
         let mut link_free = 0.0f64;
         let mut has_displayed = false;
+        // True while a dropped frame has the prediction chain broken: the
+        // real client cannot reconstruct any predicted frame until the
+        // next keyframe, however intact those frames arrive.
+        let mut chain_broken = false;
+        // The decoder is recycled across sessions; a new stream must not
+        // inherit the previous stream's last frame as a reference.
+        self.decoder.invalidate_reference();
         while let Some(record) = reader.next_record() {
             match record? {
                 WireRecord::Header(_) => return Err(ClientError::DuplicateHeader),
                 WireRecord::Frame {
                     frame_index,
+                    keyframe,
                     payload,
                 } => {
                     if terminated {
@@ -241,13 +263,21 @@ impl SessionClient {
                         });
                     }
                     expected_index += 1;
-                    // Decode first: the payload is also the slot's ground
-                    // truth (BD is lossless, so this *is* the worker's
-                    // adjusted frame).
+                    // Decode first — every frame, even ones the link will
+                    // drop: the stateful decoder is the simulation's ground
+                    // truth oracle (BD is lossless, so `current` *is* the
+                    // worker's adjusted frame), and predicted frames need
+                    // the reference chain to stay linear. Whether the real
+                    // client could reconstruct the frame is tracked
+                    // separately via `chain_broken`.
                     let decode_start = Instant::now();
-                    self.decoder
-                        .decode_bitstream_into(payload, &mut self.current)
+                    let kind = self
+                        .decoder
+                        .decode_frame_into(payload, &mut self.current)
                         .map_err(|error| ClientError::Decode { frame_index, error })?;
+                    if (kind == FrameKind::Key) != keyframe {
+                        return Err(ClientError::FrameTypeMismatch { frame_index });
+                    }
                     if let Some(recorder) = self.recorder.as_mut() {
                         recorder.span(
                             Stage::Decode,
@@ -288,22 +318,45 @@ impl SessionClient {
                     if dropped {
                         delivery.record_dropped(payload_bytes);
                         self.account_slot(&mut delivery, has_displayed);
-                    } else if arrival <= deadline {
-                        delivery.record_delivered(payload_bytes);
-                        // The slot shows exactly its own frame: zero error
-                        // over the slot's samples.
-                        delivery.accumulate_error(0.0, 3 * dimensions.pixel_count() as u64);
-                        std::mem::swap(&mut self.current, &mut self.displayed);
-                        has_displayed = true;
-                        on_frame(frame_index, &self.displayed);
+                        // The real client never got this frame, so every
+                        // predicted frame from here to the next keyframe
+                        // has lost its reference.
+                        chain_broken = true;
                     } else {
-                        delivery.record_late(payload_bytes);
-                        self.account_slot(&mut delivery, has_displayed);
-                        // A late frame still reaches the panel for the
-                        // *next* slots.
-                        std::mem::swap(&mut self.current, &mut self.displayed);
-                        has_displayed = true;
-                        on_frame(frame_index, &self.displayed);
+                        // A keyframe needs no reference: it repairs the
+                        // chain whether it is on time or late. A predicted
+                        // frame behind a break is intact on the wire but
+                        // unreconstructable — stale until the next key.
+                        let displayable = keyframe || !chain_broken;
+                        if keyframe {
+                            chain_broken = false;
+                        }
+                        if arrival <= deadline {
+                            delivery.record_delivered(payload_bytes);
+                            if displayable {
+                                // The slot shows exactly its own frame:
+                                // zero error over the slot's samples.
+                                delivery.accumulate_error(0.0, 3 * dimensions.pixel_count() as u64);
+                                std::mem::swap(&mut self.current, &mut self.displayed);
+                                has_displayed = true;
+                                on_frame(frame_index, &self.displayed);
+                            } else {
+                                delivery.stale_frames += 1;
+                                self.account_slot(&mut delivery, has_displayed);
+                            }
+                        } else {
+                            delivery.record_late(payload_bytes);
+                            self.account_slot(&mut delivery, has_displayed);
+                            if displayable {
+                                // A late frame still reaches the panel for
+                                // the *next* slots.
+                                std::mem::swap(&mut self.current, &mut self.displayed);
+                                has_displayed = true;
+                                on_frame(frame_index, &self.displayed);
+                            } else {
+                                delivery.stale_frames += 1;
+                            }
+                        }
                     }
                 }
                 WireRecord::TierChange(change) => {

@@ -1,0 +1,187 @@
+//! Loss semantics over a hand-built GOP: a dropped delta frame breaks
+//! the prediction chain, every intact dependent counts as stale (the
+//! panel keeps the last displayed frame, the error accumulates), and the
+//! next keyframe — and only a keyframe — repairs the chain.
+//!
+//! The stream is assembled by hand from the codec's own primitives
+//! (intra keyframes via [`BdEncoder`], predicted frames via
+//! [`encode_temporal_frame_into`]) so the pin is independent of the
+//! service's encode path, and the link's drop coin is steered by
+//! searching for a seed that reproduces the exact loss pattern the
+//! scenario needs.
+
+use pvc_bdc::{encode_temporal_frame_into, BdConfig, BdEncoder, BitWriter};
+use pvc_client::{LinkModel, SessionClient};
+use pvc_color::Srgb8;
+use pvc_frame::{Dimensions, SrgbFrame};
+use pvc_stream::wire::{write_end, write_frame, write_header};
+use pvc_stream::{ResolutionTier, WireSessionHeader};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const DIMS: Dimensions = Dimensions {
+    width: 16,
+    height: 16,
+};
+const SESSION: u64 = 5;
+const DROP_PROBABILITY: f64 = 0.5;
+
+/// A deterministic 16×16 gradient, shifted by `phase` so consecutive
+/// frames differ by small per-pixel deltas (Skip/Delta territory).
+fn frame(phase: u8) -> SrgbFrame {
+    let pixels = (0..DIMS.pixel_count())
+        .map(|i| {
+            let x = (i % 16) as u8;
+            let y = (i / 16) as u8;
+            Srgb8::new(
+                (x * 8).wrapping_add(phase),
+                (y * 8).wrapping_add(phase / 2),
+                x.wrapping_mul(y).wrapping_add(phase),
+            )
+        })
+        .collect();
+    SrgbFrame::from_pixels(DIMS, pixels).expect("sized correctly")
+}
+
+fn intra_stream(frame: &SrgbFrame) -> Vec<u8> {
+    BdEncoder::new(BdConfig::with_tile_size(4))
+        .encode_frame(frame)
+        .to_bitstream()
+}
+
+fn temporal_stream(frame: &SrgbFrame, reference: &SrgbFrame) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    let (mut gather, mut reference_gather) = (Vec::new(), Vec::new());
+    encode_temporal_frame_into(
+        4,
+        frame,
+        reference,
+        &mut writer,
+        &mut gather,
+        &mut reference_gather,
+    );
+    writer.finish()
+}
+
+/// Serializes a GOP of `(keyframe, payload)` frames as a session wire
+/// stream.
+fn wire_stream(frames: &[(bool, Vec<u8>)]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_header(
+        &mut bytes,
+        &WireSessionHeader {
+            session: SESSION,
+            tier: ResolutionTier::Quest2,
+            width: DIMS.width,
+            height: DIMS.height,
+            tile_size: 4,
+            frame_budget: frames.len() as u32,
+        },
+    );
+    for (index, (keyframe, payload)) in frames.iter().enumerate() {
+        write_frame(&mut bytes, index as u32, *keyframe, payload);
+    }
+    write_end(&mut bytes, frames.len() as u32, false);
+    bytes
+}
+
+/// Finds a drop-coin seed that reproduces `pattern` exactly, replicating
+/// the client's own coin (`ChaCha8Rng` seeded with `seed ^ session`, one
+/// uniform draw per frame in order).
+fn seed_for(pattern: &[bool]) -> u64 {
+    (0u64..100_000)
+        .find(|&seed| {
+            let mut coin = ChaCha8Rng::seed_from_u64(seed ^ SESSION);
+            pattern
+                .iter()
+                .all(|&drop| (coin.gen::<f64>() < DROP_PROBABILITY) == drop)
+        })
+        .expect("a seed matching the pattern exists")
+}
+
+fn lossy_link(pattern: &[bool]) -> LinkModel {
+    LinkModel::lossless()
+        .with_drop_probability(DROP_PROBABILITY)
+        .with_seed(seed_for(pattern))
+}
+
+#[test]
+fn dropped_delta_frame_marks_dependents_stale_until_stream_end() {
+    // GOP: keyframe 0, delta 1, delta 2. The link eats frame 1.
+    let (f0, f1, f2) = (frame(0), frame(3), frame(6));
+    let bytes = wire_stream(&[
+        (true, intra_stream(&f0)),
+        (false, temporal_stream(&f1, &f0)),
+        (false, temporal_stream(&f2, &f1)),
+    ]);
+
+    let mut client = SessionClient::new(lossy_link(&[false, true, false]));
+    let mut shown = Vec::new();
+    let report = client
+        .consume_with(&bytes, |index, pixels| shown.push((index, pixels.clone())))
+        .expect("well-formed stream");
+
+    // Only the keyframe reaches the panel: frame 1 was dropped, and frame
+    // 2 — intact on the wire — lost its reference with it.
+    assert_eq!(shown, vec![(0, f0.clone())]);
+    let delivery = report.delivery;
+    assert_eq!(delivery.frames_sent, 3);
+    assert_eq!(delivery.frames_dropped, 1);
+    assert_eq!(delivery.frames_delivered, 2, "frame 2 arrived intact");
+    assert_eq!(delivery.stale_frames, 1, "but was undisplayable");
+    assert_eq!(delivery.blank_slots, 0);
+    // Both missed slots kept the keyframe on the panel while the scene
+    // moved on: the stale error is real and finite.
+    assert!(delivery.psnr_db().is_finite());
+    assert!(delivery.mse() > 0.0);
+    assert!(report.terminated && !report.cancelled);
+}
+
+#[test]
+fn next_keyframe_repairs_the_chain() {
+    // GOP: keyframe 0, delta 1 (dropped), delta 2 (stale), keyframe 3.
+    let (f0, f1, f2, f3) = (frame(0), frame(3), frame(6), frame(9));
+    let bytes = wire_stream(&[
+        (true, intra_stream(&f0)),
+        (false, temporal_stream(&f1, &f0)),
+        (false, temporal_stream(&f2, &f1)),
+        (true, intra_stream(&f3)),
+    ]);
+
+    let mut client = SessionClient::new(lossy_link(&[false, true, false, false]));
+    let mut shown = Vec::new();
+    let report = client
+        .consume_with(&bytes, |index, pixels| shown.push((index, pixels.clone())))
+        .expect("well-formed stream");
+
+    // The keyframe needs no reference: it displays even though the chain
+    // was broken right before it.
+    assert_eq!(shown, vec![(0, f0.clone()), (3, f3.clone())]);
+    let delivery = report.delivery;
+    assert_eq!(delivery.frames_sent, 4);
+    assert_eq!(delivery.frames_dropped, 1);
+    assert_eq!(delivery.frames_delivered, 3);
+    assert_eq!(delivery.stale_frames, 1, "only frame 2; frame 3 displayed");
+    assert!(delivery.psnr_db().is_finite());
+}
+
+#[test]
+fn lossless_link_displays_the_whole_gop() {
+    // Control: the same GOP with no losses displays every frame and the
+    // stale counter stays at zero.
+    let (f0, f1, f2) = (frame(0), frame(3), frame(6));
+    let bytes = wire_stream(&[
+        (true, intra_stream(&f0)),
+        (false, temporal_stream(&f1, &f0)),
+        (false, temporal_stream(&f2, &f1)),
+    ]);
+    let mut client = SessionClient::new(LinkModel::lossless());
+    let mut shown = Vec::new();
+    let report = client
+        .consume_with(&bytes, |index, pixels| shown.push((index, pixels.clone())))
+        .expect("well-formed stream");
+    assert_eq!(shown, vec![(0, f0), (1, f1), (2, f2)]);
+    assert_eq!(report.delivery.stale_frames, 0);
+    assert_eq!(report.delivery.frames_delivered, 3);
+    assert!(report.delivery.psnr_db().is_infinite());
+}

@@ -18,6 +18,7 @@
 use crate::config::EncoderConfig;
 use crate::encoder::{
     PerceptualEncodeResult, PerceptualEncoder, StreamEncodeResult, StreamFrameStats, StreamScratch,
+    TemporalHistory,
 };
 use pvc_color::DiscriminationModel;
 use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
@@ -90,6 +91,12 @@ pub struct BatchEncoder<M> {
     capacity: usize,
     hits: u64,
     misses: u64,
+    /// GOP state for temporal coding: the previous adjusted frame. Dead
+    /// weight (one placeholder frame) when temporal coding is disabled.
+    history: TemporalHistory,
+    /// Absolute index of the next frame fed through
+    /// [`Self::encode_frame_stream_into`]; drives the keyframe schedule.
+    next_frame_index: u32,
 }
 
 impl<M: DiscriminationModel + Sync> BatchEncoder<M> {
@@ -103,7 +110,36 @@ impl<M: DiscriminationModel + Sync> BatchEncoder<M> {
             capacity: DEFAULT_GAZE_CACHE_CAPACITY,
             hits: 0,
             misses: 0,
+            history: TemporalHistory::new(),
+            next_frame_index: 0,
         }
+    }
+
+    /// Returns the session positioned at absolute frame `index` — the
+    /// builder form of [`Self::set_next_frame_index`].
+    pub fn with_start_frame(mut self, index: u32) -> Self {
+        self.set_next_frame_index(index);
+        self
+    }
+
+    /// Repositions the session at absolute frame `index` and drops the
+    /// temporal reference, forcing the next frame to be a keyframe.
+    ///
+    /// This is the handoff-boundary primitive: a runtime rebuilding a
+    /// session's encoder mid-stream (migration resume, shed/retier) seeds
+    /// the counter with the frames already streamed, so the keyframe
+    /// schedule stays a pure function of the absolute frame index and the
+    /// stream re-aligns bit-exactly with a solo run from the next
+    /// interval multiple.
+    pub fn set_next_frame_index(&mut self, index: u32) {
+        self.next_frame_index = index;
+        self.history.reset();
+    }
+
+    /// Absolute index of the next frame
+    /// [`Self::encode_frame_stream_into`] will encode.
+    pub fn next_frame_index(&self) -> u32 {
+        self.next_frame_index
     }
 
     /// Returns the session with a different gaze-cache capacity.
@@ -206,8 +242,21 @@ impl<M: DiscriminationModel + Sync> BatchEncoder<M> {
             "frame and display dimensions must match"
         );
         let map = self.map_for(gaze);
-        self.encoder
-            .encode_frame_stream_with_map_into(frame, &map, scratch, out)
+        let frame_index = self.next_frame_index;
+        self.next_frame_index = self.next_frame_index.wrapping_add(1);
+        if self.encoder.config().temporal.enabled {
+            self.encoder.encode_frame_stream_temporal_into(
+                frame,
+                &map,
+                &mut self.history,
+                frame_index,
+                scratch,
+                out,
+            )
+        } else {
+            self.encoder
+                .encode_frame_stream_with_map_into(frame, &map, scratch, out)
+        }
     }
 
     /// Encodes a whole gaze-stream, returning one result per frame.
@@ -439,6 +488,129 @@ mod tests {
         assert_eq!(results.len(), 3);
         for result in results {
             assert!(result.our_stats().compressed_bits <= result.bd_stats().compressed_bits);
+        }
+    }
+
+    #[test]
+    fn temporal_streams_decode_to_the_adjusted_frames() {
+        use crate::config::TemporalConfig;
+        use pvc_bdc::{BdDecoder, FrameKind};
+
+        let dims = Dimensions::new(96, 64);
+        let display = DisplayGeometry::quest2_like(dims);
+        let config = EncoderConfig::default().with_temporal(TemporalConfig::every(3));
+        let mut temporal =
+            BatchEncoder::new(SyntheticDiscriminationModel::default(), config, display);
+        let mut intra = session(dims);
+        let mut scratch = StreamScratch::new();
+        let mut payload = Vec::new();
+        let mut decoder = BdDecoder::new();
+        let mut decoded =
+            pvc_frame::SrgbFrame::filled(Dimensions::new(1, 1), pvc_color::Srgb8::default());
+        let gaze = GazePoint::new(10.0, 12.0);
+        let mut saved = 0i64;
+        for (index, frame) in frames(dims, 7).iter().enumerate() {
+            let expected = intra.encode_frame_stream(frame, gaze);
+            let stats = temporal.encode_frame_stream_into(frame, gaze, &mut scratch, &mut payload);
+            let expected_key = index % 3 == 0;
+            assert_eq!(stats.temporal.keyframe, expected_key, "frame {index}");
+            if expected_key {
+                // Keyframes are the exact intra bitstream.
+                assert_eq!(payload, expected.encoded.to_bitstream(), "frame {index}");
+                assert_eq!(stats.temporal.bits, stats.temporal.intra_bits);
+            } else {
+                assert!(pvc_bdc::is_temporal_bitstream(&payload), "frame {index}");
+            }
+            // The temporal stats account every tile and the whole payload.
+            let tiles =
+                stats.temporal.skip_tiles + stats.temporal.delta_tiles + stats.temporal.intra_tiles;
+            assert_eq!(tiles, stats.adjustment.total_tiles as u64, "frame {index}");
+            assert_eq!(
+                stats.temporal.bits.div_ceil(8) as usize,
+                payload.len(),
+                "frame {index}"
+            );
+            saved += stats.temporal.intra_bits as i64 - stats.temporal.bits as i64;
+            // Decoding reconstructs the adjusted frame bit-exactly.
+            let kind = decoder.decode_frame_into(&payload, &mut decoded).unwrap();
+            assert_eq!(
+                kind,
+                if expected_key {
+                    FrameKind::Key
+                } else {
+                    FrameKind::Predicted
+                }
+            );
+            assert_eq!(decoded, expected.adjusted, "frame {index}");
+        }
+        assert!(saved > 0, "an animated fixation must save bits");
+    }
+
+    #[test]
+    fn keyframe_interval_one_is_byte_identical_to_intra_only() {
+        use crate::config::TemporalConfig;
+        let dims = Dimensions::new(64, 64);
+        let display = DisplayGeometry::quest2_like(dims);
+        let mut temporal = BatchEncoder::new(
+            SyntheticDiscriminationModel::default(),
+            EncoderConfig::default().with_temporal(TemporalConfig::every(1)),
+            display,
+        );
+        let mut intra = session(dims);
+        let mut scratch = StreamScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let gaze = GazePoint::center_of(dims);
+        for frame in frames(dims, 4) {
+            let t = temporal.encode_frame_stream_into(&frame, gaze, &mut scratch, &mut a);
+            let i = intra.encode_frame_stream_into(&frame, gaze, &mut scratch, &mut b);
+            assert_eq!(a, b);
+            assert_eq!(t.compression, i.compression);
+            assert!(t.temporal.keyframe);
+        }
+    }
+
+    #[test]
+    fn reseeded_session_realigns_with_the_solo_stream_at_the_next_keyframe() {
+        use crate::config::TemporalConfig;
+        let dims = Dimensions::new(64, 64);
+        let display = DisplayGeometry::quest2_like(dims);
+        let config = EncoderConfig::default().with_temporal(TemporalConfig::every(3));
+        let make = || {
+            BatchEncoder::new(
+                SyntheticDiscriminationModel::default(),
+                config.clone(),
+                display,
+            )
+        };
+        let gaze = GazePoint::center_of(dims);
+        let rendered = frames(dims, 9);
+        let mut scratch = StreamScratch::new();
+
+        let mut solo = make();
+        let solo_payloads: Vec<Vec<u8>> = rendered
+            .iter()
+            .map(|frame| {
+                let mut out = Vec::new();
+                solo.encode_frame_stream_into(frame, gaze, &mut scratch, &mut out);
+                out
+            })
+            .collect();
+
+        // A handoff at frame 4: the resumed encoder starts mid-GOP.
+        let mut resumed = make().with_start_frame(4);
+        assert_eq!(resumed.next_frame_index(), 4);
+        for (index, frame) in rendered.iter().enumerate().skip(4) {
+            let mut out = Vec::new();
+            let stats = resumed.encode_frame_stream_into(frame, gaze, &mut scratch, &mut out);
+            if index == 4 {
+                // Forced refresh: the history is invalid after the seed.
+                assert!(stats.temporal.keyframe);
+            }
+            if index >= 6 {
+                // From the next interval multiple the stream is bit-equal
+                // to the solo run again.
+                assert_eq!(out, solo_payloads[index], "frame {index}");
+            }
         }
     }
 

@@ -5,6 +5,55 @@ use pvc_fovea::FoveaConfig;
 use pvc_frame::DEFAULT_TILE_SIZE;
 use serde::{Deserialize, Serialize};
 
+/// Temporal (inter-frame) coding configuration.
+///
+/// When enabled, frames whose absolute index is a multiple of
+/// `keyframe_interval` are emitted as intra keyframes and every other
+/// frame as a predicted frame of per-tile Skip / Delta / Intra records
+/// against the previous adjusted frame. Keying the schedule to the
+/// *absolute* frame index (rather than a GOP-relative counter) keeps the
+/// emitted stream a pure function of the frame index, which the
+/// migration/shed determinism pins rely on: after a forced intra refresh
+/// at a handoff boundary, the stream re-aligns bit-exactly with a solo
+/// run at the next interval multiple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalConfig {
+    /// Emit an intra keyframe every this many frames (≥ 1; 1 means every
+    /// frame is a keyframe, i.e. intra-only bytes).
+    pub keyframe_interval: u32,
+    /// Whether temporal coding is on. Off by default: intra-only output
+    /// is byte-identical to pre-temporal builds.
+    pub enabled: bool,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        TemporalConfig {
+            // One refresh per sixth of a second on the baseline 72 Hz
+            // tier — frequent enough that a dropped frame's stale window
+            // stays short, long enough that keyframe overhead does not
+            // eat the predicted frames' savings.
+            keyframe_interval: 12,
+            enabled: false,
+        }
+    }
+}
+
+impl TemporalConfig {
+    /// Enabled temporal coding with the given keyframe cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keyframe_interval` is zero.
+    pub fn every(keyframe_interval: u32) -> Self {
+        assert!(keyframe_interval > 0, "keyframe interval must be non-zero");
+        TemporalConfig {
+            keyframe_interval,
+            enabled: true,
+        }
+    }
+}
+
 /// Configuration of the perceptual encoder.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EncoderConfig {
@@ -23,6 +72,9 @@ pub struct EncoderConfig {
     /// are the single normalization points; no call site needs a `.max(1)`
     /// guard.
     pub threads: usize,
+    /// Temporal (inter-frame) coding; disabled by default.
+    #[serde(default)]
+    pub temporal: TemporalConfig,
 }
 
 impl Default for EncoderConfig {
@@ -32,6 +84,7 @@ impl Default for EncoderConfig {
             fovea: FoveaConfig::default(),
             axes: RgbAxis::OPTIMIZED.to_vec(),
             threads: 1,
+            temporal: TemporalConfig::default(),
         }
     }
 }
@@ -78,6 +131,12 @@ impl EncoderConfig {
         self.threads = threads;
         self
     }
+
+    /// Returns a copy with the given temporal coding configuration.
+    pub fn with_temporal(mut self, temporal: TemporalConfig) -> Self {
+        self.temporal = temporal;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +150,20 @@ mod tests {
         assert_eq!(c.axes, vec![RgbAxis::Blue, RgbAxis::Red]);
         assert_eq!(c.threads, 1);
         assert!((c.fovea.bypass_radius_deg - 5.0).abs() < 1e-12);
+        assert!(!c.temporal.enabled, "temporal coding is opt-in");
+    }
+
+    #[test]
+    fn temporal_builder_applies() {
+        let c = EncoderConfig::default().with_temporal(TemporalConfig::every(3));
+        assert!(c.temporal.enabled);
+        assert_eq!(c.temporal.keyframe_interval, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_keyframe_interval_panics() {
+        let _ = TemporalConfig::every(0);
     }
 
     #[test]

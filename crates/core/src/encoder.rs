@@ -3,7 +3,9 @@
 use crate::adjust::{adjust_tile_with, AdjustScratch, AdjustmentCase};
 use crate::config::EncoderConfig;
 use crate::stats::AdjustmentStats;
-use pvc_bdc::{BdConfig, BdEncodedFrame, BdEncoder, BitWriter, CompressionStats};
+use pvc_bdc::{
+    BdConfig, BdEncodedFrame, BdEncoder, BitWriter, CompressionStats, TemporalFrameStats,
+};
 use pvc_color::{DiscriminationModel, LinearRgb, Srgb8};
 use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
 use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, TileGrid, TileRect};
@@ -346,9 +348,89 @@ impl<M: DiscriminationModel + Sync> PerceptualEncoder<M> {
             gamma: after_gamma.duration_since(after_adjust).as_nanos() as u64,
             bd_encode: after_gamma.elapsed().as_nanos() as u64,
         };
+        let bits = scratch.writer.bits_written();
         StreamFrameStats {
             adjustment,
             compression,
+            temporal: intra_frame_stats(adjustment.total_tiles as u64, bits),
+        }
+    }
+
+    /// Temporal stream-mode encode: adjust, gamma-encode and emit either
+    /// an intra keyframe (the exact bitstream of
+    /// [`Self::encode_frame_stream_with_map_into`]) or a predicted frame
+    /// of per-tile Skip / Delta / Intra records against `history`.
+    ///
+    /// A frame is a keyframe when its absolute `frame_index` is a multiple
+    /// of `TemporalConfig::keyframe_interval`, when `history` is invalid
+    /// (fresh encoder, or an explicit reset at a handoff boundary) or when
+    /// the frame size changed. `history` is updated to this frame's
+    /// adjusted pixels on return, so feeding consecutive frame indices
+    /// reproduces exactly the stream a decoder can follow.
+    ///
+    /// Temporal packing is sequential regardless of
+    /// `EncoderConfig::threads`: keyframes already serialize identically
+    /// across thread counts and predicted frames are packed on one thread,
+    /// so the emitted bytes are thread-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map does not match the frame and encoder configuration.
+    pub fn encode_frame_stream_temporal_into(
+        &self,
+        frame: &LinearFrame,
+        eccentricity: &EccentricityMap,
+        history: &mut TemporalHistory,
+        frame_index: u32,
+        scratch: &mut StreamScratch,
+        out: &mut Vec<u8>,
+    ) -> StreamFrameStats {
+        let started = Instant::now();
+        let adjustment = self.adjust_frame_with_map_into(
+            frame,
+            eccentricity,
+            &mut scratch.adjust,
+            &mut scratch.adjusted,
+        );
+        let after_adjust = Instant::now();
+        scratch.adjusted.to_srgb_into(&mut scratch.srgb);
+        let after_gamma = Instant::now();
+        let interval = self.config.temporal.keyframe_interval.max(1);
+        let keyframe = frame_index % interval == 0
+            || !history.valid
+            || history.prev.dimensions() != scratch.srgb.dimensions();
+        let (temporal, compression) = if keyframe {
+            let compression =
+                self.bd
+                    .encode_frame_into(&scratch.srgb, &mut scratch.writer, &mut scratch.gather);
+            let bits = scratch.writer.bits_written();
+            (
+                intra_frame_stats(adjustment.total_tiles as u64, bits),
+                compression,
+            )
+        } else {
+            pvc_bdc::encode_temporal_frame_into(
+                self.config.tile_size,
+                &scratch.srgb,
+                &history.prev,
+                &mut scratch.writer,
+                &mut scratch.gather,
+                &mut scratch.reference_gather,
+            )
+        };
+        history.prev.clone_from(&scratch.srgb);
+        history.valid = true;
+        out.clear();
+        out.extend_from_slice(scratch.writer.as_bytes());
+        scratch.timing = StageNanos {
+            adjust: after_adjust.duration_since(started).as_nanos() as u64,
+            gamma: after_gamma.duration_since(after_adjust).as_nanos() as u64,
+            bd_encode: after_gamma.elapsed().as_nanos() as u64,
+        };
+        StreamFrameStats {
+            adjustment,
+            compression,
+            temporal,
         }
     }
 
@@ -404,6 +486,10 @@ pub struct StreamScratch {
     srgb: SrgbFrame,
     writer: BitWriter,
     gather: Vec<Srgb8>,
+    /// Reference-tile gather buffer for temporal encodes. Pure scratch —
+    /// the bit-relevant previous frame lives in [`TemporalHistory`], so a
+    /// shard worker can keep sharing one scratch across all its sessions.
+    reference_gather: Vec<Srgb8>,
     timing: StageNanos,
 }
 
@@ -416,6 +502,7 @@ impl Default for StreamScratch {
             srgb: SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default()),
             writer: BitWriter::new(),
             gather: Vec::new(),
+            reference_gather: Vec::new(),
             timing: StageNanos::default(),
         }
     }
@@ -459,6 +546,65 @@ pub struct StreamFrameStats {
     pub adjustment: AdjustmentStats,
     /// Compression statistics of the emitted BD bitstream.
     pub compression: CompressionStats,
+    /// Temporal coding statistics. Intra-only encodes report a keyframe
+    /// whose `bits == intra_bits`, so accumulating this field is always
+    /// meaningful regardless of the temporal configuration.
+    pub temporal: TemporalFrameStats,
+}
+
+/// Builds the [`TemporalFrameStats`] of an intra (key) frame: every tile
+/// is an intra record and the temporal mode saves nothing.
+fn intra_frame_stats(tiles: u64, bits: u64) -> TemporalFrameStats {
+    TemporalFrameStats {
+        keyframe: true,
+        intra_tiles: tiles,
+        bits,
+        intra_bits: bits,
+        ..TemporalFrameStats::default()
+    }
+}
+
+/// The encoder side of a temporal session's GOP state: the previous
+/// adjusted frame that the next predicted frame encodes against.
+///
+/// Owned per *session* (each [`crate::BatchEncoder`] embeds one), never
+/// shared through [`StreamScratch`]: the previous frame is bit-relevant
+/// state, while the scratch is explicitly documented as shareable across
+/// sessions on a shard. [`Self::reset`] drops the reference, forcing the
+/// next frame to be an intra keyframe — the handoff-boundary refresh the
+/// migration/shed determinism pins rely on.
+#[derive(Debug, Clone)]
+pub struct TemporalHistory {
+    prev: SrgbFrame,
+    valid: bool,
+}
+
+impl Default for TemporalHistory {
+    fn default() -> Self {
+        TemporalHistory::new()
+    }
+}
+
+impl TemporalHistory {
+    /// Creates an empty (invalid) history: the first encode through it is
+    /// forced to a keyframe.
+    pub fn new() -> Self {
+        TemporalHistory {
+            prev: SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default()),
+            valid: false,
+        }
+    }
+
+    /// Drops the reference frame, forcing the next frame to be an intra
+    /// keyframe.
+    pub fn reset(&mut self) {
+        self.valid = false;
+    }
+
+    /// Whether the history holds a usable reference frame.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
 }
 
 /// Everything produced by one invocation of the perceptual encoder.

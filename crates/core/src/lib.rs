@@ -65,10 +65,10 @@ pub use adjust::{
     AxisAdjustment, TileAdjustOutcome, TileAdjustment,
 };
 pub use batch::{BatchCacheStats, BatchEncoder, DEFAULT_GAZE_CACHE_CAPACITY};
-pub use config::EncoderConfig;
+pub use config::{EncoderConfig, TemporalConfig};
 pub use encoder::{
     PerceptualEncodeResult, PerceptualEncoder, StageNanos, StreamEncodeResult, StreamFrameStats,
-    StreamScratch,
+    StreamScratch, TemporalHistory,
 };
 pub use solver::IterativeSolver;
 pub use stats::AdjustmentStats;

@@ -42,6 +42,12 @@ pub struct DeliveryReport {
     /// Refresh slots with nothing on the panel yet (stream opened with a
     /// drop); excluded from the MSE accumulation.
     pub blank_slots: u64,
+    /// Frames that arrived intact but were undisplayable because an
+    /// earlier dropped frame broke the temporal prediction chain: every
+    /// dependent (predicted) frame counts as stale until the next
+    /// keyframe restores the panel.
+    #[serde(default)]
+    pub stale_frames: u64,
 }
 
 impl DeliveryReport {
@@ -87,6 +93,7 @@ impl DeliveryReport {
         self.error_squared_sum += other.error_squared_sum;
         self.error_samples += other.error_samples;
         self.blank_slots += other.blank_slots;
+        self.stale_frames += other.stale_frames;
     }
 
     /// Mean squared error of the displayed image over the stream
@@ -192,6 +199,7 @@ mod tests {
         a.stream_seconds = 1.0;
         a.accumulate_error(100.0, 3);
         a.blank_slots = 1;
+        a.stale_frames = 2;
         let mut b = DeliveryReport::default();
         b.record_dropped(20);
         b.stream_seconds = 2.0;
@@ -203,6 +211,7 @@ mod tests {
         assert_eq!(a.stream_seconds, 3.0);
         assert_eq!(a.error_samples, 6);
         assert_eq!(a.blank_slots, 1);
+        assert_eq!(a.stale_frames, 2);
         assert!((a.mse() - 25.0).abs() < 1e-12);
     }
 

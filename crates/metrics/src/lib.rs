@@ -45,12 +45,14 @@
 pub mod churn;
 pub mod delivery;
 pub mod elasticity;
+pub mod temporal;
 pub mod throughput;
 pub mod tiers;
 
 pub use churn::ChurnCounters;
 pub use delivery::DeliveryReport;
 pub use elasticity::ElasticityCounters;
+pub use temporal::TemporalTotals;
 pub use throughput::ThroughputReport;
 pub use tiers::{TierAggregate, TierAggregates};
 

@@ -111,7 +111,7 @@ use pvc_color::{LinearRgb, SyntheticDiscriminationModel};
 use pvc_core::{BatchCacheStats, BatchEncoder, StreamScratch};
 use pvc_fovea::{DisplayGeometry, GazePoint};
 use pvc_frame::{Dimensions, LinearFrame};
-use pvc_metrics::{ChurnCounters, ElasticityCounters, ThroughputReport};
+use pvc_metrics::{ChurnCounters, ElasticityCounters, TemporalTotals, ThroughputReport};
 use pvc_parallel::{
     bounded_queue, control_channel, BoundedReceiver, BoundedSender, ControlPoll, ControlReceiver,
     ControlSender, Gauge, QueueStats,
@@ -405,6 +405,7 @@ impl WorkerSession {
                 cancelled: false,
                 throughput: ThroughputReport::default(),
                 cache: BatchCacheStats::default(),
+                temporal: TemporalTotals::default(),
                 stream_digest: FNV_OFFSET_BASIS,
                 payloads: None,
                 wire_stream: None,
@@ -434,7 +435,7 @@ impl WorkerSession {
     fn resume(shard: usize, service: &ServiceConfig, carry: SessionCarry) -> Self {
         let SessionCarry {
             config,
-            frames_done: _,
+            frames_done,
             mut report,
             digest,
             wire,
@@ -443,7 +444,13 @@ impl WorkerSession {
             counted_frames,
             counted_pixels,
         } = carry;
-        let (encoder, _tile_size) = encoder_for(service, &config);
+        let (mut encoder, _tile_size) = encoder_for(service, &config);
+        // Seed the temporal frame counter at the resume point. The fresh
+        // encoder's reference history is empty, so the first post-hop frame
+        // is an intra refresh regardless of the keyframe schedule — which
+        // keeps the stream decodable and the keyframe schedule a pure
+        // function of the absolute frame index, exactly like a solo run's.
+        encoder.set_next_frame_index(frames_done);
         report.shard = shard;
         WorkerSession {
             encoder,
@@ -1779,6 +1786,14 @@ fn run_worker(shard: usize, config: ServiceConfig, mut links: WorkerLinks) {
                 // The frame's index within the session, before the
                 // throughput counter moves past it.
                 let frame_index = report.throughput.frames as u32;
+                report.temporal.record_frame(
+                    stats.temporal.keyframe,
+                    stats.temporal.skip_tiles,
+                    stats.temporal.delta_tiles,
+                    stats.temporal.intra_tiles,
+                    stats.temporal.bits,
+                    stats.temporal.intra_bits,
+                );
                 report.throughput.record_frame_bits(
                     stats.compression.uncompressed_bits,
                     bitstream.len() as u64,
@@ -1800,8 +1815,9 @@ fn run_worker(shard: usize, config: ServiceConfig, mut links: WorkerLinks) {
                     );
                 }
                 let emit_start = Instant::now();
+                let keyframe = stats.temporal.keyframe;
                 for sink in session.sinks() {
-                    sink.frame(frame_index, &bitstream);
+                    sink.frame(frame_index, keyframe, &bitstream);
                 }
                 if let Some(tracing) = links.tracing.as_mut() {
                     tracing.recorder.span(
@@ -1839,7 +1855,13 @@ fn run_worker(shard: usize, config: ServiceConfig, mut links: WorkerLinks) {
                 // replacing it.
                 session.carried_cache =
                     merge_cache(session.carried_cache, session.encoder.cache_stats());
-                let (encoder, tile_size) = encoder_for(&config, &session_config);
+                let (mut encoder, tile_size) = encoder_for(&config, &session_config);
+                // The shed rebuild clears the temporal reference (the old
+                // tier's frames have a different geometry anyway), so the
+                // first lower-tier frame is an intra refresh; seeding the
+                // frame counter keeps the keyframe schedule aligned with a
+                // solo run at the lower tier from this index on.
+                encoder.set_next_frame_index(session.report.throughput.frames as u32);
                 session.encoder = encoder;
                 let old_tier = session.report.tier;
                 links.gauges.session_pixels.sub(session.frame_pixels);

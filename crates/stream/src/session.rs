@@ -19,7 +19,7 @@
 use crate::gaze::GazeModel;
 use pvc_core::BatchCacheStats;
 use pvc_frame::Dimensions;
-use pvc_metrics::ThroughputReport;
+use pvc_metrics::{TemporalTotals, ThroughputReport};
 use pvc_scenes::SceneId;
 use serde::{Deserialize, Serialize};
 
@@ -447,6 +447,12 @@ pub struct SessionReport {
     pub throughput: ThroughputReport,
     /// The session's eccentricity-map cache counters.
     pub cache: BatchCacheStats,
+    /// Temporal-coding totals: keyframe/predicted frame counts, per-mode
+    /// tile counts, and emitted vs. would-have-been-intra bits. On an
+    /// intra-only session every frame counts as a keyframe and
+    /// `bits == intra_bits`.
+    #[serde(default)]
+    pub temporal: TemporalTotals,
     /// Chained FNV-1a digest over every frame's encoded bitstream, in frame
     /// order — two runs produced bit-identical streams iff digests match.
     pub stream_digest: u64,

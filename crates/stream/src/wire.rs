@@ -7,12 +7,19 @@
 //! ```text
 //! header  "PVCS" | version u16 | session u64 | tier u8
 //!                | width u32 | height u32 | tile_size u32 | frame_budget u32
-//! frame   "PVCF" | frame_index u32 | payload_len u32 | payload bytes
-//!                  (payload = one BD bitstream, pvc_bdc frame layout)
+//! frame   "PVCF" | frame_index u32 | flags u8 | payload_len u32 | payload
+//!                  (payload = one BD bitstream, pvc_bdc frame layout;
+//!                   flags bit 0 = keyframe, other bits reserved)
 //! tier    "PVCT" | frame_index u32 | tier u8
 //!                | width u32 | height u32 | tile_size u32 | frame_budget u32
 //! end     "PVCE" | frames u32 | cancelled u8
 //! ```
+//!
+//! The frame flags byte (new in wire version 2) tells a client whether a
+//! frame is decodable on its own (`keyframe`, bit 0) or predicts against
+//! the previous frame — the information loss-concealment needs *before*
+//! decoding: after a drop, every non-keyframe record is undisplayable
+//! until the next keyframe, however intact its own bytes are.
 //!
 //! All integers are little-endian. A well-formed stream is one header,
 //! `frames` frame records with consecutive indices, and one end record; a
@@ -32,8 +39,13 @@
 use crate::session::{fnv1a_update, ResolutionTier, FNV_OFFSET_BASIS};
 use serde::{Deserialize, Serialize};
 
-/// Version stamped into every session header record.
-pub const WIRE_VERSION: u16 = 1;
+/// Version stamped into every session header record. Version 2 added the
+/// per-frame flags byte (bit 0 = keyframe).
+pub const WIRE_VERSION: u16 = 2;
+
+/// Frame-record flag bit: the payload is an intra keyframe, decodable
+/// with no reference.
+pub const FRAME_FLAG_KEYFRAME: u8 = 1;
 
 /// Magic opening a session header record.
 pub const HEADER_MAGIC: [u8; 4] = *b"PVCS";
@@ -139,6 +151,9 @@ pub enum WireRecord<'a> {
     Frame {
         /// The frame's index within the session (0-based, consecutive).
         frame_index: u32,
+        /// True when the payload is an intra keyframe; false for a
+        /// predicted frame that needs the previous frame decoded.
+        keyframe: bool,
         /// The frame's BD bitstream.
         payload: &'a [u8],
     },
@@ -177,9 +192,10 @@ pub fn write_header(out: &mut Vec<u8>, header: &WireSessionHeader) {
 }
 
 /// Appends a length-prefixed frame record to `out`.
-pub fn write_frame(out: &mut Vec<u8>, frame_index: u32, payload: &[u8]) {
+pub fn write_frame(out: &mut Vec<u8>, frame_index: u32, keyframe: bool, payload: &[u8]) {
     out.extend_from_slice(&FRAME_MAGIC);
     out.extend_from_slice(&frame_index.to_le_bytes());
+    out.push(if keyframe { FRAME_FLAG_KEYFRAME } else { 0 });
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
 }
@@ -283,10 +299,14 @@ impl<'a> WireReader<'a> {
             }))
         } else if magic == FRAME_MAGIC {
             let frame_index = self.take_u32(start)?;
+            // Bit 0 is the keyframe flag; other bits are reserved and
+            // ignored so older readers keep working across flag additions.
+            let flags = self.take(1, start)?[0];
             let len = self.take_u32(start)? as usize;
             let payload = self.take(len, start)?;
             Ok(WireRecord::Frame {
                 frame_index,
+                keyframe: flags & FRAME_FLAG_KEYFRAME != 0,
                 payload,
             })
         } else if magic == TIER_MAGIC {
@@ -346,8 +366,9 @@ impl<'a> WireReader<'a> {
 pub trait FrameSink {
     /// The session opened; `header` describes its geometry and budget.
     fn start(&mut self, header: &WireSessionHeader);
-    /// One encoded frame's complete BD bitstream.
-    fn frame(&mut self, frame_index: u32, payload: &[u8]);
+    /// One encoded frame's complete BD bitstream; `keyframe` is true for
+    /// intra frames decodable without a reference.
+    fn frame(&mut self, frame_index: u32, keyframe: bool, payload: &[u8]);
     /// The session was shed to a lower tier; frames from
     /// `change.frame_index` on use the new geometry. Default no-op:
     /// digest-style sinks fold payload bytes only, so a shed session's
@@ -392,7 +413,9 @@ impl DigestSink {
 impl FrameSink for DigestSink {
     fn start(&mut self, _header: &WireSessionHeader) {}
 
-    fn frame(&mut self, _frame_index: u32, payload: &[u8]) {
+    fn frame(&mut self, _frame_index: u32, _keyframe: bool, payload: &[u8]) {
+        // The digest folds payload bytes only — never the flag — so a
+        // temporal stream's digest stays a pure function of its payloads.
         self.digest = fnv1a_update(self.digest, payload);
         if let Some(payloads) = &mut self.payloads {
             payloads.push(payload.to_vec());
@@ -429,8 +452,8 @@ impl FrameSink for WireSink {
         write_header(&mut self.bytes, header);
     }
 
-    fn frame(&mut self, frame_index: u32, payload: &[u8]) {
-        write_frame(&mut self.bytes, frame_index, payload);
+    fn frame(&mut self, frame_index: u32, keyframe: bool, payload: &[u8]) {
+        write_frame(&mut self.bytes, frame_index, keyframe, payload);
         self.frames += 1;
     }
 
@@ -473,9 +496,9 @@ mod tests {
     fn sample_stream() -> Vec<u8> {
         let mut sink = WireSink::new();
         sink.start(&sample_header());
-        sink.frame(0, &[1, 2, 3]);
+        sink.frame(0, true, &[1, 2, 3]);
         sink.tier_change(&sample_tier_change());
-        sink.frame(1, &[4, 5]);
+        sink.frame(1, false, &[4, 5]);
         sink.finish(false);
         sink.into_bytes()
     }
@@ -492,6 +515,7 @@ mod tests {
             reader.next_record().unwrap().unwrap(),
             WireRecord::Frame {
                 frame_index: 0,
+                keyframe: true,
                 payload: &[1, 2, 3]
             }
         );
@@ -503,6 +527,7 @@ mod tests {
             reader.next_record().unwrap().unwrap(),
             WireRecord::Frame {
                 frame_index: 1,
+                keyframe: false,
                 payload: &[4, 5]
             }
         );
@@ -580,6 +605,7 @@ mod tests {
             reader.next_record().unwrap().unwrap(),
             WireRecord::Frame {
                 frame_index: 1,
+                keyframe: false,
                 payload: &[4, 5]
             }
         );
@@ -589,11 +615,11 @@ mod tests {
     fn digest_sink_matches_manual_fnv_chain() {
         let mut sink = DigestSink::new(true);
         sink.start(&sample_header());
-        sink.frame(0, &[1, 2, 3]);
+        sink.frame(0, true, &[1, 2, 3]);
         // Tier changes carry no payload bytes: the digest must not move,
         // so a shed session stays digest-comparable to a solo lower-tier run.
         sink.tier_change(&sample_tier_change());
-        sink.frame(1, &[4, 5]);
+        sink.frame(1, false, &[4, 5]);
         sink.finish(false);
         let expected = fnv1a_update(fnv1a_update(FNV_OFFSET_BASIS, &[1, 2, 3]), &[4, 5]);
         assert_eq!(sink.digest(), expected);
@@ -604,7 +630,7 @@ mod tests {
     fn cancelled_streams_are_still_terminated() {
         let mut sink = WireSink::new();
         sink.start(&sample_header());
-        sink.frame(0, &[9]);
+        sink.frame(0, true, &[9]);
         sink.finish(true);
         let bytes = sink.into_bytes();
         let mut reader = WireReader::new(&bytes);

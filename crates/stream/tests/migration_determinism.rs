@@ -20,7 +20,9 @@
 //! a bits artifact) and shedding re-derives the session exactly as
 //! `SessionProfile::downgraded` documents.
 
-use pvc_frame::Dimensions;
+use pvc_bdc::{is_temporal_bitstream, BdDecoder};
+use pvc_core::{EncoderConfig, TemporalConfig};
+use pvc_frame::{Dimensions, SrgbFrame};
 use pvc_stream::{
     LeastLoaded, Placement, PowerOfTwoChoices, Predictive, ResolutionTier, ServiceConfig,
     SessionConfig, SessionProfile, Static, StreamRuntime, WorkloadMix,
@@ -53,11 +55,21 @@ fn survivor_configs() -> Vec<SessionConfig> {
         .collect()
 }
 
+/// The service config under test: intra-only (the historical pin) or
+/// temporal coding with a 12-frame keyframe cadence.
+fn service_config(temporal: bool) -> ServiceConfig {
+    let mut config = ServiceConfig::default().with_collect_payloads(true);
+    if temporal {
+        config =
+            config.with_encoder(EncoderConfig::default().with_temporal(TemporalConfig::every(12)));
+    }
+    config
+}
+
 /// A session's stream when it is the only session on a fresh single-shard
 /// runtime — the ground truth.
-fn solo(config: &SessionConfig) -> (Payloads, u64) {
-    let mut runtime =
-        StreamRuntime::start_static(ServiceConfig::default().with_collect_payloads(true));
+fn solo(config: &SessionConfig, temporal: bool) -> (Payloads, u64) {
+    let mut runtime = StreamRuntime::start_static(service_config(temporal));
     let id = runtime.admit(config.clone());
     let report = runtime.retire(id);
     runtime.shutdown();
@@ -70,12 +82,15 @@ fn solo(config: &SessionConfig) -> (Payloads, u64) {
 /// Admits the mover plus the mixed-tier survivors, spawns a fresh shard,
 /// migrates the mover onto it mid-stream, and returns (mover payloads,
 /// mover digest, survivors' payloads in admission order).
-fn migration_run(shards: usize, placement: Box<dyn Placement>) -> (Payloads, u64, Vec<Payloads>) {
+fn migration_run(
+    shards: usize,
+    placement: Box<dyn Placement>,
+    temporal: bool,
+) -> (Payloads, u64, Vec<Payloads>) {
     let mut runtime = StreamRuntime::start(
-        ServiceConfig::default()
+        service_config(temporal)
             .with_shards(shards)
-            .with_queue_depth(2)
-            .with_collect_payloads(true),
+            .with_queue_depth(2),
         placement,
     );
     let mover = runtime.admit(mover_config());
@@ -119,25 +134,26 @@ fn migration_run(shards: usize, placement: Box<dyn Placement>) -> (Payloads, u64
     )
 }
 
+const POLICIES: &[fn() -> Box<dyn Placement>] = &[
+    || Box::new(Static),
+    || Box::new(PowerOfTwoChoices::default()),
+    || Box::new(LeastLoaded),
+    || Box::new(Predictive),
+];
+
 #[test]
 fn migrated_streams_are_bit_identical_to_solo_runs() {
-    let (mover_solo, mover_digest) = solo(&mover_config());
+    let (mover_solo, mover_digest) = solo(&mover_config(), false);
     let survivor_solos: Vec<Vec<Vec<u8>>> = survivor_configs()
         .iter()
-        .map(|config| solo(config).0)
+        .map(|config| solo(config, false).0)
         .collect();
 
-    let policies: &[fn() -> Box<dyn Placement>] = &[
-        || Box::new(Static),
-        || Box::new(PowerOfTwoChoices::default()),
-        || Box::new(LeastLoaded),
-        || Box::new(Predictive),
-    ];
     for shards in [1usize, 4] {
-        for make_policy in policies {
+        for make_policy in POLICIES {
             let policy = make_policy();
             let name = policy.name();
-            let (mover, digest, survivors) = migration_run(shards, policy);
+            let (mover, digest, survivors) = migration_run(shards, policy, false);
             assert_eq!(
                 mover, mover_solo,
                 "{name}, {shards} shard(s): migration changed the mover's encoded bits"
@@ -154,17 +170,89 @@ fn migrated_streams_are_bit_identical_to_solo_runs() {
     }
 }
 
+/// Decodes a full stream of temporal/intra payloads into per-frame pixel
+/// frames with a fresh stateful decoder.
+fn decode_stream(payloads: &[Vec<u8>]) -> Vec<SrgbFrame> {
+    let mut decoder = BdDecoder::new();
+    let mut out = SrgbFrame::filled(pvc_frame::Dimensions::new(1, 1), Default::default());
+    payloads
+        .iter()
+        .enumerate()
+        .map(|(index, payload)| {
+            decoder
+                .decode_frame_into(payload, &mut out)
+                .unwrap_or_else(|err| panic!("frame {index} must decode: {err}"));
+            out.clone()
+        })
+        .collect()
+}
+
+#[test]
+fn migrated_temporal_streams_refresh_at_the_handoff_and_realign() {
+    // In temporal mode the migrated stream is NOT byte-identical to the
+    // solo run: the destination shard's fresh encoder has no reference,
+    // so the handoff frame is a forced intra refresh. The pin is the
+    // splice form of determinism: at most that one frame differs, it is
+    // an intra keyframe where the solo run had a predicted frame, the
+    // streams re-align bit-exactly immediately after (both references
+    // are the same adjusted frame), and the *decoded pixels* are equal
+    // everywhere. Survivors are never refreshed, so their streams stay
+    // bit-identical.
+    let (mover_solo, _) = solo(&mover_config(), true);
+    let mover_solo_pixels = decode_stream(&mover_solo);
+    let survivor_solos: Vec<Vec<Vec<u8>>> = survivor_configs()
+        .iter()
+        .map(|config| solo(config, true).0)
+        .collect();
+
+    for shards in [1usize, 4] {
+        for make_policy in POLICIES {
+            let policy = make_policy();
+            let name = policy.name();
+            let (mover, _digest, survivors) = migration_run(shards, policy, true);
+            assert_eq!(mover.len(), mover_solo.len());
+            let mismatches: Vec<usize> = (0..mover.len())
+                .filter(|&index| mover[index] != mover_solo[index])
+                .collect();
+            assert!(
+                mismatches.len() <= 1,
+                "{name}, {shards} shard(s): only the handoff frame may differ, \
+                 got mismatches at {mismatches:?}"
+            );
+            if let Some(&handoff) = mismatches.first() {
+                assert!(
+                    !is_temporal_bitstream(&mover[handoff]),
+                    "{name}, {shards} shard(s): the handoff frame must be an intra refresh"
+                );
+                assert!(
+                    is_temporal_bitstream(&mover_solo[handoff]),
+                    "{name}, {shards} shard(s): a keyframe-slot handoff cannot mismatch \
+                     (keyframes are a pure function of the frame)"
+                );
+            }
+            assert_eq!(
+                decode_stream(&mover),
+                mover_solo_pixels,
+                "{name}, {shards} shard(s): the refresh must not change a single decoded pixel"
+            );
+            assert_eq!(
+                survivors, survivor_solos,
+                "{name}, {shards} shard(s): a migration changed a bystander's encoded bits"
+            );
+        }
+    }
+}
+
 #[test]
 fn shed_stream_splices_the_two_solo_runs_at_the_switch_frame() {
     let profile = SessionProfile::for_tier(ResolutionTier::VisionClass, base_dims(), 600);
     let lower = profile.downgraded().expect("vision downgrades");
     let config = SessionConfig::synthetic(0, base_dims(), 600).with_profile(profile);
     let lower_config = config.clone().with_profile(lower);
-    let (upper_solo, _) = solo(&config);
-    let (lower_solo, _) = solo(&lower_config);
+    let (upper_solo, _) = solo(&config, false);
+    let (lower_solo, _) = solo(&lower_config, false);
 
-    let mut runtime =
-        StreamRuntime::start_static(ServiceConfig::default().with_collect_payloads(true));
+    let mut runtime = StreamRuntime::start_static(service_config(false));
     let id = runtime.admit(config);
     assert!(runtime.shed(id, lower), "a live session must shed");
     let report = runtime.retire(id);

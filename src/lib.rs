@@ -65,7 +65,7 @@ pub use pvc_trace as trace;
 /// The most commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use pvc_baselines::{nocom_stats, PngLikeCodec, SccCodec, SccConfig};
-    pub use pvc_bdc::{BdConfig, BdDecoder, BdEncoder, CompressionStats};
+    pub use pvc_bdc::{BdConfig, BdDecoder, BdEncoder, CompressionStats, FrameKind};
     pub use pvc_client::{ClientReport, LinkModel, SessionClient};
     pub use pvc_color::{
         DiscriminationModel, DklColor, LinearRgb, RbfDiscriminationModel, RgbAxis, Srgb8,
@@ -73,7 +73,7 @@ pub mod prelude {
     };
     pub use pvc_core::{
         AdjustScratch, BatchCacheStats, BatchEncoder, EncoderConfig, PerceptualEncodeResult,
-        PerceptualEncoder, StreamEncodeResult, StreamFrameStats, StreamScratch,
+        PerceptualEncoder, StreamEncodeResult, StreamFrameStats, StreamScratch, TemporalConfig,
     };
     pub use pvc_fovea::{DisplayGeometry, EccentricityMap, FoveaConfig, GazePoint, StereoGeometry};
     pub use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, TileGrid};
