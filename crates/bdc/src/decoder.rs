@@ -393,7 +393,10 @@ mod tests {
 
         let key_bytes = encoder.encode_frame(&key).to_bitstream();
         let mut writer = crate::BitWriter::new();
-        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let (mut a, mut b) = (
+            pvc_frame::SrgbTileLanes::new(),
+            pvc_frame::SrgbTileLanes::new(),
+        );
         crate::temporal::encode_temporal_frame_into(
             4,
             &predicted,

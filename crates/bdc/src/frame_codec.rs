@@ -3,8 +3,9 @@
 use crate::bitstream::{BitReader, BitWriter, BitstreamError};
 use crate::stats::{CompressionStats, SizeBreakdown};
 use crate::tile_codec::{decode_tile, encode_tile, TileEncoding};
+use pvc_color::lanes::min_max_u8;
 use pvc_color::Srgb8;
-use pvc_frame::{Dimensions, SrgbFrame, TileGrid, DEFAULT_TILE_SIZE};
+use pvc_frame::{Dimensions, SrgbFrame, SrgbTileLanes, TileGrid, DEFAULT_TILE_SIZE};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the Base+Delta frame encoder.
@@ -115,13 +116,19 @@ impl BdEncoder {
     /// directly into the caller-provided `writer` (cleared first), without
     /// materializing a [`BdEncodedFrame`] or any per-tile vectors.
     ///
-    /// `gather` is the caller's reusable tile-pixel buffer; once both have
+    /// `gather` is the caller's reusable SoA tile gather; once both have
     /// warmed up to the frame's tile size and bitstream length, the encode
     /// performs no allocation at all. This is the per-frame hot path of a
     /// streaming session, where the per-tile `TileEncoding` structure (a
     /// `Vec` of deltas per channel per tile — hundreds of thousands of
     /// heap round-trips per Vision-class frame) is pure overhead: the
     /// session ships bytes, not tile structs.
+    ///
+    /// Each tile is gathered as three contiguous per-channel lanes, the
+    /// `(min, max)` range is reduced with the 8-wide lane kernel
+    /// ([`pvc_color::lanes::min_max_u8`] — bit-identical to the scalar
+    /// [`crate::tile_codec::channel_range`] walk since integer min/max is
+    /// order-independent), and only the bit packing itself stays serial.
     ///
     /// With more than one worker thread, tile encodings are produced in
     /// parallel first (bit packing is inherently sequential) and then
@@ -133,7 +140,7 @@ impl BdEncoder {
         &self,
         frame: &SrgbFrame,
         writer: &mut BitWriter,
-        gather: &mut Vec<Srgb8>,
+        gather: &mut SrgbTileLanes,
     ) -> CompressionStats {
         if self.threads > 1 {
             let encoded = self.encode_frame(frame);
@@ -148,22 +155,23 @@ impl BdEncoder {
         writer.write_bits(self.config.tile_size, 16);
         let mut breakdown = SizeBreakdown::ZERO;
         for tile in grid.tiles() {
-            frame.tile_pixels_into(tile, gather);
+            frame.tile_lanes_into(tile, gather);
             for channel in 0..3 {
-                let (min, max) = crate::tile_codec::channel_range(gather, channel);
+                let lane = gather.channel(channel);
+                let (min, max) = min_max_u8(lane);
                 let delta_bits = crate::tile_codec::bits_for_range(max - min);
                 writer.write_bits(u32::from(min), crate::tile_codec::BASE_BITS as u32);
                 writer.write_bits(
                     u32::from(delta_bits),
                     crate::tile_codec::METADATA_BITS as u32,
                 );
-                for p in gather.iter() {
-                    writer.write_bits(u32::from(p.channel(channel) - min), u32::from(delta_bits));
+                for &v in lane {
+                    writer.write_bits(u32::from(v - min), u32::from(delta_bits));
                 }
                 breakdown += SizeBreakdown {
                     base_bits: crate::tile_codec::BASE_BITS,
                     metadata_bits: crate::tile_codec::METADATA_BITS,
-                    delta_bits: u64::from(delta_bits) * gather.len() as u64,
+                    delta_bits: u64::from(delta_bits) * lane.len() as u64,
                 };
             }
         }
@@ -455,7 +463,7 @@ mod tests {
             random_frame(13, 9, 21),
         ];
         let mut writer = crate::BitWriter::new();
-        let mut gather = Vec::new();
+        let mut gather = SrgbTileLanes::new();
         for frame in &frames {
             for tile_size in [4, 7] {
                 let encoder = BdEncoder::new(BdConfig::with_tile_size(tile_size));
@@ -471,7 +479,7 @@ mod tests {
     fn encode_frame_into_is_thread_count_invariant() {
         let frame = random_frame(40, 28, 77);
         let mut writer = crate::BitWriter::new();
-        let mut gather = Vec::new();
+        let mut gather = SrgbTileLanes::new();
         let sequential_stats =
             BdEncoder::new(BdConfig::default()).encode_frame_into(&frame, &mut writer, &mut gather);
         let sequential_bytes = writer.as_bytes().to_vec();

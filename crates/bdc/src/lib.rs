@@ -51,4 +51,4 @@ pub use stats::{CompressionStats, SizeBreakdown};
 pub use temporal::{
     encode_temporal_frame_into, is_temporal_bitstream, FrameKind, TemporalFrameStats,
 };
-pub use tile_codec::{decode_tile, encode_tile, ChannelEncoding, TileEncoding};
+pub use tile_codec::{channel_range, decode_tile, encode_tile, ChannelEncoding, TileEncoding};

@@ -43,9 +43,9 @@
 use crate::bitstream::{BitReader, BitWriter, BitstreamError};
 use crate::decoder::check_delta_payload;
 use crate::stats::{CompressionStats, SizeBreakdown};
-use crate::tile_codec::{bits_for_range, channel_range, BASE_BITS, METADATA_BITS};
-use pvc_color::Srgb8;
-use pvc_frame::{Dimensions, SrgbFrame, TileGrid};
+use crate::tile_codec::{bits_for_range, BASE_BITS, METADATA_BITS};
+use pvc_color::lanes::min_max_u8;
+use pvc_frame::{Dimensions, SrgbFrame, SrgbTileLanes, TileGrid};
 use serde::{Deserialize, Serialize};
 
 /// Bits spent on the per-tile mode selector.
@@ -121,10 +121,13 @@ fn channel_cost(range: u8, pixels: u64) -> u64 {
 
 /// Encodes `frame` as a predicted frame against `reference`.
 ///
-/// `gather` and `reference_gather` are caller-owned scratch, recycled
+/// `gather` and `reference_gather` are caller-owned SoA scratch, recycled
 /// across frames like the intra encoder's gather buffer; once warm the
-/// encode allocates nothing. Returns the temporal statistics plus the
-/// [`CompressionStats`] of the emitted payload (breakdown excludes the
+/// encode allocates nothing. Both tiles are gathered as per-channel lanes:
+/// the intra/delta ranges reduce with the 8-wide lane kernel, and the
+/// zigzag residuals form over contiguous `u8` lanes, so everything before
+/// the serial bit-write vectorizes. Returns the temporal statistics plus
+/// the [`CompressionStats`] of the emitted payload (breakdown excludes the
 /// 64-bit header, mirroring the intra accounting which excludes its
 /// 48-bit header).
 ///
@@ -138,8 +141,8 @@ pub fn encode_temporal_frame_into(
     frame: &SrgbFrame,
     reference: &SrgbFrame,
     writer: &mut BitWriter,
-    gather: &mut Vec<Srgb8>,
-    reference_gather: &mut Vec<Srgb8>,
+    gather: &mut SrgbTileLanes,
+    reference_gather: &mut SrgbTileLanes,
 ) -> (TemporalFrameStats, CompressionStats) {
     assert_eq!(
         frame.dimensions(),
@@ -161,8 +164,8 @@ pub fn encode_temporal_frame_into(
     };
     let mut breakdown = SizeBreakdown::ZERO;
     for tile in grid.tiles() {
-        frame.tile_pixels_into(tile, gather);
-        reference.tile_pixels_into(tile, reference_gather);
+        frame.tile_lanes_into(tile, gather);
+        reference.tile_lanes_into(tile, reference_gather);
         let pixels = gather.len() as u64;
 
         // The intra baseline is accounted for every tile, including the
@@ -171,7 +174,7 @@ pub fn encode_temporal_frame_into(
         let mut intra_cost = MODE_BITS;
         let mut intra_ranges = [(0u8, 0u8); 3];
         for (channel, ranges) in intra_ranges.iter_mut().enumerate() {
-            let (min, max) = channel_range(gather, channel);
+            let (min, max) = min_max_u8(gather.channel(channel));
             *ranges = (min, max);
             intra_cost += channel_cost(max - min, pixels);
         }
@@ -186,18 +189,21 @@ pub fn encode_temporal_frame_into(
 
         // Zigzag residuals overwrite the reference scratch in place: after
         // the skip comparison the raw reference samples are only needed to
-        // form `cur - prev`.
-        for (cur, prev) in gather.iter().zip(reference_gather.iter_mut()) {
-            *prev = Srgb8::new(
-                zigzag(cur.r.wrapping_sub(prev.r)),
-                zigzag(cur.g.wrapping_sub(prev.g)),
-                zigzag(cur.b.wrapping_sub(prev.b)),
-            );
+        // form `cur - prev`. Each channel is a contiguous u8 lane, so the
+        // wrapping subtract + zigzag loop vectorizes.
+        for (cur, prev) in [
+            (&gather.r, &mut reference_gather.r),
+            (&gather.g, &mut reference_gather.g),
+            (&gather.b, &mut reference_gather.b),
+        ] {
+            for (c, p) in cur.iter().zip(prev.iter_mut()) {
+                *p = zigzag(c.wrapping_sub(*p));
+            }
         }
         let mut delta_cost = MODE_BITS;
         let mut delta_ranges = [(0u8, 0u8); 3];
         for (channel, ranges) in delta_ranges.iter_mut().enumerate() {
-            let (min, max) = channel_range(reference_gather, channel);
+            let (min, max) = min_max_u8(reference_gather.channel(channel));
             *ranges = (min, max);
             delta_cost += channel_cost(max - min, pixels);
         }
@@ -215,11 +221,8 @@ pub fn encode_temporal_frame_into(
             let delta_bits = bits_for_range(max - min);
             writer.write_bits(u32::from(min), BASE_BITS as u32);
             writer.write_bits(u32::from(delta_bits), METADATA_BITS as u32);
-            for pixel in source.iter() {
-                writer.write_bits(
-                    u32::from(pixel.channel(channel) - min),
-                    u32::from(delta_bits),
-                );
+            for &v in source.channel(channel) {
+                writer.write_bits(u32::from(v - min), u32::from(delta_bits));
             }
             breakdown += SizeBreakdown {
                 base_bits: BASE_BITS,
@@ -358,6 +361,7 @@ pub(crate) fn apply_temporal_frame(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pvc_color::Srgb8;
     use rand::{Rng, SeedableRng};
 
     fn random_frame(width: u32, height: u32, seed: u64) -> SrgbFrame {
@@ -371,7 +375,7 @@ mod tests {
 
     fn encode(tile_size: u32, frame: &SrgbFrame, reference: &SrgbFrame) -> Vec<u8> {
         let mut writer = BitWriter::new();
-        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let (mut a, mut b) = (SrgbTileLanes::new(), SrgbTileLanes::new());
         encode_temporal_frame_into(tile_size, frame, reference, &mut writer, &mut a, &mut b);
         writer.finish()
     }
@@ -406,7 +410,7 @@ mod tests {
     fn identical_frame_is_all_skip_tiles() {
         let reference = random_frame(16, 16, 3);
         let mut writer = BitWriter::new();
-        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let (mut a, mut b) = (SrgbTileLanes::new(), SrgbTileLanes::new());
         let (stats, _) =
             encode_temporal_frame_into(4, &reference, &reference, &mut writer, &mut a, &mut b);
         assert_eq!(stats.skip_tiles, 16);

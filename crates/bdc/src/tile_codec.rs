@@ -1,7 +1,9 @@
 //! The per-tile, per-channel Base+Delta codec.
 
 use crate::stats::SizeBreakdown;
+use pvc_color::lanes::min_max_u8;
 use pvc_color::Srgb8;
+use pvc_frame::SrgbTileLanes;
 use serde::{Deserialize, Serialize};
 
 /// Number of bits used to store a base value (one 8-bit sRGB code value).
@@ -93,12 +95,19 @@ impl TileEncoding {
 /// Panics if `pixels` is empty.
 pub fn encode_tile(pixels: &[Srgb8]) -> TileEncoding {
     assert!(!pixels.is_empty(), "cannot encode an empty tile");
+    // SoA: transpose once, then compute each channel's range and deltas over
+    // a contiguous lane so the min/max reduction and the delta subtraction
+    // vectorize. Integer min/max is order-independent, so the result is
+    // bit-identical to the scalar [`channel_range`] walk.
+    let mut lanes = SrgbTileLanes::new();
+    lanes.fill_from_pixels(pixels);
     let channels = std::array::from_fn(|c| {
-        let (min, max) = channel_range(pixels, c);
+        let lane = lanes.channel(c);
+        let (min, max) = min_max_u8(lane);
         ChannelEncoding {
             base: min,
             delta_bits: bits_for_range(max - min),
-            deltas: pixels.iter().map(|p| p.channel(c) - min).collect(),
+            deltas: lane.iter().map(|&v| v - min).collect(),
         }
     });
     TileEncoding {
@@ -109,10 +118,14 @@ pub fn encode_tile(pixels: &[Srgb8]) -> TileEncoding {
 
 /// The `(min, max)` code values of one channel over a tile.
 ///
+/// Scalar reference walk over AoS pixels; the hot paths use the lane kernel
+/// [`pvc_color::lanes::min_max_u8`] over an SoA gather instead, and the
+/// equivalence suites compare the two.
+///
 /// # Panics
 ///
 /// Panics if `pixels` is empty.
-pub(crate) fn channel_range(pixels: &[Srgb8], channel: usize) -> (u8, u8) {
+pub fn channel_range(pixels: &[Srgb8], channel: usize) -> (u8, u8) {
     assert!(!pixels.is_empty(), "cannot encode an empty tile");
     let mut min = u8::MAX;
     let mut max = u8::MIN;
@@ -228,5 +241,27 @@ mod tests {
     #[should_panic]
     fn empty_tile_panics() {
         let _ = encode_tile(&[]);
+    }
+
+    #[test]
+    fn lane_range_matches_scalar_reference() {
+        // Pixel counts around the 8-wide lane blocking, including remainders.
+        for len in 1..=33usize {
+            let pixels: Vec<Srgb8> = (0..len)
+                .map(|i| {
+                    let v = (i * 37 % 256) as u8;
+                    Srgb8::new(v, v.wrapping_mul(3), v.wrapping_add(91))
+                })
+                .collect();
+            let mut lanes = SrgbTileLanes::new();
+            lanes.fill_from_pixels(&pixels);
+            for channel in 0..3 {
+                assert_eq!(
+                    min_max_u8(lanes.channel(channel)),
+                    channel_range(&pixels, channel),
+                    "len {len} channel {channel}"
+                );
+            }
+        }
     }
 }

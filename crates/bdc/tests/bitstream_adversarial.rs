@@ -21,7 +21,7 @@ use pvc_bdc::{
     BdEncoder, BitWriter, BitstreamError, FrameKind,
 };
 use pvc_color::Srgb8;
-use pvc_frame::{Dimensions, SrgbFrame};
+use pvc_frame::{Dimensions, SrgbFrame, SrgbTileLanes};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -273,7 +273,7 @@ fn temporal_fixture() -> (Vec<u8>, Vec<u8>, SrgbFrame) {
         .encode_frame(&reference)
         .to_bitstream();
     let mut writer = BitWriter::new();
-    let (mut gather, mut reference_gather) = (Vec::new(), Vec::new());
+    let (mut gather, mut reference_gather) = (SrgbTileLanes::new(), SrgbTileLanes::new());
     let (stats, _) = encode_temporal_frame_into(
         4,
         &frame,

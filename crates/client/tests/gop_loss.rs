@@ -13,7 +13,7 @@
 use pvc_bdc::{encode_temporal_frame_into, BdConfig, BdEncoder, BitWriter};
 use pvc_client::{LinkModel, SessionClient};
 use pvc_color::Srgb8;
-use pvc_frame::{Dimensions, SrgbFrame};
+use pvc_frame::{Dimensions, SrgbFrame, SrgbTileLanes};
 use pvc_stream::wire::{write_end, write_frame, write_header};
 use pvc_stream::{ResolutionTier, WireSessionHeader};
 use rand::{Rng, SeedableRng};
@@ -51,7 +51,7 @@ fn intra_stream(frame: &SrgbFrame) -> Vec<u8> {
 
 fn temporal_stream(frame: &SrgbFrame, reference: &SrgbFrame) -> Vec<u8> {
     let mut writer = BitWriter::new();
-    let (mut gather, mut reference_gather) = (Vec::new(), Vec::new());
+    let (mut gather, mut reference_gather) = (SrgbTileLanes::new(), SrgbTileLanes::new());
     encode_temporal_frame_into(
         4,
         frame,

@@ -1,0 +1,169 @@
+//! Shared lane width and chunked reduction kernels for the SoA tile hot path.
+//!
+//! The paper's Color Adjustment Unit processes a whole tile's pixels in
+//! lockstep; the software encoder mirrors that with structure-of-arrays
+//! buffers processed in explicit [`LANE_WIDTH`]-wide groups so the compiler
+//! can autovectorize the inner loops. Every kernel in this module is written
+//! as *compute-then-select*: the loop body is branch-free and the remainder
+//! (`len % LANE_WIDTH`) is handled by a scalar tail, so results are
+//! bit-identical to the naive scalar fold regardless of the input length.
+//!
+//! The constant is exported from `pvc_color` (the lowest crate in the
+//! workspace graph) so the software kernels, the benches, and the hardware
+//! CAU model in `pvc_hw` all agree on one value and cannot silently diverge.
+
+/// Number of pixels processed per SIMD-friendly lane group.
+///
+/// Eight `f64` lanes fill a 512-bit vector register and two 256-bit ones;
+/// the hardware CAU model sizes its per-tile parallelism as a multiple of
+/// this value (a 4×4 tile is exactly `2 * LANE_WIDTH` pixels).
+pub const LANE_WIDTH: usize = 8;
+
+/// Chunked min/max reduction over a slice of `u8` code values.
+///
+/// Returns `(min, max)`. The empty slice returns the fold identities
+/// `(u8::MAX, u8::MIN)`. Integer min/max is associative and commutative, so
+/// the lane-blocked reduction order is bit-identical to a sequential fold.
+///
+/// # Examples
+///
+/// ```
+/// use pvc_color::lanes::min_max_u8;
+/// assert_eq!(min_max_u8(&[5, 1, 9, 3]), (1, 9));
+/// assert_eq!(min_max_u8(&[]), (u8::MAX, u8::MIN));
+/// ```
+#[inline]
+pub fn min_max_u8(values: &[u8]) -> (u8, u8) {
+    let mut min_acc = [u8::MAX; LANE_WIDTH];
+    let mut max_acc = [u8::MIN; LANE_WIDTH];
+    let mut chunks = values.chunks_exact(LANE_WIDTH);
+    for chunk in &mut chunks {
+        for i in 0..LANE_WIDTH {
+            min_acc[i] = min_acc[i].min(chunk[i]);
+            max_acc[i] = max_acc[i].max(chunk[i]);
+        }
+    }
+    let mut min = u8::MAX;
+    let mut max = u8::MIN;
+    for i in 0..LANE_WIDTH {
+        min = min.min(min_acc[i]);
+        max = max.max(max_acc[i]);
+    }
+    for &v in chunks.remainder() {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+/// Chunked maximum over a slice of `f64` values (identity `NEG_INFINITY`).
+///
+/// For inputs free of NaN this is bit-identical to
+/// `values.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))`: `f64::max` is
+/// associative and commutative on non-NaN values and always returns one of
+/// its arguments, so the lane-blocked order returns the same maximum.
+///
+/// # Examples
+///
+/// ```
+/// use pvc_color::lanes::max_f64;
+/// assert_eq!(max_f64(&[0.25, -1.0, 3.5, 2.0]), 3.5);
+/// assert_eq!(max_f64(&[]), f64::NEG_INFINITY);
+/// ```
+#[inline]
+pub fn max_f64(values: &[f64]) -> f64 {
+    let mut acc = [f64::NEG_INFINITY; LANE_WIDTH];
+    let mut chunks = values.chunks_exact(LANE_WIDTH);
+    for chunk in &mut chunks {
+        for i in 0..LANE_WIDTH {
+            acc[i] = acc[i].max(chunk[i]);
+        }
+    }
+    let mut max = f64::NEG_INFINITY;
+    for lane in acc {
+        max = max.max(lane);
+    }
+    for &v in chunks.remainder() {
+        max = max.max(v);
+    }
+    max
+}
+
+/// Chunked minimum over a slice of `f64` values (identity `INFINITY`).
+///
+/// Same bit-identity argument as [`max_f64`].
+///
+/// # Examples
+///
+/// ```
+/// use pvc_color::lanes::min_f64;
+/// assert_eq!(min_f64(&[0.25, -1.0, 3.5, 2.0]), -1.0);
+/// assert_eq!(min_f64(&[]), f64::INFINITY);
+/// ```
+#[inline]
+pub fn min_f64(values: &[f64]) -> f64 {
+    let mut acc = [f64::INFINITY; LANE_WIDTH];
+    let mut chunks = values.chunks_exact(LANE_WIDTH);
+    for chunk in &mut chunks {
+        for i in 0..LANE_WIDTH {
+            acc[i] = acc[i].min(chunk[i]);
+        }
+    }
+    let mut min = f64::INFINITY;
+    for lane in acc {
+        min = min.min(lane);
+    }
+    for &v in chunks.remainder() {
+        min = min.min(v);
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_min_max_u8(values: &[u8]) -> (u8, u8) {
+        values
+            .iter()
+            .fold((u8::MAX, u8::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+    }
+
+    #[test]
+    fn u8_reduction_matches_scalar_fold_for_all_remainders() {
+        // Lengths 0..=33 cover empty, sub-lane, exact-lane, and remainder
+        // shapes around the 8-wide blocking.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for len in 0..=33usize {
+            let values: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 56) as u8
+                })
+                .collect();
+            assert_eq!(min_max_u8(&values), scalar_min_max_u8(&values));
+        }
+    }
+
+    #[test]
+    fn f64_reductions_match_scalar_fold_for_all_remainders() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for len in 0..=33usize {
+            let values: Vec<f64> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+                })
+                .collect();
+            let max_ref = values.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            let min_ref = values.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            assert_eq!(max_f64(&values).to_bits(), max_ref.to_bits());
+            assert_eq!(min_f64(&values).to_bits(), min_ref.to_bits());
+        }
+    }
+
+    #[test]
+    fn lane_width_is_a_power_of_two() {
+        assert!(LANE_WIDTH.is_power_of_two());
+    }
+}

@@ -33,6 +33,7 @@
 pub mod discrimination;
 pub mod dkl;
 pub mod ellipsoid;
+pub mod lanes;
 pub mod math;
 pub mod srgb;
 
@@ -42,7 +43,10 @@ pub use discrimination::{
 };
 pub use dkl::{dkl_axis_rgb_gain, dkl_to_rgb_matrix, rgb_to_dkl_matrix, DklColor, RGB_TO_DKL};
 pub use ellipsoid::{AxisExtrema, DiscriminationEllipsoid, EllipsoidAxes, RgbAxis, RgbQuadric};
+pub use lanes::LANE_WIDTH;
 pub use math::{Mat3, Vec3};
 pub use srgb::{
-    linear_to_srgb, linear_to_srgb8, srgb8_to_linear, srgb_to_linear, LinearRgb, Srgb8,
+    linear_to_srgb, linear_to_srgb8, linear_to_srgb8_reference, linear_to_srgb8_slice,
+    linear_to_srgb_slice, srgb8_to_linear, srgb8_to_linear_reference, srgb8_to_linear_slice,
+    srgb_to_linear, srgb_to_linear_slice, LinearRgb, Srgb8,
 };

@@ -6,8 +6,10 @@
 //! transfer function `f_s2r`. The Base+Delta codec and therefore the bit-cost
 //! objective of the perceptual encoder operate on the sRGB representation.
 
+use crate::lanes::LANE_WIDTH;
 use crate::math::Vec3;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// The linear-RGB threshold below which the sRGB transfer function is linear.
 pub const SRGB_LINEAR_THRESHOLD: f64 = 0.003_130_8;
@@ -49,19 +51,241 @@ pub fn srgb_to_linear(x: f64) -> f64 {
     }
 }
 
-/// Quantizes a linear RGB channel in `[0, 1]` to an 8-bit sRGB code value.
+/// Scalar `powf`-based reference for [`linear_to_srgb8`].
 ///
-/// This is the full `f_s2r` of Eq. 1 including the integer quantization; the
-/// paper's bit-cost objective is defined over these 8-bit values.
+/// This is the full `f_s2r` of Eq. 1 including the integer quantization,
+/// written exactly as the paper states it. The production quantizer
+/// ([`linear_to_srgb8`]) is an exact-by-construction LUT whose decision
+/// thresholds are bisected against *this* function at startup; the dense-sweep
+/// equivalence suite pins the two bit-identical.
 #[inline]
-pub fn linear_to_srgb8(x: f64) -> u8 {
+pub fn linear_to_srgb8_reference(x: f64) -> u8 {
     (linear_to_srgb(x) * 255.0).round().clamp(0.0, 255.0) as u8
 }
 
+/// Scalar `powf`-based reference for [`srgb8_to_linear`].
+#[inline]
+pub fn srgb8_to_linear_reference(v: u8) -> f64 {
+    srgb_to_linear(f64::from(v) / 255.0)
+}
+
+/// Number of bins in the coarse code-guess table of the encode LUT.
+///
+/// The quantizer's steepest slope is `12.92 * 255 ≈ 3295` codes per unit of
+/// linear input, so consecutive code decision thresholds are at least
+/// `1/3295 ≈ 3.03e-4` apart. With 8192 bins each bin spans
+/// `1/8192 ≈ 1.22e-4 < 3.03e-4`, so at most one threshold falls inside any
+/// bin and a guessed code needs at most a single `+1` correction. The table
+/// builder asserts this invariant rather than trusting the arithmetic.
+const ENCODE_GUESS_BINS: usize = 8192;
+
+/// Exact sRGB8 encode tables: 256 bisected decision thresholds plus a coarse
+/// per-bin code guess. Built once per process from the `powf` reference.
+struct EncodeTables {
+    /// `thresholds[v]` is the smallest `f64` in `[0, 1]` whose reference code
+    /// is at least `v`; `thresholds[256]` is `INFINITY` so the `+1` lookup is
+    /// always in bounds.
+    thresholds: [f64; 257],
+    /// Code of each bin's left edge; the true code of any `x` in the bin is
+    /// `guess` or `guess + 1` (asserted at build time).
+    guess: [u8; ENCODE_GUESS_BINS],
+}
+
+fn encode_tables() -> &'static EncodeTables {
+    static TABLES: OnceLock<EncodeTables> = OnceLock::new();
+    TABLES.get_or_init(build_encode_tables)
+}
+
+fn build_encode_tables() -> EncodeTables {
+    let mut thresholds = [0.0f64; 257];
+    for v in 1..=255u16 {
+        // Bisect on the bit pattern: for non-negative f64 the integer order
+        // of the bits matches the numeric order, so this finds the exact
+        // smallest representable x whose reference code reaches v.
+        let mut lo = 0.0f64.to_bits();
+        let mut hi = 1.0f64.to_bits();
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if u16::from(linear_to_srgb8_reference(f64::from_bits(mid))) >= v {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        thresholds[v as usize] = f64::from_bits(hi);
+    }
+    thresholds[256] = f64::INFINITY;
+
+    let mut guess = [0u8; ENCODE_GUESS_BINS];
+    for (bin, slot) in guess.iter_mut().enumerate() {
+        *slot = linear_to_srgb8_reference(bin as f64 / ENCODE_GUESS_BINS as f64);
+    }
+    for bin in 0..ENCODE_GUESS_BINS - 1 {
+        assert!(
+            guess[bin + 1] <= guess[bin].saturating_add(1),
+            "sRGB encode LUT bin {bin} spans more than one code boundary"
+        );
+    }
+    assert!(
+        guess[ENCODE_GUESS_BINS - 1] >= 254,
+        "sRGB encode LUT final bin is too far from code 255"
+    );
+    EncodeTables { thresholds, guess }
+}
+
+fn decode_table() -> &'static [f64; 256] {
+    static TABLE: OnceLock<[f64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0.0f64; 256];
+        for (v, slot) in table.iter_mut().enumerate() {
+            *slot = srgb8_to_linear_reference(v as u8);
+        }
+        table
+    })
+}
+
+/// Quantizes a linear RGB channel in `[0, 1]` to an 8-bit sRGB code value.
+///
+/// This is the full `f_s2r` of Eq. 1 including the integer quantization; the
+/// paper's bit-cost objective is defined over these 8-bit values. The
+/// implementation is a `powf`-free exact LUT: a coarse bin lookup yields a
+/// code guess, and a single compare against the bisected decision threshold
+/// applies the at-most-one `+1` correction. Output is bit-identical to
+/// [`linear_to_srgb8_reference`] for every `f64` input including NaN and
+/// infinities (NaN maps to 0, like the reference's saturating cast).
+#[inline]
+pub fn linear_to_srgb8(x: f64) -> u8 {
+    encode_one(encode_tables(), x)
+}
+
 /// Expands an 8-bit sRGB code value into a linear RGB channel in `[0, 1]`.
+///
+/// LUT-backed: the 256 entries are computed once per process with
+/// [`srgb8_to_linear_reference`], so the result is trivially bit-identical.
 #[inline]
 pub fn srgb8_to_linear(v: u8) -> f64 {
-    srgb_to_linear(f64::from(v) / 255.0)
+    decode_table()[v as usize]
+}
+
+/// Applies [`linear_to_srgb`] element-wise with a branch-free select.
+///
+/// Both sides of the piecewise transfer function are evaluated and the
+/// result is chosen with a mask-select, so the loop body has no data-dependent
+/// branch and autovectorizes. Bit-identical to the scalar function: both
+/// branch expressions are pure, so evaluating the untaken one cannot change
+/// the selected value.
+///
+/// # Panics
+///
+/// Panics if `input` and `out` have different lengths.
+pub fn linear_to_srgb_slice(input: &[f64], out: &mut [f64]) {
+    assert_eq!(input.len(), out.len(), "slice kernel length mismatch");
+    for (&x, slot) in input.iter().zip(out.iter_mut()) {
+        let x = x.clamp(0.0, 1.0);
+        let linear = 12.92 * x;
+        let power = 1.055 * x.powf(1.0 / 2.4) - 0.055;
+        *slot = if x <= SRGB_LINEAR_THRESHOLD {
+            linear
+        } else {
+            power
+        };
+    }
+}
+
+/// Applies [`srgb_to_linear`] element-wise with a branch-free select.
+///
+/// Same mask-select construction (and the same bit-identity argument) as
+/// [`linear_to_srgb_slice`].
+///
+/// # Panics
+///
+/// Panics if `input` and `out` have different lengths.
+pub fn srgb_to_linear_slice(input: &[f64], out: &mut [f64]) {
+    assert_eq!(input.len(), out.len(), "slice kernel length mismatch");
+    for (&x, slot) in input.iter().zip(out.iter_mut()) {
+        let x = x.clamp(0.0, 1.0);
+        let linear = x / 12.92;
+        let power = ((x + 0.055) / 1.055).powf(2.4);
+        *slot = if x <= SRGB_ENCODED_THRESHOLD {
+            linear
+        } else {
+            power
+        };
+    }
+}
+
+/// Quantizes a slice of linear channel values to 8-bit sRGB codes in
+/// [`LANE_WIDTH`]-wide groups.
+///
+/// This is the hot gamma/quantization kernel: per element it is the same
+/// LUT lookup as [`linear_to_srgb8`], arranged in explicit 8-wide lanes with
+/// a scalar tail for the remainder, so the compiler vectorizes the bin math
+/// while every element remains bit-identical to the scalar call.
+///
+/// # Panics
+///
+/// Panics if `input` and `out` have different lengths.
+pub fn linear_to_srgb8_slice(input: &[f64], out: &mut [u8]) {
+    assert_eq!(input.len(), out.len(), "slice kernel length mismatch");
+    let tables = encode_tables();
+    let mut in_chunks = input.chunks_exact(LANE_WIDTH);
+    let mut out_chunks = out.chunks_exact_mut(LANE_WIDTH);
+    for (chunk, slots) in (&mut in_chunks).zip(&mut out_chunks) {
+        for i in 0..LANE_WIDTH {
+            slots[i] = encode_one(tables, chunk[i]);
+        }
+    }
+    for (&x, slot) in in_chunks
+        .remainder()
+        .iter()
+        .zip(out_chunks.into_remainder().iter_mut())
+    {
+        *slot = encode_one(tables, x);
+    }
+}
+
+/// Expands a slice of 8-bit sRGB codes to linear values in
+/// [`LANE_WIDTH`]-wide groups. Bit-identical to [`srgb8_to_linear`] per
+/// element.
+///
+/// # Panics
+///
+/// Panics if `input` and `out` have different lengths.
+pub fn srgb8_to_linear_slice(input: &[u8], out: &mut [f64]) {
+    assert_eq!(input.len(), out.len(), "slice kernel length mismatch");
+    let table = decode_table();
+    let mut in_chunks = input.chunks_exact(LANE_WIDTH);
+    let mut out_chunks = out.chunks_exact_mut(LANE_WIDTH);
+    for (chunk, slots) in (&mut in_chunks).zip(&mut out_chunks) {
+        for i in 0..LANE_WIDTH {
+            slots[i] = table[chunk[i] as usize];
+        }
+    }
+    for (&v, slot) in in_chunks
+        .remainder()
+        .iter()
+        .zip(out_chunks.into_remainder().iter_mut())
+    {
+        *slot = table[v as usize];
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn encode_one(tables: &EncodeTables, x: f64) -> u8 {
+    // `!(x > 0.0)` also catches NaN, matching the reference where a NaN
+    // propagates to the final `as u8` cast and saturates to 0.
+    if !(x > 0.0) {
+        return 0;
+    }
+    if x >= 1.0 {
+        return 255;
+    }
+    // Multiplying by a power of two is exact, so the cast is an exact floor
+    // and x lies in [bin / BINS, (bin + 1) / BINS).
+    let bin = (x * ENCODE_GUESS_BINS as f64) as usize;
+    let code = tables.guess[bin];
+    code + u8::from(x >= tables.thresholds[code as usize + 1])
 }
 
 /// A color in the linear RGB working space, each channel in `[0, 1]`.
@@ -375,6 +599,79 @@ mod tests {
     fn quantization_clamps_out_of_range() {
         assert_eq!(linear_to_srgb8(-0.5), 0);
         assert_eq!(linear_to_srgb8(2.0), 255);
+    }
+
+    #[test]
+    fn lut_quantizer_matches_reference_on_grid_and_specials() {
+        for i in 0..=20_000 {
+            let x = f64::from(i) / 20_000.0;
+            assert_eq!(
+                linear_to_srgb8(x),
+                linear_to_srgb8_reference(x),
+                "mismatch at {x}"
+            );
+        }
+        for x in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+            1.0,
+            -1.0,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            1.0 - f64::EPSILON,
+        ] {
+            assert_eq!(
+                linear_to_srgb8(x),
+                linear_to_srgb8_reference(x),
+                "mismatch at special {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_lut_matches_reference_for_all_codes() {
+        for v in 0..=255u8 {
+            assert_eq!(
+                srgb8_to_linear(v).to_bits(),
+                srgb8_to_linear_reference(v).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar_for_all_remainder_lengths() {
+        let mut state = 0x853C49E6748FEA9Bu64;
+        for len in 0..=33usize {
+            let input: Vec<f64> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((state >> 11) as f64 / (1u64 << 53) as f64) * 1.4 - 0.2
+                })
+                .collect();
+            let mut encoded = vec![0.0; len];
+            linear_to_srgb_slice(&input, &mut encoded);
+            for (x, y) in input.iter().zip(&encoded) {
+                assert_eq!(y.to_bits(), linear_to_srgb(*x).to_bits());
+            }
+            let mut decoded = vec![0.0; len];
+            srgb_to_linear_slice(&input, &mut decoded);
+            for (x, y) in input.iter().zip(&decoded) {
+                assert_eq!(y.to_bits(), srgb_to_linear(*x).to_bits());
+            }
+            let mut codes = vec![0u8; len];
+            linear_to_srgb8_slice(&input, &mut codes);
+            for (x, c) in input.iter().zip(&codes) {
+                assert_eq!(*c, linear_to_srgb8_reference(*x));
+            }
+            let mut expanded = vec![0.0; len];
+            srgb8_to_linear_slice(&codes, &mut expanded);
+            for (c, y) in codes.iter().zip(&expanded) {
+                assert_eq!(y.to_bits(), srgb8_to_linear_reference(*c).to_bits());
+            }
+        }
     }
 
     #[test]

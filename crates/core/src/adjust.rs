@@ -19,7 +19,10 @@
 //! it would leave `[0, 1]`.
 
 use pvc_bdc::tile_codec::bits_for_range;
+use pvc_color::lanes::{max_f64, min_f64, min_max_u8};
+use pvc_color::srgb::linear_to_srgb8_slice;
 use pvc_color::{AxisExtrema, DiscriminationEllipsoid, LinearRgb, RgbAxis, Vec3};
+use pvc_frame::LinearTileLanes;
 use serde::{Deserialize, Serialize};
 
 /// Which of the two geometric cases of Fig. 6 a tile fell into.
@@ -92,6 +95,10 @@ impl TileAdjustment {
 
 /// Σ over channels of the per-Δ bit length × pixel count for a tile of
 /// linear-RGB pixels, measured after sRGB quantization.
+///
+/// Scalar reference walk over AoS pixels; the hot path
+/// ([`adjust_tile_with`]) computes the same quantity over SoA lanes with
+/// [`delta_bit_cost_lanes`], and the equivalence tests compare the two.
 fn delta_bit_cost(pixels: &[LinearRgb]) -> u64 {
     let mut total = 0u64;
     for channel in 0..3 {
@@ -161,10 +168,149 @@ fn clamp_step_to_gamut(origin: Vec3, direction: Vec3, t: f64) -> f64 {
     limit * sign
 }
 
+/// Per-axis SoA working buffers for the vectorized adjustment path.
+///
+/// Each `Vec` is one contiguous lane the 8-wide kernels stream over: the
+/// per-pixel extrema direction components (`dir_*`), the low/high plane
+/// values the HL/LH reduction consumes, the candidate and best-so-far
+/// output pixel lanes, and a code lane for the Δ-bit costing. All buffers
+/// are cleared, never shrunk, so the steady state performs no allocation.
+#[derive(Debug, Clone, Default)]
+struct AdjustLanes {
+    pixels: LinearTileLanes,
+    dir_x: Vec<f64>,
+    dir_y: Vec<f64>,
+    dir_z: Vec<f64>,
+    low: Vec<f64>,
+    high: Vec<f64>,
+    out: LinearTileLanes,
+    best: LinearTileLanes,
+    codes: Vec<u8>,
+}
+
+impl AdjustLanes {
+    /// Refills the per-axis direction and plane-value lanes from the
+    /// scalar extrema.
+    fn fill_axis(&mut self, extrema: &[AxisExtrema]) {
+        self.dir_x.clear();
+        self.dir_y.clear();
+        self.dir_z.clear();
+        self.low.clear();
+        self.high.clear();
+        for ext in extrema {
+            let d = ext.extrema_vector();
+            self.dir_x.push(d.x);
+            self.dir_y.push(d.y);
+            self.dir_z.push(d.z);
+            self.low.push(ext.low_value());
+            self.high.push(ext.high_value());
+        }
+    }
+}
+
+/// [`delta_bit_cost`] computed over SoA lanes: each channel lane is
+/// quantized with the sRGB encode-LUT slice kernel and reduced with the
+/// chunked min/max. Bit-identical to the scalar walk because the
+/// per-element quantizer is the same function and integer min/max is
+/// order-independent.
+fn delta_bit_cost_lanes(lanes: &LinearTileLanes, codes: &mut Vec<u8>) -> u64 {
+    let n = lanes.len();
+    let mut total = 0u64;
+    for channel in 0..3 {
+        codes.clear();
+        codes.resize(n, 0);
+        linear_to_srgb8_slice(lanes.channel(channel), codes);
+        let (min, max) = min_max_u8(codes);
+        total += u64::from(bits_for_range(max - min)) * n as u64;
+    }
+    total
+}
+
+/// The vectorized Phase 3 color shift: moves every pixel lane-wise toward
+/// its target plane with a branch-free compute-then-select form of
+/// [`move_along_extrema`].
+///
+/// Every arithmetic operation matches the scalar path in value and order
+/// (clamp to the chord, then the three-channel gamut walk in RGB order with
+/// the limit chained through), so moved lanes produce bit-identical colors;
+/// unmoved lanes (an in-range case-1 pixel, or a degenerate axis span) pass
+/// the original pixel bits through the final select, which also discards
+/// whatever the speculative arithmetic produced for them (including the
+/// infinities and NaNs a near-zero span divides into).
+fn lane_axis_adjust(
+    pixels: &LinearTileLanes,
+    dirs: (&[f64], &[f64], &[f64]),
+    axis: RgbAxis,
+    hl: f64,
+    lh: f64,
+    out: &mut LinearTileLanes,
+) -> AdjustmentCase {
+    let n = pixels.len();
+    out.r.clear();
+    out.r.resize(n, 0.0);
+    out.g.clear();
+    out.g.resize(n, 0.0);
+    out.b.clear();
+    out.b.resize(n, 0.0);
+    let (px, py, pz) = (&pixels.r[..n], &pixels.g[..n], &pixels.b[..n]);
+    let (dx, dy, dz) = (&dirs.0[..n], &dirs.1[..n], &dirs.2[..n]);
+    let cur: &[f64] = match axis.index() {
+        0 => px,
+        1 => py,
+        _ => pz,
+    };
+    let span: &[f64] = match axis.index() {
+        0 => dx,
+        1 => dy,
+        _ => dz,
+    };
+    let common_plane = hl <= lh;
+    let plane = 0.5 * (hl + lh);
+    let (or_, og, ob) = (&mut out.r[..], &mut out.g[..], &mut out.b[..]);
+    for i in 0..n {
+        let value = cur[i];
+        // Which plane this pixel moves toward, and whether it moves at all.
+        let (target, wants_move) = if common_plane {
+            (plane, true)
+        } else {
+            let target = if value > hl { hl } else { lh };
+            (target, value > hl || value < lh)
+        };
+        let active = span[i].abs() > f64::EPSILON;
+        let t0 = ((target - value) / span[i]).clamp(-0.5, 0.5);
+        // clamp_step_to_gamut, unrolled with the limit chained in RGB order.
+        let sign = t0.signum();
+        let mut limit = t0.abs();
+        for (d, o) in [(dx[i], px[i]), (dy[i], py[i]), (dz[i], pz[i])] {
+            let d = d * sign;
+            let room = if d > 0.0 {
+                (1.0 - o) / d
+            } else {
+                (0.0 - o) / d
+            };
+            limit = if d.abs() > f64::EPSILON && room < limit {
+                room.max(0.0)
+            } else {
+                limit
+            };
+        }
+        let t = if t0 == 0.0 { 0.0 } else { limit * sign };
+        let moved = wants_move && active;
+        or_[i] = if moved { px[i] + dx[i] * t } else { px[i] };
+        og[i] = if moved { py[i] + dy[i] * t } else { py[i] };
+        ob[i] = if moved { pz[i] + dz[i] * t } else { pz[i] };
+    }
+    if common_plane {
+        AdjustmentCase::CommonPlane
+    } else {
+        AdjustmentCase::NoCommonPlane
+    }
+}
+
 /// Reusable buffers for per-tile adjustment: the tile's gathered pixels
 /// and ellipsoids (filled by the caller) plus the per-axis working buffers
-/// (extrema, candidate and best-so-far pixel sets) the adjustment cycles
-/// through internally.
+/// (extrema, SoA lanes and the best-so-far pixel set) the adjustment
+/// cycles through internally.
 ///
 /// One scratch serves an unbounded stream of tiles: every buffer is
 /// cleared, never shrunk, so after the first few tiles the hot loop of
@@ -179,7 +325,7 @@ pub struct AdjustScratch {
     /// One discrimination ellipsoid per pixel, built by the caller.
     pub ellipsoids: Vec<DiscriminationEllipsoid>,
     extrema: Vec<AxisExtrema>,
-    candidate: Vec<LinearRgb>,
+    lanes: AdjustLanes,
     best: Vec<LinearRgb>,
 }
 
@@ -313,10 +459,15 @@ pub fn adjust_tile_along_axis(
 /// the smallest Δ bit cost. The winning pixels land in
 /// [`AdjustScratch::best`]; only metadata is returned.
 ///
-/// Bit-identical to [`adjust_tile`] on the same inputs — the scratch only
-/// changes where the intermediate buffers live, never a single computed
-/// value. Ties between axes resolve to the first axis tried, matching
-/// `Iterator::min_by_key`.
+/// This is the vectorized path: the tile is transposed into SoA lanes
+/// once, every axis attempt runs the lane kernels (`lane_axis_adjust`,
+/// `delta_bit_cost_lanes`, the chunked HL/LH reductions), and only the
+/// winning lanes are scattered back to AoS. Bit-identical to
+/// [`adjust_tile`] and to the scalar per-axis reference
+/// ([`adjust_tile_along_axis`]) on the same inputs — the lanes only change
+/// where intermediate values live and the order of order-independent
+/// reductions, never a single computed value. Ties between axes resolve to
+/// the first axis tried, matching `Iterator::min_by_key`.
 ///
 /// # Panics
 ///
@@ -331,17 +482,47 @@ pub fn adjust_tile_with(scratch: &mut AdjustScratch, axes: &[RgbAxis]) -> TileAd
         pixels,
         ellipsoids,
         extrema,
-        candidate,
+        lanes,
         best,
     } = scratch;
-    let original_cost = delta_bit_cost(pixels);
+    assert_eq!(
+        pixels.len(),
+        ellipsoids.len(),
+        "one ellipsoid per pixel is required"
+    );
+    assert!(!pixels.is_empty(), "cannot adjust an empty tile");
+
+    // Gather the tile into SoA lanes once; every axis attempt reads them.
+    lanes.pixels.fill_from_pixels(pixels);
+    let original_cost = delta_bit_cost_lanes(&lanes.pixels, &mut lanes.codes);
     let mut chosen: Option<TileAdjustOutcome> = None;
     for &axis in axes {
-        let (case, hl, lh) = axis_adjust_into(pixels, ellipsoids, axis, extrema, candidate);
-        let adjusted_cost = delta_bit_cost(candidate);
+        // Phase 1: per-pixel extrema (the Compute Extrema blocks of the
+        // CAU), split into direction and plane-value lanes.
+        extrema.clear();
+        extrema.extend(ellipsoids.iter().map(|e| e.extrema_along_axis(axis)));
+        lanes.fill_axis(extrema);
+
+        // Phase 2: HL / LH reduction (the Compute Planes blocks). The
+        // chunked reductions visit values in a different order than a
+        // scalar fold, which is harmless: f64 max/min are associative and
+        // commutative over the non-NaN values extrema produce.
+        let hl = max_f64(&lanes.low);
+        let lh = min_f64(&lanes.high);
+
+        // Phase 3: color shifts (the Color Shift blocks), lane-wise.
+        let case = lane_axis_adjust(
+            &lanes.pixels,
+            (&lanes.dir_x, &lanes.dir_y, &lanes.dir_z),
+            axis,
+            hl,
+            lh,
+            &mut lanes.out,
+        );
+        let adjusted_cost = delta_bit_cost_lanes(&lanes.out, &mut lanes.codes);
         // Strict `<` keeps the first minimal axis, like min_by_key.
         if chosen.map_or(true, |c| adjusted_cost < c.adjusted_cost) {
-            std::mem::swap(candidate, best);
+            std::mem::swap(&mut lanes.out, &mut lanes.best);
             chosen = Some(TileAdjustOutcome {
                 axis,
                 case,
@@ -359,6 +540,9 @@ pub fn adjust_tile_with(scratch: &mut AdjustScratch, axes: &[RgbAxis]) -> TileAd
         best.clear();
         best.extend_from_slice(pixels);
         outcome.adjusted_cost = original_cost;
+    } else {
+        // Scatter the winning lanes back to AoS once per tile.
+        lanes.best.scatter_into(best);
     }
     outcome
 }
@@ -578,6 +762,55 @@ mod tests {
             outcome.adjusted_cost <= outcome.original_cost,
             "the no-regress guard must hold"
         );
+    }
+
+    #[test]
+    fn lane_path_matches_the_scalar_reference_composition() {
+        // Rebuild adjust_tile_with's axis selection from the scalar
+        // per-axis reference and require bit-identical pixels, plane
+        // values and costs from the lane path.
+        for (pixels, ecc) in [
+            (similar_tile(), 25.0),
+            (diverse_tile(), 10.0),
+            (similar_tile(), 0.01),
+            (vec![LinearRgb::new(0.3, 0.4, 0.5)], 15.0),
+        ] {
+            let ellipsoids = ellipsoids_for(&pixels, ecc);
+            let mut scratch = AdjustScratch::new();
+            scratch.pixels.extend_from_slice(&pixels);
+            scratch.ellipsoids.extend_from_slice(&ellipsoids);
+            let outcome = adjust_tile_with(&mut scratch, &RgbAxis::OPTIMIZED);
+
+            // Scalar reference: first axis with strictly minimal cost.
+            let mut expected: Option<AxisAdjustment> = None;
+            for &axis in &RgbAxis::OPTIMIZED {
+                let attempt = adjust_tile_along_axis(&pixels, &ellipsoids, axis);
+                if expected
+                    .as_ref()
+                    .map_or(true, |b| attempt.delta_bit_cost() < b.delta_bit_cost())
+                {
+                    expected = Some(attempt);
+                }
+            }
+            let expected = expected.unwrap();
+            let original_cost = delta_bit_cost(&pixels);
+            assert_eq!(outcome.axis, expected.axis, "ecc {ecc}");
+            assert_eq!(outcome.case, expected.case, "ecc {ecc}");
+            assert_eq!(outcome.hl, expected.hl, "ecc {ecc}");
+            assert_eq!(outcome.lh, expected.lh, "ecc {ecc}");
+            assert_eq!(outcome.original_cost, original_cost, "ecc {ecc}");
+            if expected.delta_bit_cost() >= original_cost {
+                assert_eq!(scratch.best(), &pixels[..], "ecc {ecc}");
+                assert_eq!(outcome.adjusted_cost, original_cost, "ecc {ecc}");
+            } else {
+                assert_eq!(scratch.best(), &expected.adjusted[..], "ecc {ecc}");
+                assert_eq!(
+                    outcome.adjusted_cost,
+                    expected.delta_bit_cost(),
+                    "ecc {ecc}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@ use pvc_bdc::{
 };
 use pvc_color::{DiscriminationModel, LinearRgb, Srgb8};
 use pvc_fovea::{DisplayGeometry, EccentricityMap, GazePoint};
-use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, TileGrid, TileRect};
+use pvc_frame::{Dimensions, LinearFrame, SrgbFrame, SrgbTileLanes, TileGrid, TileRect};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -485,11 +485,11 @@ pub struct StreamScratch {
     adjusted: LinearFrame,
     srgb: SrgbFrame,
     writer: BitWriter,
-    gather: Vec<Srgb8>,
-    /// Reference-tile gather buffer for temporal encodes. Pure scratch —
+    gather: SrgbTileLanes,
+    /// Reference-tile gather lanes for temporal encodes. Pure scratch —
     /// the bit-relevant previous frame lives in [`TemporalHistory`], so a
     /// shard worker can keep sharing one scratch across all its sessions.
-    reference_gather: Vec<Srgb8>,
+    reference_gather: SrgbTileLanes,
     timing: StageNanos,
 }
 
@@ -501,8 +501,8 @@ impl Default for StreamScratch {
             adjusted: LinearFrame::filled(Dimensions::new(1, 1), LinearRgb::BLACK),
             srgb: SrgbFrame::filled(Dimensions::new(1, 1), Srgb8::default()),
             writer: BitWriter::new(),
-            gather: Vec::new(),
-            reference_gather: Vec::new(),
+            gather: SrgbTileLanes::new(),
+            reference_gather: SrgbTileLanes::new(),
             timing: StageNanos::default(),
         }
     }

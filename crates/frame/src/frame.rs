@@ -214,17 +214,29 @@ macro_rules! impl_frame_common {
             ///
             /// Panics if the tile extends outside the frame.
             pub fn tile_pixels_into(&self, tile: TileRect, out: &mut Vec<$pixel>) {
+                out.clear();
+                out.reserve(tile.pixel_count());
+                self.for_each_tile_row(tile, |row| out.extend_from_slice(row));
+            }
+
+            /// Visits each row of a tile as a contiguous pixel slice.
+            ///
+            /// Shared row-walk behind the AoS and SoA tile gathers, so both
+            /// traverse pixels in the identical row-major order.
+            pub(crate) fn for_each_tile_row(
+                &self,
+                tile: TileRect,
+                mut visit: impl FnMut(&[$pixel]),
+            ) {
                 assert!(
                     tile.x + tile.width <= self.dimensions.width
                         && tile.y + tile.height <= self.dimensions.height,
                     "tile extends outside the frame"
                 );
-                out.clear();
-                out.reserve(tile.pixel_count());
                 let width = self.dimensions.width as usize;
                 for dy in 0..tile.height as usize {
                     let row_start = (tile.y as usize + dy) * width + tile.x as usize;
-                    out.extend_from_slice(&self.pixels[row_start..row_start + tile.width as usize]);
+                    visit(&self.pixels[row_start..row_start + tile.width as usize]);
                 }
             }
 
@@ -340,10 +352,38 @@ impl LinearFrame {
     /// Gamma-encodes into a caller-provided sRGB frame, reusing its pixel
     /// buffer. Produces exactly [`Self::to_srgb`]'s result without the
     /// per-frame allocation.
+    ///
+    /// The conversion transposes fixed-size pixel blocks into per-channel
+    /// lanes on the stack and quantizes them with the vectorized
+    /// [`pvc_color::linear_to_srgb8_slice`] kernel, which is bit-identical to the
+    /// per-pixel [`LinearRgb::to_srgb8`] path.
     pub fn to_srgb_into(&self, out: &mut SrgbFrame) {
+        use pvc_color::{lanes::LANE_WIDTH, linear_to_srgb8_slice};
+
+        const BLOCK: usize = 4 * LANE_WIDTH;
         out.dimensions = self.dimensions;
         out.pixels.clear();
-        out.pixels.extend(self.pixels.iter().map(|p| p.to_srgb8()));
+        out.pixels.resize(self.pixels.len(), Srgb8::default());
+        let mut r = [0.0f64; BLOCK];
+        let mut g = [0.0f64; BLOCK];
+        let mut b = [0.0f64; BLOCK];
+        let mut cr = [0u8; BLOCK];
+        let mut cg = [0u8; BLOCK];
+        let mut cb = [0u8; BLOCK];
+        for (src, dst) in self.pixels.chunks(BLOCK).zip(out.pixels.chunks_mut(BLOCK)) {
+            let n = src.len();
+            for (i, p) in src.iter().enumerate() {
+                r[i] = p.r;
+                g[i] = p.g;
+                b[i] = p.b;
+            }
+            linear_to_srgb8_slice(&r[..n], &mut cr[..n]);
+            linear_to_srgb8_slice(&g[..n], &mut cg[..n]);
+            linear_to_srgb8_slice(&b[..n], &mut cb[..n]);
+            for (i, q) in dst.iter_mut().enumerate() {
+                *q = Srgb8::new(cr[i], cg[i], cb[i]);
+            }
+        }
     }
 
     /// Clamps every pixel into the `[0, 1]` gamut.

@@ -32,7 +32,9 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod lanes;
 pub mod tile;
 
 pub use frame::{Dimensions, FrameError, LinearFrame, SrgbFrame};
+pub use lanes::{LinearTileLanes, SrgbTileLanes};
 pub use tile::{TileGrid, TileRect, Tiles, DEFAULT_TILE_SIZE};

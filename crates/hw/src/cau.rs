@@ -1,5 +1,6 @@
 //! The Color Adjustment Unit (CAU) hardware model.
 
+use pvc_color::lanes::LANE_WIDTH;
 use pvc_frame::Dimensions;
 use serde::{Deserialize, Serialize};
 
@@ -58,7 +59,9 @@ impl Default for CauConfig {
             cycle_time_ns: 6.0,
             pe_count: 96,
             phases_per_tile: 3,
-            pixels_per_tile: 16,
+            // A 4×4 tile holds exactly two software lane groups, so the
+            // hardware PE width stays in lockstep with the SoA kernels.
+            pixels_per_tile: (2 * LANE_WIDTH) as u32,
             pe_area_mm2: 0.022,
             pe_power_uw: 2.1,
             pending_buffer_kib: 36.0,
@@ -84,6 +87,10 @@ impl CauModel {
         assert!(config.pe_count > 0, "PE count must be non-zero");
         assert!(config.phases_per_tile > 0, "phase count must be non-zero");
         assert!(config.pixels_per_tile > 0, "tile size must be non-zero");
+        assert!(
+            config.pixels_per_tile as usize % LANE_WIDTH == 0,
+            "CAU tile width must be a whole number of software lane groups"
+        );
         assert!(
             config.pe_area_mm2 > 0.0 && config.pe_power_uw > 0.0,
             "PE cost must be positive"
@@ -163,6 +170,26 @@ impl Default for CauModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pe_width_is_lane_aligned() {
+        // The paper's 4×4 tile is exactly two software lane groups; the
+        // shared constant keeps the hardware model and the SoA kernels in
+        // lockstep, and `new` rejects any PE width that breaks parity.
+        assert_eq!(
+            CauConfig::default().pixels_per_tile as usize,
+            2 * LANE_WIDTH
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn lane_misaligned_pe_width_panics() {
+        let _ = CauModel::new(CauConfig {
+            pixels_per_tile: (LANE_WIDTH + 1) as u32,
+            ..CauConfig::default()
+        });
+    }
 
     #[test]
     fn frequency_matches_paper() {
